@@ -1,0 +1,251 @@
+package levioso
+
+// One benchmark per table/figure in the paper's evaluation (see DESIGN.md's
+// experiment index). Each bench regenerates its table/figure at test scale
+// and reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. cmd/levbench runs the same experiments
+// at full reference scale.
+
+import (
+	"testing"
+
+	"levioso/internal/attack"
+	"levioso/internal/core"
+	"levioso/internal/cpu"
+	"levioso/internal/harness"
+	"levioso/internal/secure"
+	"levioso/internal/workloads"
+)
+
+// BenchmarkTableConfig regenerates T1 (simulated core configuration).
+func BenchmarkTableConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := harness.ExpConfig(cpu.DefaultConfig()); len(out) == 0 {
+			b.Fatal("empty config table")
+		}
+	}
+}
+
+// BenchmarkFigOverhead regenerates F1 (the headline per-benchmark overhead
+// figure) and reports each policy's geomean overhead in percent.
+func BenchmarkFigOverhead(b *testing.B) {
+	spec := harness.DefaultSpec()
+	spec.Size = workloads.SizeTest
+	for i := 0; i < b.N; i++ {
+		runs, err := harness.Sweep(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix := harness.NewIndex(runs)
+		for _, p := range spec.Policies[1:] {
+			b.ReportMetric(100*ix.GeoMeanOverhead(p, "unsafe"), p+"-ov%")
+		}
+	}
+}
+
+// BenchmarkFigOverheadPerPolicy gives per-policy sub-benchmarks over the
+// whole suite (cycles are the benchmark cost itself).
+func BenchmarkFigOverheadPerPolicy(b *testing.B) {
+	for _, pol := range secure.EvalNames() {
+		pol := pol
+		b.Run(pol, func(b *testing.B) {
+			spec := harness.DefaultSpec()
+			spec.Size = workloads.SizeTest
+			spec.Policies = []string{pol}
+			spec.Verify = false
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				runs, err := harness.Sweep(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = 0
+				for _, r := range runs {
+					cycles += r.Stats.Cycles
+				}
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkFigRestricted regenerates F2 (fraction of transmitters
+// restricted) and reports the means.
+func BenchmarkFigRestricted(b *testing.B) {
+	spec := harness.DefaultSpec()
+	spec.Size = workloads.SizeTest
+	spec.Policies = []string{"unsafe", "delay", "levioso"}
+	for i := 0; i < b.N; i++ {
+		runs, err := harness.Sweep(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix := harness.NewIndex(runs)
+		var spec_, lev float64
+		n := 0
+		for _, w := range ix.Workloads {
+			u, _ := ix.Stats(w, "unsafe")
+			l, _ := ix.Stats(w, "levioso")
+			spec_ += u.SpecFrac()
+			lev += l.RestrictedFrac()
+			n++
+		}
+		b.ReportMetric(100*spec_/float64(n), "conservative-%")
+		b.ReportMetric(100*lev/float64(n), "levioso-%")
+	}
+}
+
+// BenchmarkFigROBSweep regenerates F3 (overhead vs window size) at three
+// window sizes.
+func BenchmarkFigROBSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := harness.ExpROBSweep(workloads.SizeTest, []int{96, 192, 320})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFigMispredict regenerates F4 (overhead vs predictor quality).
+func BenchmarkFigMispredict(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := harness.ExpMispredict(workloads.SizeTest, []float64{0, 0.05, 0.15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkTableSecurity regenerates T2 (the attack matrix) and reports the
+// number of policies that leaked each attack.
+func BenchmarkTableSecurity(b *testing.B) {
+	policies := append(append([]string{}, secure.EvalNames()...), "taint")
+	for i := 0; i < b.N; i++ {
+		outcomes, err := attack.Run(policies, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v1, ct := 0, 0
+		for _, o := range outcomes {
+			if o.V1Leaks() {
+				v1++
+			}
+			if o.CTLeaks() {
+				ct++
+			}
+		}
+		b.ReportMetric(float64(v1), "v1-leaky-policies")
+		b.ReportMetric(float64(ct), "ct-leaky-policies")
+	}
+}
+
+// BenchmarkFigAblation regenerates F5 (Levioso component ablation).
+func BenchmarkFigAblation(b *testing.B) {
+	spec := harness.DefaultSpec()
+	spec.Size = workloads.SizeTest
+	spec.Policies = []string{"unsafe", "levioso-ctrl", "levioso"}
+	for i := 0; i < b.N; i++ {
+		runs, err := harness.Sweep(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix := harness.NewIndex(runs)
+		b.ReportMetric(100*ix.GeoMeanOverhead("levioso-ctrl", "unsafe"), "ctrl-only-ov%")
+		b.ReportMetric(100*ix.GeoMeanOverhead("levioso", "unsafe"), "full-ov%")
+	}
+}
+
+// BenchmarkTableCompiler regenerates T3 (annotation statistics) and reports
+// the mean annotated fraction.
+func BenchmarkTableCompiler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		total, annotated := 0, 0
+		for _, w := range workloads.All() {
+			prog, err := w.Build(workloads.SizeTest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := core.Annotate(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += st.Branches
+			annotated += st.Annotated
+		}
+		b.ReportMetric(100*float64(annotated)/float64(total), "annotated-%")
+	}
+}
+
+// BenchmarkSimThroughput measures raw simulator speed (simulated
+// instructions per wall-clock second) on one workload per policy — useful
+// for tracking the cost of the defenses' bookkeeping itself.
+func BenchmarkSimThroughput(b *testing.B) {
+	w, _ := workloads.ByName("fsm")
+	prog := w.MustBuild(workloads.SizeTest)
+	for _, pol := range []string{"unsafe", "levioso"} {
+		pol := pol
+		b.Run(pol, func(b *testing.B) {
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				c, err := cpu.New(prog, cpu.DefaultConfig(), secure.MustNew(pol))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := c.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = res.Stats.Committed
+			}
+			b.ReportMetric(float64(insts*uint64(b.N))/b.Elapsed().Seconds(), "sim-insts/s")
+		})
+	}
+}
+
+// BenchmarkAnnotatePass measures the compiler pass itself.
+func BenchmarkAnnotatePass(b *testing.B) {
+	w, _ := workloads.ByName("qsort")
+	prog := w.MustBuild(workloads.SizeTest)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Annotate(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigBDTSweep regenerates F6 (overhead vs Branch Dependency Table
+// size — the hardware-cost knob).
+func BenchmarkFigBDTSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := harness.ExpBDTSweep(workloads.SizeTest, []int{8, 32, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkTableCharacterization regenerates T1b (workload characterization).
+func BenchmarkTableCharacterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := harness.ExpCharacterization(workloads.SizeTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// levas assembles LEV64 assembly into a binary image, optionally running the
+// Levioso annotation pass (on by default: hand-written assembly benefits from
+// the same reconvergence analysis as compiled code).
+//
+// Usage:
+//
+//	levas [-o out.bin] [-no-annotate] [-l] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"levioso/internal/asm"
+	"levioso/internal/core"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default: input with .bin suffix)")
+	noAnnotate := flag.Bool("no-annotate", false, "skip the Levioso annotation pass")
+	listing := flag.Bool("l", false, "print a disassembly listing to stdout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: levas [-o out.bin] [-no-annotate] [-l] file.s")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(in, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if !*noAnnotate {
+		st, err := core.Annotate(prog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "levas: %d branches, %d annotated, %d conservative\n",
+			st.Branches, st.Annotated, st.Conservative)
+	}
+	if *listing {
+		fmt.Print(asm.Listing(prog))
+	}
+	img, err := prog.MarshalBinary()
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".s") + ".bin"
+	}
+	if err := os.WriteFile(dst, img, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "levas: wrote %s (%d bytes)\n", dst, len(img))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "levas:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// levattack runs the security evaluation: Spectre-V1 (speculatively-accessed
+// secret) and Spectre-CT (non-speculatively loaded secret) against each
+// policy, and reports which policies leak.
+//
+// Usage:
+//
+//	levattack                       # all policies
+//	levattack -policy levioso       # one policy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"levioso/internal/attack"
+	"levioso/internal/secure"
+)
+
+func main() {
+	policy := flag.String("policy", "", "run a single policy (default: all)")
+	flag.Parse()
+
+	policies := append(append([]string{}, secure.EvalNames()...), "taint")
+	if *policy != "" {
+		policies = strings.Split(*policy, ",")
+	}
+	outcomes, err := attack.Run(policies, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "levattack:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-12s %-22s %-26s %s\n", "policy", "spectre-v1 (sandbox)", "spectre-ct (non-spec)", "verdict")
+	leaked := false
+	for _, o := range outcomes {
+		verdict := "SECURE"
+		switch {
+		case o.V1Leaks() && o.CTLeaks():
+			verdict = "LEAKS BOTH"
+		case o.V1Leaks():
+			verdict = "LEAKS V1"
+		case o.CTLeaks():
+			verdict = "LEAKS CT (not comprehensive)"
+		}
+		if o.Policy != "unsafe" && (o.V1Leaks() || o.CTLeaks()) && o.Policy != "taint" {
+			leaked = true
+		}
+		fmt.Printf("%-12s %-22s %-26s %s\n", o.Policy,
+			fmt.Sprintf("%d/%d recovered", o.V1Correct, o.V1Trials),
+			fmt.Sprintf("%d/%d recovered", o.CTCorrect, o.CTTrials),
+			verdict)
+	}
+	if leaked {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// levbench regenerates the paper's tables and figures (see DESIGN.md's
+// experiment index).
+//
+// Usage:
+//
+//	levbench                      # run everything at reference scale
+//	levbench -exp overhead        # one experiment (T1/F1/... by id)
+//	levbench -size test           # faster, smaller inputs
+//	levbench -list                # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"levioso/internal/harness"
+	"levioso/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (default: all)")
+	sizeName := flag.String("size", "ref", "workload scale: test or ref")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	var size workloads.Size
+	switch *sizeName {
+	case "test":
+		size = workloads.SizeTest
+	case "ref":
+		size = workloads.SizeRef
+	default:
+		fmt.Fprintf(os.Stderr, "levbench: unknown size %q (test|ref)\n", *sizeName)
+		os.Exit(2)
+	}
+	if *exp == "" {
+		if err := harness.RunAll(os.Stdout, size); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	out, err := harness.RunExperiment(*exp, size)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "levbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// levc compiles LevC source to a LEV64 binary image (or assembly listing),
+// running the Levioso annotation pass.
+//
+// Usage:
+//
+//	levc [-S] [-o out] [-no-annotate] file.lc
+//
+// With -S the generated assembly is written instead of a binary image.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"levioso/internal/asm"
+	"levioso/internal/core"
+	"levioso/internal/lang"
+)
+
+func main() {
+	emitAsm := flag.Bool("S", false, "emit assembly instead of a binary image")
+	out := flag.String("o", "", "output path (default: input with .bin/.s suffix)")
+	noAnnotate := flag.Bool("no-annotate", false, "skip the Levioso annotation pass")
+	listing := flag.Bool("l", false, "print a disassembly listing to stdout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: levc [-S] [-o out] [-no-annotate] [-l] file.lc")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	if *emitAsm {
+		text, err := lang.CompileToAsm(in, string(src))
+		if err != nil {
+			fatal(err)
+		}
+		writeOut(*out, defaultName(in, ".s"), []byte(text))
+		return
+	}
+	text, err := lang.CompileToAsm(in, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(in, text)
+	if err != nil {
+		fatal(fmt.Errorf("internal: generated assembly rejected: %w", err))
+	}
+	if !*noAnnotate {
+		st, err := core.Annotate(prog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "levc: %d branches, %d annotated, %d conservative, table %d bytes\n",
+			st.Branches, st.Annotated, st.Conservative, st.TableBytes)
+	}
+	if *listing {
+		fmt.Print(asm.Listing(prog))
+	}
+	img, err := prog.MarshalBinary()
+	if err != nil {
+		fatal(err)
+	}
+	writeOut(*out, defaultName(in, ".bin"), img)
+}
+
+func defaultName(in, suffix string) string {
+	base := strings.TrimSuffix(in, ".lc")
+	return base + suffix
+}
+
+func writeOut(out, def string, data []byte) {
+	if out == "" {
+		out = def
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "levc: wrote %s (%d bytes)\n", out, len(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "levc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// levdump inspects a LEV64 binary image: header, symbols, the Levioso
+// annotation table, and a disassembly listing.
+//
+// Usage:
+//
+//	levdump [-syms] [-hints] [-d] prog.bin     (default: everything)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"levioso/internal/asm"
+	"levioso/internal/isa"
+)
+
+func main() {
+	syms := flag.Bool("syms", false, "print the symbol table only")
+	hints := flag.Bool("hints", false, "print the annotation table only")
+	dis := flag.Bool("d", false, "print the disassembly only")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: levdump [-syms|-hints|-d] prog.bin")
+		os.Exit(2)
+	}
+	img, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog := new(isa.Program)
+	if err := prog.UnmarshalBinary(img); err != nil {
+		fatal(err)
+	}
+	all := !*syms && !*hints && !*dis
+	if all {
+		fmt.Printf("entry:   %#x\n", prog.Entry)
+		fmt.Printf("text:    %d instructions (%d bytes)\n", len(prog.Text), len(prog.Text)*isa.InstBytes)
+		fmt.Printf("data:    %d bytes at %#x\n", len(prog.Data), isa.DataBase)
+		fmt.Printf("symbols: %d\n", len(prog.Symbols))
+		fmt.Printf("hints:   %d branch annotations\n\n", len(prog.Hints))
+	}
+	if all || *syms {
+		names := make([]string, 0, len(prog.Symbols))
+		for n := range prog.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return prog.Symbols[names[i]] < prog.Symbols[names[j]] })
+		fmt.Println("symbols:")
+		for _, n := range names {
+			fmt.Printf("  %#08x  %s\n", prog.Symbols[n], n)
+		}
+		fmt.Println()
+	}
+	if all || *hints {
+		pcs := make([]uint64, 0, len(prog.Hints))
+		for pc := range prog.Hints {
+			pcs = append(pcs, pc)
+		}
+		sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+		fmt.Println("annotations (branch pc -> reconvergence, region write set):")
+		for _, pc := range pcs {
+			h := prog.Hints[pc]
+			if h.ReconvPC == 0 {
+				fmt.Printf("  %#06x  CONSERVATIVE (no reconvergence)\n", pc)
+				continue
+			}
+			fmt.Printf("  %#06x  reconv=%#06x  writes=%s\n", pc, h.ReconvPC, h.WriteSet)
+		}
+		fmt.Println()
+	}
+	if all || *dis {
+		fmt.Print(asm.Listing(prog))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "levdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// levsim runs a LEV64 binary on the out-of-order core under a chosen
+// secure-speculation policy and reports performance statistics.
+//
+// Usage:
+//
+//	levsim [-policy levioso] [-rob 192] [-stats] [-ref] prog.bin
+//
+// With -ref the program runs on the functional reference model instead
+// (useful for checking architectural behaviour).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"levioso/internal/cpu"
+	"levioso/internal/isa"
+	"levioso/internal/ref"
+	"levioso/internal/secure"
+)
+
+func main() {
+	policy := flag.String("policy", "unsafe", fmt.Sprintf("secure-speculation policy %v", secure.Names()))
+	rob := flag.Int("rob", 0, "override ROB size")
+	maxCycles := flag.Uint64("max-cycles", 1_000_000_000, "cycle limit")
+	showStats := flag.Bool("stats", false, "print detailed statistics")
+	useRef := flag.Bool("ref", false, "run on the functional reference model instead")
+	trace := flag.Bool("trace", false, "write a per-commit pipeline trace to stderr (slow)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: levsim [-policy P] [-rob N] [-stats] [-ref] prog.bin")
+		os.Exit(2)
+	}
+	img, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog := new(isa.Program)
+	if err := prog.UnmarshalBinary(img); err != nil {
+		fatal(err)
+	}
+	if *useRef {
+		res, err := ref.Run(prog, ref.Limits{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Output)
+		fmt.Fprintf(os.Stderr, "levsim(ref): exit=%d insts=%d\n", res.ExitCode, res.Insts)
+		os.Exit(int(res.ExitCode) & 0x7f)
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = *maxCycles
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+	if *rob > 0 {
+		cfg.ROBSize = *rob
+		if cfg.NumPhysRegs < 32+*rob {
+			cfg.NumPhysRegs = 32 + *rob + 64
+		}
+	}
+	c, err := cpu.New(prog, cfg, secure.MustNew(*policy))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Output)
+	fmt.Fprintf(os.Stderr, "levsim: policy=%s exit=%d cycles=%d insts=%d ipc=%.3f\n",
+		*policy, res.ExitCode, res.Stats.Cycles, res.Stats.Committed, res.Stats.IPC())
+	if *showStats {
+		fmt.Fprintln(os.Stderr, res.Stats)
+	}
+	os.Exit(int(res.ExitCode) & 0x7f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "levsim:", err)
+	os.Exit(1)
+}

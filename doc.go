@@ -1,0 +1,20 @@
+// Package levioso is the root of a from-scratch reproduction of
+// "Levioso: Efficient Compiler-Informed Secure Speculation" (DAC 2024).
+//
+// The paper's contribution — compiler-computed true branch dependencies
+// (reconvergence points + region write sets) consumed by a hardware Branch
+// Dependency Table that restricts only truly-dependent transmitters — lives
+// in internal/core. Everything it is evaluated on is built here too: the
+// LEV64 ISA (internal/isa), an assembler (internal/asm), the LevC compiler
+// (internal/lang), CFG/dominance analyses (internal/cfg), an out-of-order
+// core simulator (internal/cpu) with its cache hierarchy (internal/mem),
+// the baseline defenses (internal/secure), the attack harness
+// (internal/attack), the workload suite (internal/workloads) and the
+// experiment harness (internal/harness).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem .
+package levioso

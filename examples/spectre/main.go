@@ -1,0 +1,38 @@
+// Spectre-v1 end-to-end demo: a bounds-check-bypass attack (training, bound
+// flush, transient out-of-bounds access, flush+reload probe) runs inside the
+// simulated machine against each secure-speculation policy. Under `unsafe`
+// the attacker recovers every secret byte; under every defense the probe
+// comes back empty.
+//
+//	go run ./examples/spectre
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"levioso/internal/attack"
+)
+
+func main() {
+	secrets := []byte{'L', 'E', 'V'}
+	fmt.Println("Spectre-v1 bounds-check bypass, per policy:")
+	fmt.Println()
+	outcomes, err := attack.Run([]string{"unsafe", "fence", "delay", "invisible", "levioso"}, secrets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range outcomes {
+		status := "blocked"
+		if o.V1Leaks() {
+			status = "LEAKED"
+		}
+		fmt.Printf("  %-10s recovered %d/%d secret bytes  -> %s\n",
+			o.Policy, o.V1Correct, o.V1Trials, status)
+	}
+	fmt.Println()
+	fmt.Println("The attack gadget is `if (idx < bound) y = oracle[array[idx]*64]`.")
+	fmt.Println("Levioso blocks it because the transmitting load sits inside the")
+	fmt.Println("bounds check's annotated control region, so it may not execute")
+	fmt.Println("until that branch resolves — while loads elsewhere run freely.")
+}

@@ -1,0 +1,60 @@
+// Sensitivity-sweep demo: overhead of each defense on one workload as the
+// out-of-order window (ROB) grows. Bigger windows mean more instructions live
+// under unresolved branches, so conservative defenses get *more* expensive
+// while Levioso tracks only true dependencies.
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"levioso/internal/cpu"
+	"levioso/internal/secure"
+	"levioso/internal/workloads"
+)
+
+func main() {
+	w, ok := workloads.ByName("pchase")
+	if !ok {
+		log.Fatal("workload not found")
+	}
+	prog := w.MustBuild(workloads.SizeTest)
+	policies := []string{"unsafe", "delay", "levioso"}
+
+	fmt.Printf("%-6s", "ROB")
+	for _, p := range policies {
+		fmt.Printf("  %12s", p)
+	}
+	fmt.Println("   (cycles; overhead vs unsafe)")
+	for _, rob := range []int{64, 128, 192, 320} {
+		cfg := cpu.DefaultConfig()
+		cfg.ROBSize = rob
+		cfg.IQSize = rob / 3
+		cfg.LQSize = rob / 4
+		cfg.SQSize = rob / 6
+		cfg.NumPhysRegs = 32 + rob + 64
+		cfg.MaxCycles = 200_000_000
+		var base uint64
+		fmt.Printf("%-6d", rob)
+		for _, p := range policies {
+			c, err := cpu.New(prog, cfg, secure.MustNew(p))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := c.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if p == "unsafe" {
+				base = res.Stats.Cycles
+				fmt.Printf("  %12d", res.Stats.Cycles)
+			} else {
+				ov := float64(res.Stats.Cycles)/float64(base) - 1
+				fmt.Printf("  %6d %4.0f%%", res.Stats.Cycles, 100*ov)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module levioso
+
+go 1.22

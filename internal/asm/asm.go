@@ -1,0 +1,302 @@
+// Package asm implements a two-pass assembler for LEV64 assembly, producing
+// loadable isa.Program images.
+//
+// Syntax summary (RISC-V flavoured):
+//
+//	        .text
+//	main:   li   t0, 100          # pseudo-instructions expand automatically
+//	loop:   addi t0, t0, -1
+//	        bnez t0, loop
+//	        ld   a0, 8(gp)
+//	        halt
+//	        .data
+//	val:    .quad 1, 2, 3
+//	msg:    .asciz "hi\n"
+//	buf:    .space 64
+//
+// Labels may appear in .text and .data. Immediate operands are expressions
+// over integer literals, character literals, label addresses and constants
+// defined with .equ, combined with + and -. Branch and jal targets are labels
+// (or absolute addresses), converted to PC-relative offsets by the assembler.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"levioso/internal/isa"
+)
+
+// Error describes an assembly failure with source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// Assemble translates LEV64 assembly source into a program image.
+// name is used in error messages only.
+func Assemble(name, src string) (*isa.Program, error) {
+	a := &assembler{
+		file:    name,
+		symbols: make(map[string]symval),
+		prog:    isa.NewProgram(),
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble for known-good embedded sources (workloads,
+// tests); it panics on error.
+func MustAssemble(name, src string) *isa.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type symval struct {
+	val  int64
+	line int
+}
+
+// pending is an instruction whose immediate may reference symbols; it is
+// finalized in pass 2 once every label has an address.
+type pending struct {
+	in     isa.Inst
+	imm    expr // nil if in.Imm is already final
+	pcrel  bool // immediate is a branch/jal target: encode target - pc
+	hiPart bool // immediate is the lui half of a two-instruction li
+	line   int
+	src    string
+}
+
+// dataPatch is a .byte/.half/.word/.quad cell whose expression may reference
+// symbols.
+type dataPatch struct {
+	off  int
+	size int
+	e    expr
+	line int
+}
+
+type assembler struct {
+	file    string
+	line    int
+	symbols map[string]symval
+	prog    *isa.Program
+	insts   []pending
+	data    []byte
+	patches []dataPatch
+	inData  bool
+}
+
+func (a *assembler) errf(format string, args ...interface{}) error {
+	return &Error{File: a.file, Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) define(name string, val int64) error {
+	if old, ok := a.symbols[name]; ok {
+		return a.errf("symbol %q redefined (first defined on line %d)", name, old.line)
+	}
+	a.symbols[name] = symval{val: val, line: a.line}
+	return nil
+}
+
+func (a *assembler) pc() uint64 {
+	return isa.TextBase + uint64(len(a.insts))*isa.InstBytes
+}
+
+// pass1 parses every line, expands pseudo-instructions, lays out data and
+// assigns every label an address.
+func (a *assembler) pass1(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		line := stripComment(raw)
+		// Peel off leading labels.
+		for {
+			trimmed := strings.TrimSpace(line)
+			if trimmed == "" {
+				line = ""
+				break
+			}
+			colon := strings.Index(trimmed, ":")
+			if colon < 0 || !isIdent(trimmed[:colon]) {
+				line = trimmed
+				break
+			}
+			name := trimmed[:colon]
+			var addr int64
+			if a.inData {
+				addr = int64(isa.DataBase) + int64(len(a.data))
+			} else {
+				addr = int64(a.pc())
+			}
+			if err := a.define(name, addr); err != nil {
+				return err
+			}
+			line = trimmed[colon+1:]
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := a.directive(line); err != nil {
+				return err
+			}
+			continue
+		}
+		if a.inData {
+			return a.errf("instruction %q in .data section", line)
+		}
+		if err := a.instruction(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pass2 resolves all symbol references and builds the final program.
+func (a *assembler) pass2() error {
+	p := a.prog
+	for idx := range a.insts {
+		pi := &a.insts[idx]
+		a.line = pi.line
+		in := pi.in
+		if pi.imm != nil {
+			v, err := pi.imm.eval(a)
+			if err != nil {
+				return err
+			}
+			switch {
+			case pi.pcrel:
+				pc := isa.TextBase + uint64(idx)*isa.InstBytes
+				in.Imm = v - int64(pc)
+			case pi.hiPart:
+				in.Imm = v >> 12
+			default:
+				in.Imm = v
+			}
+		}
+		var buf [isa.InstBytes]byte
+		if err := in.Encode(buf[:]); err != nil {
+			return a.errf("%v", err)
+		}
+		p.Text = append(p.Text, in)
+		p.SrcLines[idx] = pi.src
+	}
+	for _, dp := range a.patches {
+		a.line = dp.line
+		v, err := dp.e.eval(a)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < dp.size; i++ {
+			a.data[dp.off+i] = byte(v >> (8 * i))
+		}
+	}
+	p.Data = a.data
+	for name, sv := range a.symbols {
+		p.Symbols[name] = uint64(sv.val)
+	}
+	switch {
+	case a.hasSym("_start"):
+		p.Entry = uint64(a.symbols["_start"].val)
+	case a.hasSym("main"):
+		p.Entry = uint64(a.symbols["main"].val)
+	default:
+		p.Entry = isa.TextBase
+	}
+	return p.Validate()
+}
+
+func (a *assembler) hasSym(name string) bool {
+	_, ok := a.symbols[name]
+	return ok
+}
+
+// emit queues one concrete instruction.
+func (a *assembler) emit(in isa.Inst, imm expr, pcrel, hiPart bool, src string) {
+	a.insts = append(a.insts, pending{in: in, imm: imm, pcrel: pcrel, hiPart: hiPart, line: a.line, src: src})
+}
+
+func stripComment(s string) string {
+	// Comments start with '#' or ';' outside string literals.
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inStr:
+			if s[i] == '\\' {
+				i++
+			} else if s[i] == '"' {
+				inStr = false
+			}
+		case s[i] == '"':
+			inStr = true
+		case s[i] == '#' || s[i] == ';':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// isIdent accepts assembler symbol names, including compiler-local labels
+// like ".Lmain_3" (leading dot allowed, but a bare "." is not a name).
+func isIdent(s string) bool {
+	if s == "" || s == "." {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == '.' ||
+			'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' ||
+			'0' <= c && c <= '9' && i > 0
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Listing renders a disassembly listing of p with symbolic labels, one
+// instruction per line, for debugging and golden tests.
+func Listing(p *isa.Program) string {
+	// Build reverse symbol map for text addresses.
+	labels := make(map[uint64][]string)
+	for name, addr := range p.Symbols {
+		labels[addr] = append(labels[addr], name)
+	}
+	for _, ns := range labels {
+		sort.Strings(ns)
+	}
+	var b strings.Builder
+	for i, in := range p.Text {
+		pc := p.PCOf(i)
+		for _, l := range labels[pc] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "  %06x  %s", pc, in)
+		if in.Op.IsBranch() || in.Op == isa.JAL {
+			tgt := in.BranchTarget(pc)
+			if ls := labels[tgt]; len(ls) > 0 {
+				fmt.Fprintf(&b, "  <%s>", ls[0])
+			}
+		}
+		if h, ok := p.Hints[pc]; ok {
+			fmt.Fprintf(&b, "  ; reconv=%#x writes=%s", h.ReconvPC, h.WriteSet)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,511 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"levioso/internal/isa"
+	"levioso/internal/ref"
+)
+
+func run(t *testing.T, src string) ref.Result {
+	t.Helper()
+	p, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, err := ref.Run(p, ref.Limits{MaxInsts: 1_000_000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestMinimalProgram(t *testing.T) {
+	res := run(t, `
+main:
+	li a0, 42
+	halt a0
+`)
+	if res.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", res.ExitCode)
+	}
+	if res.Insts != 2 {
+		t.Errorf("insts = %d, want 2", res.Insts)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 = 55.
+	res := run(t, `
+main:
+	li t0, 10
+	li t1, 0
+loop:
+	add t1, t1, t0
+	addi t0, t0, -1
+	bnez t0, loop
+	halt t1
+`)
+	if res.ExitCode != 55 {
+		t.Errorf("exit = %d, want 55", res.ExitCode)
+	}
+}
+
+func TestDataSection(t *testing.T) {
+	res := run(t, `
+main:
+	la t0, vals
+	ld a0, 0(t0)
+	ld a1, 8(t0)
+	add a0, a0, a1
+	lb a2, 0(t0)   # low byte of first quad
+	add a0, a0, a2
+	halt a0
+	.data
+vals:	.quad 100, 200
+`)
+	if res.ExitCode != 100+200+100 {
+		t.Errorf("exit = %d, want 400", res.ExitCode)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p, err := Assemble("t.s", `
+main:	halt zero
+	.data
+b:	.byte 1, 2, 0xff
+h:	.half 0x1234
+	.align 4
+w:	.word -1
+q:	.quad str
+s:	.space 3
+str:	.asciz "a\n\x41"
+`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	d := p.Data
+	if d[0] != 1 || d[1] != 2 || d[2] != 0xff {
+		t.Errorf(".byte wrong: % x", d[:3])
+	}
+	if d[3] != 0x34 || d[4] != 0x12 {
+		t.Errorf(".half wrong: % x", d[3:5])
+	}
+	// .align 4 pads from offset 5 to 8.
+	if p.Symbols["w"] != isa.DataBase+8 {
+		t.Errorf("w at %#x, want %#x", p.Symbols["w"], isa.DataBase+8)
+	}
+	if d[8] != 0xff || d[11] != 0xff {
+		t.Errorf(".word -1 wrong: % x", d[8:12])
+	}
+	strAddr := p.Symbols["str"]
+	if strAddr != isa.DataBase+8+4+8+3 {
+		t.Errorf("str at %#x", strAddr)
+	}
+	// .quad str holds str's absolute address.
+	var got uint64
+	for i := 0; i < 8; i++ {
+		got |= uint64(d[12+i]) << (8 * i)
+	}
+	if got != strAddr {
+		t.Errorf(".quad str = %#x, want %#x", got, strAddr)
+	}
+	off := int(strAddr - isa.DataBase)
+	if string(d[off:off+3]) != "a\nA" || d[off+3] != 0 {
+		t.Errorf("asciz wrong: % x", d[off:off+4])
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	res := run(t, `
+main:
+	li t0, 7
+	mv t1, t0        # 7
+	neg t2, t0       # -7
+	add t3, t1, t2   # 0
+	seqz a0, t3      # 1
+	snez a1, t0      # 1
+	not a2, zero     # -1
+	add a0, a0, a1   # 2
+	sub a0, a0, a2   # 3
+	halt a0
+`)
+	if res.ExitCode != 3 {
+		t.Errorf("exit = %d, want 3", res.ExitCode)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	res := run(t, `
+main:
+	li a0, 5
+	call double
+	call double
+	halt a0
+double:
+	add a0, a0, a0
+	ret
+`)
+	if res.ExitCode != 20 {
+		t.Errorf("exit = %d, want 20", res.ExitCode)
+	}
+}
+
+func TestBranchPseudos(t *testing.T) {
+	res := run(t, `
+main:
+	li a0, 0
+	li t0, 5
+	li t1, 3
+	ble t1, t0, l1   # taken
+	halt zero
+l1:	bgt t0, t1, l2   # taken
+	halt zero
+l2:	bleu t0, t1, bad # not taken
+	bgtu t1, t0, bad # not taken
+	li t2, -1
+	bltz t2, l3      # taken
+	halt zero
+l3:	bgez t0, l4      # taken
+	halt zero
+l4:	blez zero, l5    # taken
+	halt zero
+l5:	bgtz t0, l6      # taken
+	halt zero
+l6:	li a0, 1
+	halt a0
+bad:	halt zero
+`)
+	if res.ExitCode != 1 {
+		t.Errorf("exit = %d, want 1", res.ExitCode)
+	}
+}
+
+func TestConsoleOutput(t *testing.T) {
+	res := run(t, `
+main:
+	li t0, 'H'
+	putc t0
+	li t0, 'i'
+	putc t0
+	li t0, '\n'
+	putc t0
+	li t1, -42
+	puti t1
+	halt zero
+`)
+	if res.Output != "Hi\n-42" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestLiWide(t *testing.T) {
+	res := run(t, `
+main:
+	li a0, 0x123456789a   # needs lui+addi
+	li a1, -0x123456789a
+	add a0, a0, a1
+	halt a0
+`)
+	if res.ExitCode != 0 {
+		t.Errorf("exit = %d, want 0", res.ExitCode)
+	}
+}
+
+func TestEquAndExpressions(t *testing.T) {
+	res := run(t, `
+	.equ N, 6
+	.equ N2, N+4
+main:
+	li a0, N2-1      # 9
+	li a1, 'A'+1     # 66
+	sub a1, a1, a0   # 57
+	add a0, a0, a1   # 66
+	halt a0
+`)
+	if res.ExitCode != 66 {
+		t.Errorf("exit = %d, want 66", res.ExitCode)
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	res := run(t, `
+main:
+	la t0, v
+	ld a0, (t0)      # bare (reg)
+	ld a1, v         # bare symbol
+	ld a2, v+8       # symbol+offset
+	add a0, a0, a1
+	add a0, a0, a2
+	halt a0
+	.data
+v:	.quad 3, 4
+`)
+	if res.ExitCode != 10 {
+		t.Errorf("exit = %d, want 10", res.ExitCode)
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	res := run(t, `
+main:
+	li t0, 0x1122334455667788
+	la t1, buf
+	sd t0, 0(t1)
+	lw a0, 0(t1)     # 0x55667788 sign-extended (positive)
+	lh a1, 0(t1)     # 0x7788
+	lbu a2, 7(t1)    # 0x11
+	halt a2
+	.data
+buf:	.space 8
+`)
+	if res.ExitCode != 0x11 {
+		t.Errorf("exit = %#x, want 0x11", res.ExitCode)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown-inst", "main: frob a0\n\thalt zero", "unknown instruction"},
+		{"unknown-directive", ".bogus 3", "unknown directive"},
+		{"bad-reg", "main: add a0, a1, q9\n\thalt zero", "bad register"},
+		{"undef-sym", "main: li a0, nosuch\n\thalt zero", "undefined symbol"},
+		{"redefined", "x: halt zero\nx: halt zero", "redefined"},
+		{"data-inst", ".data\n\tadd a0, a0, a0", "in .data"},
+		{"bad-operand-count", "main: add a0, a1\n\thalt zero", "wants"},
+		{"align-npo2", ".data\n.align 3", "power of two"},
+		{"branch-out", "main: beq a0, a1, 0x999999\nhalt zero", "outside text"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("t.s", c.src)
+			if err == nil {
+				t.Fatalf("no error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Assemble("file.s", "\n\n\tfrob\n")
+	if err == nil || !strings.HasPrefix(err.Error(), "file.s:3:") {
+		t.Errorf("error = %v, want file.s:3: prefix", err)
+	}
+}
+
+func TestEntryPointSelection(t *testing.T) {
+	p := MustAssemble("t.s", "foo:\n\tnop\nmain:\n\thalt zero\n")
+	if p.Entry != p.Symbols["main"] {
+		t.Errorf("entry = %#x, want main %#x", p.Entry, p.Symbols["main"])
+	}
+	p = MustAssemble("t.s", "foo:\n\tnop\n_start:\n\thalt zero\nmain:\n\thalt zero\n")
+	if p.Entry != p.Symbols["_start"] {
+		t.Errorf("entry = %#x, want _start", p.Entry)
+	}
+	p = MustAssemble("t.s", "foo:\n\thalt zero\n")
+	if p.Entry != isa.TextBase {
+		t.Errorf("entry = %#x, want TextBase", p.Entry)
+	}
+}
+
+func TestCommentsAndLabels(t *testing.T) {
+	res := run(t, `
+# full line comment
+main: li a0, 1 # trailing
+	; semicolon comment
+a: b: halt a0   # two labels one line
+`)
+	if res.ExitCode != 1 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := MustAssemble("t.s", `
+main:
+	li a0, 7
+	beq a0, zero, done
+	addi a0, a0, 1
+done:	halt a0
+	.data
+v:	.quad 9
+`)
+	p.Hints[p.Symbols["main"]+isa.InstBytes] = isa.BranchHint{
+		ReconvPC: p.Symbols["done"],
+		WriteSet: isa.RegMask(0).Set(isa.RegA0),
+	}
+	b, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var q isa.Program
+	if err := q.UnmarshalBinary(b); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if q.Entry != p.Entry || len(q.Text) != len(p.Text) || string(q.Data) != string(p.Data) {
+		t.Errorf("round trip mismatch")
+	}
+	for i := range p.Text {
+		if q.Text[i] != p.Text[i] {
+			t.Errorf("text[%d] = %v, want %v", i, q.Text[i], p.Text[i])
+		}
+	}
+	for name, addr := range p.Symbols {
+		if q.Symbols[name] != addr {
+			t.Errorf("symbol %s = %#x, want %#x", name, q.Symbols[name], addr)
+		}
+	}
+	for pc, h := range p.Hints {
+		if q.Hints[pc] != h {
+			t.Errorf("hint at %#x = %+v, want %+v", pc, q.Hints[pc], h)
+		}
+	}
+	// Corrupt image must fail, not panic.
+	if err := new(isa.Program).UnmarshalBinary(b[:10]); err == nil {
+		t.Error("truncated unmarshal succeeded")
+	}
+	if err := new(isa.Program).UnmarshalBinary([]byte("XXXXXXXXXXXX")); err == nil {
+		t.Error("bad magic unmarshal succeeded")
+	}
+}
+
+func TestListing(t *testing.T) {
+	p := MustAssemble("t.s", `
+main:
+	li a0, 1
+	beq a0, zero, done
+	addi a0, a0, 1
+done:	halt a0
+`)
+	l := Listing(p)
+	for _, want := range []string{"main:", "done:", "beq a0, zero,", "<done>"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("listing missing %q:\n%s", want, l)
+		}
+	}
+}
+
+func TestJalrIndirect(t *testing.T) {
+	res := run(t, `
+main:
+	la t0, fn
+	jalr ra, 0(t0)
+	halt a0
+fn:
+	li a0, 77
+	ret
+`)
+	if res.ExitCode != 77 {
+		t.Errorf("exit = %d, want 77", res.ExitCode)
+	}
+}
+
+func TestRdcycleMonotonic(t *testing.T) {
+	res := run(t, `
+main:
+	rdcycle t0
+	nop
+	nop
+	rdcycle t1
+	sltu a0, t0, t1
+	halt a0
+`)
+	if res.ExitCode != 1 {
+		t.Errorf("rdcycle not monotonic")
+	}
+}
+
+func TestValidateCatchesHintErrors(t *testing.T) {
+	p := MustAssemble("t.s", "main:\n\tnop\n\thalt zero\n")
+	p.Hints[p.Entry] = isa.BranchHint{} // nop is not a branch
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted hint on non-branch")
+	}
+}
+
+func TestDottedLocalLabels(t *testing.T) {
+	res := run(t, `
+main:
+	li a0, 0
+.Lloop:
+	addi a0, a0, 1
+	li t0, 4
+	blt a0, t0, .Lloop
+	halt a0
+`)
+	if res.ExitCode != 4 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestLi64BitEdges(t *testing.T) {
+	cases := []struct {
+		lit  string
+		want uint64
+	}{
+		{"0x7fffffffffffffff", 0x7fffffffffffffff},
+		{"-0x8000000000000000", 0x8000000000000000},
+		{"0x123456789abcdef0", 0x123456789abcdef0},
+		{"-1", 0xffffffffffffffff},
+		{"2147483647", 0x7fffffff},
+		{"-2147483648", 0xffffffff80000000},
+		{"4294967296", 1 << 32},
+	}
+	for _, c := range cases {
+		res := run(t, "main:\n\tli a0, "+c.lit+"\n\thalt a0\n")
+		if res.ExitCode != c.want {
+			t.Errorf("li %s = %#x, want %#x", c.lit, res.ExitCode, c.want)
+		}
+	}
+}
+
+func TestNegativeDataValues(t *testing.T) {
+	res := run(t, `
+main:
+	ld a0, v
+	halt a0
+	.data
+v:	.quad -5
+`)
+	if int64(res.ExitCode) != -5 {
+		t.Errorf("got %d", int64(res.ExitCode))
+	}
+}
+
+func TestListingShowsHints(t *testing.T) {
+	p := MustAssemble("t.s", `
+main:
+	beq a0, zero, done
+	addi t0, t0, 1
+done:	halt zero
+`)
+	p.Hints[p.Symbols["main"]] = isa.BranchHint{
+		ReconvPC: p.Symbols["done"],
+		WriteSet: isa.RegMask(0).Set(isa.RegT0),
+	}
+	l := Listing(p)
+	if !strings.Contains(l, "reconv=") || !strings.Contains(l, "{t0}") {
+		t.Errorf("listing missing hint annotations:\n%s", l)
+	}
+}
+
+func TestCharLiteralOperands(t *testing.T) {
+	res := run(t, `
+main:
+	li a0, 'A'
+	li a1, '\n'
+	li a2, '\''
+	add a0, a0, a1
+	add a0, a0, a2
+	halt a0
+`)
+	if res.ExitCode != 'A'+'\n'+'\'' {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}

@@ -1,0 +1,234 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// expr is an unresolved immediate expression: a sum of terms, each a literal,
+// a character constant or a symbol reference, with an optional sign.
+type expr interface {
+	eval(a *assembler) (int64, error)
+}
+
+type litExpr int64
+
+func (e litExpr) eval(*assembler) (int64, error) { return int64(e), nil }
+
+type symExpr struct {
+	name string
+}
+
+func (e symExpr) eval(a *assembler) (int64, error) {
+	sv, ok := a.symbols[e.name]
+	if !ok {
+		return 0, a.errf("undefined symbol %q", e.name)
+	}
+	return sv.val, nil
+}
+
+type sumExpr struct {
+	terms []expr
+	signs []int // +1 or -1, parallel to terms
+}
+
+func (e sumExpr) eval(a *assembler) (int64, error) {
+	var total int64
+	for i, t := range e.terms {
+		v, err := t.eval(a)
+		if err != nil {
+			return 0, err
+		}
+		total += int64(e.signs[i]) * v
+	}
+	return total, nil
+}
+
+// parseExpr parses "term ((+|-) term)*" where term is an integer literal
+// (decimal, 0x hex, 0b binary, 0o octal), a character literal, or a symbol.
+func (a *assembler) parseExpr(s string) (expr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, a.errf("empty expression")
+	}
+	var sum sumExpr
+	sign := +1
+	i := 0
+	expectTerm := true
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case expectTerm && (c == '+' || c == '-'):
+			if c == '-' {
+				sign = -sign
+			}
+			i++
+		case !expectTerm && (c == '+' || c == '-'):
+			sign = +1
+			if c == '-' {
+				sign = -1
+			}
+			expectTerm = true
+			i++
+		case !expectTerm:
+			return nil, a.errf("unexpected %q in expression %q", string(c), s)
+		case c == '\'':
+			end := i + 1
+			var val int64
+			if end < len(s) && s[end] == '\\' {
+				if end+1 >= len(s) {
+					return nil, a.errf("unterminated character literal in %q", s)
+				}
+				r, err := unescapeChar(s[end+1])
+				if err != nil {
+					return nil, a.errf("%v in %q", err, s)
+				}
+				val = int64(r)
+				end += 2
+			} else if end < len(s) {
+				val = int64(s[end])
+				end++
+			}
+			if end >= len(s) || s[end] != '\'' {
+				return nil, a.errf("unterminated character literal in %q", s)
+			}
+			sum.terms = append(sum.terms, litExpr(val))
+			sum.signs = append(sum.signs, sign)
+			sign = +1
+			expectTerm = false
+			i = end + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && isNumChar(s[j]) {
+				j++
+			}
+			v, err := strconv.ParseInt(s[i:j], 0, 64)
+			if err != nil {
+				// Retry as unsigned for values like 0xffffffffffffffff.
+				u, uerr := strconv.ParseUint(s[i:j], 0, 64)
+				if uerr != nil {
+					return nil, a.errf("bad integer literal %q", s[i:j])
+				}
+				v = int64(u)
+			}
+			sum.terms = append(sum.terms, litExpr(v))
+			sum.signs = append(sum.signs, sign)
+			sign = +1
+			expectTerm = false
+			i = j
+		default:
+			j := i
+			for j < len(s) && isIdentChar(s[j]) {
+				j++
+			}
+			if j == i {
+				return nil, a.errf("unexpected %q in expression %q", string(c), s)
+			}
+			sum.terms = append(sum.terms, symExpr{name: s[i:j]})
+			sum.signs = append(sum.signs, sign)
+			sign = +1
+			expectTerm = false
+			i = j
+		}
+	}
+	if expectTerm {
+		return nil, a.errf("expression %q ends with operator", s)
+	}
+	if len(sum.terms) == 1 && sum.signs[0] == 1 {
+		return sum.terms[0], nil
+	}
+	return sum, nil
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' ||
+		c == 'x' || c == 'X' || c == 'o' || c == 'O' || c == 'b' || c == 'B'
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}
+
+// constExpr evaluates e immediately if it contains no symbols.
+// ok is false if symbols are present.
+func constValue(e expr) (int64, bool) {
+	switch t := e.(type) {
+	case litExpr:
+		return int64(t), true
+	case sumExpr:
+		var total int64
+		for i, term := range t.terms {
+			v, ok := constValue(term)
+			if !ok {
+				return 0, false
+			}
+			total += int64(t.signs[i]) * v
+		}
+		return total, true
+	default:
+		return 0, false
+	}
+}
+
+func unescapeChar(c byte) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	default:
+		return 0, fmt.Errorf("unknown escape \\%c", c)
+	}
+}
+
+// parseString parses a double-quoted string literal with escapes.
+func (a *assembler) parseString(s string) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return nil, a.errf("expected string literal, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var out []byte
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, a.errf("trailing backslash in string")
+		}
+		if body[i] == 'x' {
+			if i+2 >= len(body) {
+				return nil, a.errf("truncated \\x escape")
+			}
+			v, err := strconv.ParseUint(body[i+1:i+3], 16, 8)
+			if err != nil {
+				return nil, a.errf("bad \\x escape: %v", err)
+			}
+			out = append(out, byte(v))
+			i += 2
+			continue
+		}
+		b, err := unescapeChar(body[i])
+		if err != nil {
+			return nil, a.errf("%v", err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

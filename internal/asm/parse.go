@@ -1,0 +1,555 @@
+package asm
+
+import (
+	"strings"
+
+	"levioso/internal/isa"
+)
+
+// directive handles a line beginning with '.'.
+func (a *assembler) directive(line string) error {
+	name, rest := splitWord(line)
+	switch name {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".global", ".globl":
+		// All symbols are global; accepted for source compatibility.
+	case ".equ", ".set":
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return a.errf("%s wants name, value", name)
+		}
+		if !isIdent(parts[0]) {
+			return a.errf("%s: bad name %q", name, parts[0])
+		}
+		e, err := a.parseExpr(parts[1])
+		if err != nil {
+			return err
+		}
+		// .equ values may reference earlier .equ symbols but not labels
+		// (addresses of later code are unknown in pass 1).
+		v, err := e.eval(a)
+		if err != nil {
+			return err
+		}
+		return a.define(parts[0], v)
+	case ".align":
+		e, err := a.parseExpr(rest)
+		if err != nil {
+			return err
+		}
+		n, ok := constValue(e)
+		if !ok || n <= 0 || n&(n-1) != 0 {
+			return a.errf(".align wants a positive power of two, got %q", rest)
+		}
+		if !a.inData {
+			return a.errf(".align is only supported in .data")
+		}
+		for int64(len(a.data))%n != 0 {
+			a.data = append(a.data, 0)
+		}
+	case ".byte", ".half", ".word", ".quad":
+		if !a.inData {
+			return a.errf("%s outside .data", name)
+		}
+		size := map[string]int{".byte": 1, ".half": 2, ".word": 4, ".quad": 8}[name]
+		for _, part := range splitOperands(rest) {
+			e, err := a.parseExpr(part)
+			if err != nil {
+				return err
+			}
+			off := len(a.data)
+			for i := 0; i < size; i++ {
+				a.data = append(a.data, 0)
+			}
+			a.patches = append(a.patches, dataPatch{off: off, size: size, e: e, line: a.line})
+		}
+	case ".space", ".zero":
+		if !a.inData {
+			return a.errf("%s outside .data", name)
+		}
+		e, err := a.parseExpr(rest)
+		if err != nil {
+			return err
+		}
+		n, ok := constValue(e)
+		if !ok || n < 0 {
+			return a.errf("%s wants a non-negative constant", name)
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".ascii", ".asciz":
+		if !a.inData {
+			return a.errf("%s outside .data", name)
+		}
+		b, err := a.parseString(rest)
+		if err != nil {
+			return err
+		}
+		a.data = append(a.data, b...)
+		if name == ".asciz" {
+			a.data = append(a.data, 0)
+		}
+	default:
+		return a.errf("unknown directive %q", name)
+	}
+	return nil
+}
+
+// instruction parses one instruction (real or pseudo) and emits its
+// expansion.
+func (a *assembler) instruction(line string) error {
+	mnem, rest := splitWord(line)
+	ops := splitOperands(rest)
+	src := line
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "nop":
+		return a.want(ops, 0, func() error {
+			a.emit(isa.Inst{Op: isa.ADDI}, nil, false, false, src)
+			return nil
+		})
+	case "li", "la":
+		if len(ops) != 2 {
+			return a.errf("%s wants rd, value", mnem)
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		e, err := a.parseExpr(ops[1])
+		if err != nil {
+			return err
+		}
+		if v, ok := constValue(e); ok && (v < -1<<31 || v > 1<<31-1) {
+			// Two-instruction form covers 44-bit values:
+			//   lui rd, hi ; addi rd, rd, lo   with v = hi<<12 + lo.
+			lo12 := v & 0xfff
+			if lo12 >= 1<<11 {
+				lo12 -= 1 << 12
+			}
+			if hi := (v - lo12) >> 12; hi >= -1<<31 && hi <= 1<<31-1 {
+				a.emit(isa.Inst{Op: isa.LUI, Rd: rd, Imm: hi}, nil, false, false, src)
+				a.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: lo12}, nil, false, false, src)
+				return nil
+			}
+			// General 64-bit form, three instructions:
+			//   addi rd, zero, hi32 ; slli rd, rd, 32 ; addi rd, rd, lo32
+			// where lo32 is the sign-extended low half and hi32 is computed
+			// modulo 2^32 (the shift makes wraparound harmless).
+			lo := int64(int32(uint32(uint64(v))))
+			hi := int64(int32(uint32(uint64(v-lo) >> 32)))
+			a.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: isa.RegZero, Imm: hi}, nil, false, false, src)
+			a.emit(isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rd, Imm: 32}, nil, false, false, src)
+			a.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: lo}, nil, false, false, src)
+			return nil
+		}
+		a.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: isa.RegZero}, e, false, false, src)
+		return nil
+	case "mv":
+		return a.rr(ops, src, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs}
+		})
+	case "not":
+		return a.rr(ops, src, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.XORI, Rd: rd, Rs1: rs, Imm: -1}
+		})
+	case "neg":
+		return a.rr(ops, src, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SUB, Rd: rd, Rs1: isa.RegZero, Rs2: rs}
+		})
+	case "seqz":
+		return a.rr(ops, src, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SLTIU, Rd: rd, Rs1: rs, Imm: 1}
+		})
+	case "snez":
+		return a.rr(ops, src, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SLTU, Rd: rd, Rs1: isa.RegZero, Rs2: rs}
+		})
+	case "j":
+		if len(ops) != 1 {
+			return a.errf("j wants a target")
+		}
+		e, err := a.parseExpr(ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.JAL, Rd: isa.RegZero}, e, true, false, src)
+		return nil
+	case "call":
+		if len(ops) != 1 {
+			return a.errf("call wants a target")
+		}
+		e, err := a.parseExpr(ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.JAL, Rd: isa.RegRA}, e, true, false, src)
+		return nil
+	case "jr":
+		if len(ops) != 1 {
+			return a.errf("jr wants a register")
+		}
+		rs, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.JALR, Rd: isa.RegZero, Rs1: rs}, nil, false, false, src)
+		return nil
+	case "ret":
+		return a.want(ops, 0, func() error {
+			a.emit(isa.Inst{Op: isa.JALR, Rd: isa.RegZero, Rs1: isa.RegRA}, nil, false, false, src)
+			return nil
+		})
+	case "beqz", "bnez", "bltz", "bgez", "blez", "bgtz":
+		if len(ops) != 2 {
+			return a.errf("%s wants rs, target", mnem)
+		}
+		rs, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		e, err := a.parseExpr(ops[1])
+		if err != nil {
+			return err
+		}
+		var in isa.Inst
+		switch mnem {
+		case "beqz":
+			in = isa.Inst{Op: isa.BEQ, Rs1: rs, Rs2: isa.RegZero}
+		case "bnez":
+			in = isa.Inst{Op: isa.BNE, Rs1: rs, Rs2: isa.RegZero}
+		case "bltz":
+			in = isa.Inst{Op: isa.BLT, Rs1: rs, Rs2: isa.RegZero}
+		case "bgez":
+			in = isa.Inst{Op: isa.BGE, Rs1: rs, Rs2: isa.RegZero}
+		case "blez": // rs <= 0  <=>  0 >= rs
+			in = isa.Inst{Op: isa.BGE, Rs1: isa.RegZero, Rs2: rs}
+		case "bgtz": // rs > 0  <=>  0 < rs
+			in = isa.Inst{Op: isa.BLT, Rs1: isa.RegZero, Rs2: rs}
+		}
+		a.emit(in, e, true, false, src)
+		return nil
+	case "ble", "bgt", "bleu", "bgtu":
+		if len(ops) != 3 {
+			return a.errf("%s wants rs1, rs2, target", mnem)
+		}
+		r1, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		r2, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		e, err := a.parseExpr(ops[2])
+		if err != nil {
+			return err
+		}
+		var in isa.Inst
+		switch mnem {
+		case "ble": // a <= b  <=>  b >= a
+			in = isa.Inst{Op: isa.BGE, Rs1: r2, Rs2: r1}
+		case "bgt": // a > b  <=>  b < a
+			in = isa.Inst{Op: isa.BLT, Rs1: r2, Rs2: r1}
+		case "bleu":
+			in = isa.Inst{Op: isa.BGEU, Rs1: r2, Rs2: r1}
+		case "bgtu":
+			in = isa.Inst{Op: isa.BLTU, Rs1: r2, Rs2: r1}
+		}
+		a.emit(in, e, true, false, src)
+		return nil
+	case "halt":
+		if len(ops) == 0 {
+			a.emit(isa.Inst{Op: isa.HALT}, nil, false, false, src)
+			return nil
+		}
+		rs, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.HALT, Rs1: rs}, nil, false, false, src)
+		return nil
+	}
+
+	op, ok := isa.OpByName(mnem)
+	if !ok {
+		return a.errf("unknown instruction %q", mnem)
+	}
+	return a.concrete(op, ops, src)
+}
+
+// concrete parses a real (non-pseudo) instruction's operands based on its
+// opcode shape.
+func (a *assembler) concrete(op isa.Op, ops []string, src string) error {
+	emit := func(in isa.Inst, e expr, pcrel bool) {
+		a.emit(in, e, pcrel, false, src)
+	}
+	switch {
+	case op.IsLoad(), op == isa.JALR:
+		// op rd, imm(rs1)  |  op rd, sym  (rs1=zero)
+		if len(ops) != 2 {
+			return a.errf("%s wants rd, addr", op)
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, e, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1}, e, false)
+		return nil
+	case op.IsStore():
+		// op rs2, imm(rs1)
+		if len(ops) != 2 {
+			return a.errf("%s wants rs2, addr", op)
+		}
+		rs2, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, e, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2}, e, false)
+		return nil
+	case op == isa.CFLUSH:
+		if len(ops) != 1 {
+			return a.errf("cflush wants addr")
+		}
+		rs1, e, err := a.memOperand(ops[0])
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: op, Rs1: rs1}, e, false)
+		return nil
+	case op.IsBranch():
+		if len(ops) != 3 {
+			return a.errf("%s wants rs1, rs2, target", op)
+		}
+		r1, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		r2, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		e, err := a.parseExpr(ops[2])
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: op, Rs1: r1, Rs2: r2}, e, true)
+		return nil
+	case op == isa.JAL:
+		// jal rd, target | jal target (rd=ra)
+		var rd isa.Reg
+		var targetOp string
+		switch len(ops) {
+		case 1:
+			rd, targetOp = isa.RegRA, ops[0]
+		case 2:
+			r, err := a.reg(ops[0])
+			if err != nil {
+				return err
+			}
+			rd, targetOp = r, ops[1]
+		default:
+			return a.errf("jal wants [rd,] target")
+		}
+		e, err := a.parseExpr(targetOp)
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: op, Rd: rd}, e, true)
+		return nil
+	case op == isa.LUI:
+		if len(ops) != 2 {
+			return a.errf("lui wants rd, imm")
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		e, err := a.parseExpr(ops[1])
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: op, Rd: rd}, e, false)
+		return nil
+	case op == isa.FENCE:
+		return a.want(ops, 0, func() error {
+			emit(isa.Inst{Op: op}, nil, false)
+			return nil
+		})
+	case op == isa.RDCYCLE:
+		if len(ops) != 1 {
+			return a.errf("rdcycle wants rd")
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: op, Rd: rd}, nil, false)
+		return nil
+	case op == isa.HALT, op == isa.PUTC, op == isa.PUTI:
+		if len(ops) != 1 {
+			return a.errf("%s wants rs", op)
+		}
+		rs, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: op, Rs1: rs}, nil, false)
+		return nil
+	case op.HasRd() && op.HasRs1() && op.HasRs2():
+		if len(ops) != 3 {
+			return a.errf("%s wants rd, rs1, rs2", op)
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		r1, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		r2, err := a.reg(ops[2])
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: op, Rd: rd, Rs1: r1, Rs2: r2}, nil, false)
+		return nil
+	case op.HasRd() && op.HasRs1() && op.HasImm():
+		if len(ops) != 3 {
+			return a.errf("%s wants rd, rs1, imm", op)
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		r1, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		e, err := a.parseExpr(ops[2])
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: op, Rd: rd, Rs1: r1}, e, false)
+		return nil
+	default:
+		return a.errf("cannot parse operands for %s", op)
+	}
+}
+
+func (a *assembler) want(ops []string, n int, f func() error) error {
+	if len(ops) != n {
+		return a.errf("wrong operand count: got %d, want %d", len(ops), n)
+	}
+	return f()
+}
+
+// rr emits a two-register pseudo expansion.
+func (a *assembler) rr(ops []string, src string, f func(rd, rs isa.Reg) isa.Inst) error {
+	if len(ops) != 2 {
+		return a.errf("wants rd, rs")
+	}
+	rd, err := a.reg(ops[0])
+	if err != nil {
+		return err
+	}
+	rs, err := a.reg(ops[1])
+	if err != nil {
+		return err
+	}
+	a.emit(f(rd, rs), nil, false, false, src)
+	return nil
+}
+
+func (a *assembler) reg(s string) (isa.Reg, error) {
+	r, ok := isa.RegByName(strings.TrimSpace(s))
+	if !ok {
+		return 0, a.errf("bad register %q", s)
+	}
+	return r, nil
+}
+
+// memOperand parses "imm(reg)", "(reg)", "sym(reg)" or a bare
+// expression (base register zero).
+func (a *assembler) memOperand(s string) (isa.Reg, expr, error) {
+	s = strings.TrimSpace(s)
+	open := strings.LastIndexByte(s, '(')
+	if open < 0 {
+		e, err := a.parseExpr(s)
+		return isa.RegZero, e, err
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, nil, a.errf("bad memory operand %q", s)
+	}
+	r, err := a.reg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, nil, err
+	}
+	if open == 0 {
+		return r, litExpr(0), nil
+	}
+	e, err := a.parseExpr(s[:open])
+	return r, e, err
+}
+
+func splitWord(s string) (word, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+// splitOperands splits on commas that are outside quotes and parentheses.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr := false
+	inChar := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inStr:
+			if s[i] == '\\' {
+				i++
+			} else if s[i] == '"' {
+				inStr = false
+			}
+		case inChar:
+			if s[i] == '\\' {
+				i++
+			} else if s[i] == '\'' {
+				inChar = false
+			}
+		case s[i] == '"':
+			inStr = true
+		case s[i] == '\'':
+			inChar = true
+		case s[i] == '(':
+			depth++
+		case s[i] == ')':
+			depth--
+		case s[i] == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

@@ -1,0 +1,73 @@
+package attack
+
+import (
+	"testing"
+
+	"levioso/internal/secure"
+)
+
+// The headline security table: unsafe leaks all three attacks; every
+// comprehensive defense blocks all three; sandbox-only taint tracking blocks
+// the V1 variants but not CT; the ctrl-only ablation blocks the
+// control-dependent gadgets but leaks the data-dependence variant.
+func TestSecurityMatrix(t *testing.T) {
+	outcomes, err := Run([]string{"unsafe", "fence", "delay", "invisible", "taint", "levioso", "levioso-ctrl", "levioso-ghost"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		t.Logf("%-12s V1 %d/%d  CTD %d/%d  CT %d/%d", o.Policy,
+			o.V1Correct, o.V1Trials, o.CTDCorrect, o.CTDTrials, o.CTCorrect, o.CTTrials)
+		switch o.Policy {
+		case "unsafe":
+			if !o.V1Leaks() || !o.CTDLeaks() || !o.CTLeaks() {
+				t.Errorf("unsafe should leak all: %+v", o)
+			}
+			if o.V1Correct != o.V1Trials || o.CTCorrect != o.CTTrials {
+				t.Errorf("unsafe attack unreliable: %+v", o)
+			}
+		case "taint":
+			if o.V1Leaks() {
+				t.Errorf("taint should block V1 (speculative secret): %+v", o)
+			}
+			if !o.CTLeaks() || !o.CTDLeaks() {
+				t.Errorf("taint should NOT block non-speculative-secret attacks: %+v", o)
+			}
+		case "levioso-ctrl":
+			if o.V1Leaks() || o.CTLeaks() {
+				t.Errorf("ctrl-only should still block control-dependent gadgets: %+v", o)
+			}
+			if !o.CTDLeaks() {
+				t.Errorf("ctrl-only should LEAK the data-dependence variant (that is the ablation's point): %+v", o)
+			}
+		default:
+			if o.V1Leaks() || o.CTDLeaks() || o.CTLeaks() {
+				t.Errorf("%s should block all attacks: %+v", o.Policy, o)
+			}
+		}
+	}
+}
+
+// Cross-check with the cache model directly: after the transient window the
+// secret-indexed oracle line must be resident under unsafe and absent under
+// every defense.
+func TestOracleLineResidency(t *testing.T) {
+	for _, pol := range secure.EvalNames() {
+		resident, err := OracleLineResident(pol, 0x5a)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		want := pol == "unsafe"
+		if resident != want {
+			t.Errorf("%s: oracle line resident=%v, want %v", pol, resident, want)
+		}
+	}
+}
+
+func TestDefaultSecretsNonZero(t *testing.T) {
+	for _, s := range DefaultSecrets {
+		if s == 0 {
+			t.Error("secret 0 is indistinguishable from a blocked probe")
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package attack
+
+// The attack programs, in LEV64 assembly. %SECRET% is substituted with the
+// secret byte value before assembly. Shared conventions:
+//
+//   - probebuf is the 256-line flush+reload oracle (64 bytes per line).
+//   - probe_best times a load from each line (fence/rdcycle bracketed) and
+//     returns the index of the uniquely fastest one, or 0 if none stands out.
+//   - flush_probe evicts the whole oracle.
+//
+// The victims never architecturally transmit the secret: ref-interpreter runs
+// of these programs print a guess that cannot equal the secret (the reference
+// model has no cache), which the tests use as a sanity check.
+
+// Common tail: oracle flush + timing probe, shared by both attacks.
+const probeTail = `
+# --- flush_probe: evict every oracle line ---------------------------------
+flush_probe:
+	la t0, probebuf
+	li t1, 0
+fp_loop:
+	slli t2, t1, 6
+	add t3, t0, t2
+	cflush 0(t3)
+	addi t1, t1, 1
+	li t4, 256
+	blt t1, t4, fp_loop
+	fence
+	ret
+
+# --- probe_best: flush+reload receiver ------------------------------------
+# Returns a0 = index of the fastest oracle line (the leaked byte), or 0 when
+# every line misses (nothing was leaked). s-registers used freely: called
+# only from main's top level.
+probe_best:
+	la s1, probebuf
+	li s2, 0              # candidate index
+	li s3, 99999999       # best latency
+	li s4, 0              # best index
+pb_loop:
+	slli t0, s2, 6
+	add t1, s1, t0
+	fence
+	rdcycle s5
+	lbu t2, 0(t1)
+	add t6, t2, zero      # consume the value
+	fence
+	rdcycle s6
+	sub t3, s6, s5
+	bge t3, s3, pb_skip
+	mv s3, t3
+	mv s4, s2
+pb_skip:
+	addi s2, s2, 1
+	li t4, 256
+	blt s2, t4, pb_loop
+	# Reject a "fastest" line that is not actually fast (threshold: an L2
+	# hit costs ~14 cycles; an L1 hit ~2): if best latency exceeds the
+	# threshold the probe saw only misses and the guess is noise.
+	li t5, 12
+	blt s3, t5, pb_have
+	li s4, 0
+pb_have:
+	mv a0, s4
+	ret
+`
+
+// spectreV1Src is the bounds-check-bypass attack (sandbox threat model).
+const spectreV1Src = `
+main:
+	# Victim touches its own secret once, non-transmittingly (warms the
+	# line so the transient gadget's first load is fast).
+	la t0, secret
+	lbu t1, 0(t0)
+	fence
+
+	# Train the bounds check: 24 in-bounds calls.
+	li s0, 0
+train:
+	andi a0, s0, 7
+	call victim
+	addi s0, s0, 1
+	li t0, 24
+	blt s0, t0, train
+
+	# Evict the oracle and the bound (the bound miss opens the window).
+	call flush_probe
+	la t0, bound
+	cflush 0(t0)
+	fence
+
+	# One malicious call: idx = &secret - &array1.
+	la t0, secret
+	la t1, array1
+	sub a0, t0, t1
+	call victim
+	fence
+
+	call probe_best
+	puti a0
+	halt a0
+
+# --- victim: if (idx < bound) y = probebuf[array1[idx] * 64] --------------
+victim:
+	la t0, bound
+	ld t1, 0(t0)
+	bge a0, t1, v_done    # bounds check (trained not-taken)
+	la t2, array1
+	add t2, t2, a0
+	lbu t3, 0(t2)         # reads the secret when idx is malicious
+	slli t3, t3, 6
+	la t4, probebuf
+	add t4, t4, t3
+	lbu t5, 0(t4)         # transmit: fills a secret-indexed line
+v_done:
+	ret
+` + probeTail + `
+	.data
+array1:	.byte 1, 2, 3, 4, 5, 6, 7, 0
+	.align 64
+bound:	.quad 8
+	.align 64
+secret:	.byte %SECRET%
+	.align 64
+probebuf:
+	.space 16384
+`
+
+// spectreCTSrc is the constant-time-bypass attack (non-speculative secret).
+//
+// Phase A (public mode): mode=1, the "dump" path runs architecturally with a
+// PUBLIC value in the dump register — this is what trains the branch.
+// Phase B (secret mode): the secret is loaded into the register
+// non-speculatively (no older unresolved branches — fenced), mode is cleared
+// and flushed. The trained branch transiently steers execution into the dump
+// path with the SECRET in the register.
+const spectreCTSrc = `
+main:
+	# Phase A: train with public data.
+	li s9, 0              # dump register: public value
+	li t0, 1
+	la t1, mode
+	sd t0, 0(t1)          # mode = 1 (dump enabled)
+	li s0, 0
+ct_train:
+	call victim_ct
+	addi s0, s0, 1
+	li t0, 24
+	blt s0, t0, ct_train
+
+	# Phase B: enter secret mode.
+	la t1, mode
+	sd zero, 0(t1)        # mode = 0 (dump architecturally dead)
+	fence
+	la t0, secret
+	lbu s9, 0(t0)         # the secret: loaded NON-speculatively
+	fence
+
+	call flush_probe
+	la t1, mode
+	cflush 0(t1)          # the guard load will resolve late
+	fence
+
+	call victim_ct        # transient dump of the secret register
+	fence
+
+	call probe_best
+	puti a0
+	halt a0
+
+# --- victim_ct: if (mode) dump(s9) ----------------------------------------
+victim_ct:
+	la t0, mode
+	ld t1, 0(t0)          # guard (flushed in secret mode)
+	beqz t1, ct_done      # trained: not taken (mode was 1)
+	slli t2, s9, 6        # dump path: transmit the register
+	la t3, probebuf
+	add t3, t3, t2
+	lbu t4, 0(t3)
+ct_done:
+	ret
+` + probeTail + `
+	.data
+mode:	.quad 0
+	.align 64
+secret:	.byte %SECRET%
+	.align 64
+probebuf:
+	.space 16384
+`
+
+// spectreCTDataSrc is the data-dependence variant in the constant-time
+// threat model: the secret sits in a register (loaded non-speculatively,
+// untainted for STT-style tracking), a transient branch region copies it
+// through plain ALU instructions — which no policy gates — and the
+// transmitting load sits AFTER the reconvergence point, so it is
+// control-independent of the mispredicted branch. Only tracking the *data*
+// flow out of the region stops it:
+//
+//	unsafe        -> leaks
+//	taint         -> leaks (secret is non-speculative, never tainted)
+//	levioso-ctrl  -> leaks (transmitter is past the reconvergence point)
+//	levioso       -> blocked (region write set seeds the dependency mask)
+//	fence/delay/invisible -> blocked (transmitter is under an unresolved branch)
+const spectreCTDataSrc = `
+main:
+	# Phase A: train with a public value in the dump register.
+	li s9, 0
+	li t0, 1
+	la t1, mode
+	sd t0, 0(t1)
+	li s0, 0
+ctd_train:
+	call victim_ctd
+	addi s0, s0, 1
+	li t0, 24
+	blt s0, t0, ctd_train
+
+	# Phase B: secret mode.
+	la t1, mode
+	sd zero, 0(t1)
+	fence
+	la t0, secret
+	lbu s9, 0(t0)         # non-speculative secret load (never tainted)
+	fence
+
+	call flush_probe
+	la t1, mode
+	cflush 0(t1)
+	fence
+
+	call victim_ctd
+	fence
+
+	call probe_best
+	puti a0
+	halt a0
+
+# --- victim_ctd: t3 = mode ? s9 : 255;  y = probebuf[t3*64] ---------------
+victim_ctd:
+	la t0, mode
+	ld t1, 0(t0)          # guard (flushed in secret mode)
+	beqz t1, ctd_else     # trained: not taken (mode was 1)
+	mv t3, s9             # ALU copy inside the region: no policy gates this
+	j ctd_join
+ctd_else:
+	li t3, 255            # architectural-path sentinel line
+ctd_join:                     # reconvergence: control-independent from here
+	slli t3, t3, 6
+	la t4, probebuf
+	add t4, t4, t3
+	lbu t5, 0(t4)         # transmitter, data-dependent on the region
+	ret
+` + probeTail + `
+	.data
+mode:	.quad 0
+	.align 64
+secret:	.byte %SECRET%
+	.align 64
+probebuf:
+	.space 16384
+`
+
+// spectreV1NoProbeSrc is Spectre-V1 with the receiver removed: it halts right
+// after the transient window so tests can inspect the cache model directly.
+const spectreV1NoProbeSrc = `
+main:
+	la t0, secret
+	lbu t1, 0(t0)
+	fence
+	li s0, 0
+train:
+	andi a0, s0, 7
+	call victim
+	addi s0, s0, 1
+	li t0, 24
+	blt s0, t0, train
+	call flush_probe
+	la t0, bound
+	cflush 0(t0)
+	fence
+	la t0, secret
+	la t1, array1
+	sub a0, t0, t1
+	call victim
+	fence
+	li a0, 0
+	puti a0
+	halt a0
+
+victim:
+	la t0, bound
+	ld t1, 0(t0)
+	bge a0, t1, v_done
+	la t2, array1
+	add t2, t2, a0
+	lbu t3, 0(t2)
+	slli t3, t3, 6
+	la t4, probebuf
+	add t4, t4, t3
+	lbu t5, 0(t4)
+v_done:
+	ret
+
+flush_probe:
+	la t0, probebuf
+	li t1, 0
+fp_loop:
+	slli t2, t1, 6
+	add t3, t0, t2
+	cflush 0(t3)
+	addi t1, t1, 1
+	li t4, 256
+	blt t1, t4, fp_loop
+	fence
+	ret
+
+	.data
+array1:	.byte 1, 2, 3, 4, 5, 6, 7, 0
+	.align 64
+bound:	.quad 8
+	.align 64
+secret:	.byte %SECRET%
+	.align 64
+probebuf:
+	.space 16384
+`

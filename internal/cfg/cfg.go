@@ -1,0 +1,266 @@
+// Package cfg builds control-flow graphs over LEV64 program text and provides
+// the dominance and control-dependence analyses the Levioso compiler pass
+// (internal/core) is built on.
+//
+// The graph is constructed at the binary level, directly from decoded
+// instructions, so the same analysis applies to LevC compiler output and to
+// hand-written assembly. Analysis is intraprocedural: JAL with a link
+// register is treated as a call that falls through (the callee is summarized
+// by the ABI), JALR through ra is a return, and any other indirect jump is
+// treated as an unknown exit, forcing conservative results for branches whose
+// region could reach it.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"levioso/internal/isa"
+)
+
+// TermKind classifies how a basic block ends.
+type TermKind uint8
+
+const (
+	TermFall     TermKind = iota // falls through to the next block
+	TermBranch                   // conditional branch: taken + fallthrough succs
+	TermJump                     // unconditional JAL with rd=zero
+	TermCall                     // JAL with a link register: falls through, callee noted
+	TermReturn                   // JALR through ra (or any JALR with rd=zero reading ra)
+	TermIndirect                 // JALR with unknown target: unknown exit
+	TermHalt                     // HALT
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case TermFall:
+		return "fall"
+	case TermBranch:
+		return "branch"
+	case TermJump:
+		return "jump"
+	case TermCall:
+		return "call"
+	case TermReturn:
+		return "return"
+	case TermIndirect:
+		return "indirect"
+	case TermHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("term(%d)", uint8(k))
+	}
+}
+
+// Block is a basic block: instructions [Start, End) by index into the
+// program text.
+type Block struct {
+	ID         int
+	Start, End int   // instruction index range
+	Succs      []int // successor block IDs (intra-procedural edges only)
+	Preds      []int // predecessor block IDs
+	Term       TermKind
+	CallTarget int // entry block of the callee for TermCall, -1 otherwise
+}
+
+// Graph is the whole-text control-flow graph.
+type Graph struct {
+	Prog    *isa.Program
+	Blocks  []*Block
+	blockOf []int // instruction index -> block ID
+}
+
+// Build constructs the CFG for prog's entire text segment.
+func Build(prog *isa.Program) (*Graph, error) {
+	n := len(prog.Text)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: empty program")
+	}
+	// Mark leaders: entry, control-flow targets, and instructions after any
+	// terminator (branch, jump, call, return, halt).
+	leader := make([]bool, n)
+	markPC := func(pc uint64) error {
+		i, ok := prog.InstIndex(pc)
+		if !ok {
+			return fmt.Errorf("cfg: control target %#x outside text", pc)
+		}
+		leader[i] = true
+		return nil
+	}
+	leader[0] = true
+	if i, ok := prog.InstIndex(prog.Entry); ok {
+		leader[i] = true
+	}
+	for i, in := range prog.Text {
+		pc := prog.PCOf(i)
+		switch {
+		case in.Op.IsBranch():
+			if err := markPC(in.BranchTarget(pc)); err != nil {
+				return nil, err
+			}
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case in.Op == isa.JAL:
+			if err := markPC(in.BranchTarget(pc)); err != nil {
+				return nil, err
+			}
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case in.Op == isa.JALR, in.Op == isa.HALT:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+	// Carve blocks.
+	g := &Graph{Prog: prog, blockOf: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			b := &Block{ID: len(g.Blocks), Start: start, End: i, CallTarget: -1}
+			g.Blocks = append(g.Blocks, b)
+			for j := start; j < i; j++ {
+				g.blockOf[j] = b.ID
+			}
+			start = i
+		}
+	}
+	// Classify terminators and wire edges.
+	for _, b := range g.Blocks {
+		last := prog.Text[b.End-1]
+		lastPC := prog.PCOf(b.End - 1)
+		switch {
+		case last.Op.IsBranch():
+			b.Term = TermBranch
+			tgt, _ := prog.InstIndex(last.BranchTarget(lastPC))
+			g.addEdge(b.ID, g.blockOf[tgt])
+			if b.End < n {
+				g.addEdge(b.ID, g.blockOf[b.End])
+			}
+		case last.Op == isa.JAL && last.Rd == isa.RegZero:
+			b.Term = TermJump
+			tgt, _ := prog.InstIndex(last.BranchTarget(lastPC))
+			g.addEdge(b.ID, g.blockOf[tgt])
+		case last.Op == isa.JAL:
+			b.Term = TermCall
+			tgt, _ := prog.InstIndex(last.BranchTarget(lastPC))
+			b.CallTarget = g.blockOf[tgt]
+			if b.End < n {
+				g.addEdge(b.ID, g.blockOf[b.End])
+			}
+		case last.Op == isa.JALR:
+			if last.Rd == isa.RegZero && last.Rs1 == isa.RegRA {
+				b.Term = TermReturn
+			} else {
+				b.Term = TermIndirect
+			}
+		case last.Op == isa.HALT:
+			b.Term = TermHalt
+		default:
+			b.Term = TermFall
+			if b.End < n {
+				g.addEdge(b.ID, g.blockOf[b.End])
+			}
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) addEdge(from, to int) {
+	g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+	g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+}
+
+// BlockOf returns the block containing instruction index i.
+func (g *Graph) BlockOf(i int) *Block { return g.Blocks[g.blockOf[i]] }
+
+// NumBlocks returns the number of basic blocks.
+func (g *Graph) NumBlocks() int { return len(g.Blocks) }
+
+// BranchIndices returns the instruction indices of all conditional branches,
+// in program order.
+func (g *Graph) BranchIndices() []int {
+	var out []int
+	for i, in := range g.Prog.Text {
+		if in.Op.IsBranch() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	var b []byte
+	for _, blk := range g.Blocks {
+		b = append(b, fmt.Sprintf("B%d [%d,%d) %s -> %v\n",
+			blk.ID, blk.Start, blk.End, blk.Term, blk.Succs)...)
+	}
+	return string(b)
+}
+
+// Functions partitions the graph into functions. A function entry is the
+// program entry or any call target; its body is every block reachable from
+// the entry following intra-procedural edges (calls fall through, returns
+// stop). Blocks reachable from multiple entries belong to each (rare; e.g.
+// shared tails), which keeps the analysis sound per function.
+func (g *Graph) Functions() []*Func {
+	entrySet := map[int]bool{}
+	if i, ok := g.Prog.InstIndex(g.Prog.Entry); ok {
+		entrySet[g.blockOf[i]] = true
+	}
+	for _, b := range g.Blocks {
+		if b.Term == TermCall && b.CallTarget >= 0 {
+			entrySet[b.CallTarget] = true
+		}
+	}
+	entries := make([]int, 0, len(entrySet))
+	for e := range entrySet {
+		entries = append(entries, e)
+	}
+	sort.Ints(entries)
+
+	var funcs []*Func
+	for _, e := range entries {
+		f := &Func{Graph: g, Entry: e, Member: make(map[int]bool)}
+		var stack []int
+		push := func(id int) {
+			if !f.Member[id] {
+				f.Member[id] = true
+				stack = append(stack, id)
+			}
+		}
+		push(e)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			f.BlockIDs = append(f.BlockIDs, id)
+			for _, s := range g.Blocks[id].Succs {
+				push(s)
+			}
+		}
+		sort.Ints(f.BlockIDs)
+		funcs = append(funcs, f)
+	}
+	return funcs
+}
+
+// Func is one function's view of the graph: the entry block and the set of
+// member blocks reachable from it intra-procedurally.
+type Func struct {
+	Graph    *Graph
+	Entry    int
+	BlockIDs []int
+	Member   map[int]bool
+}
+
+// Name returns the symbol at the function's entry, if any.
+func (f *Func) Name() string {
+	pc := f.Graph.Prog.PCOf(f.Graph.Blocks[f.Entry].Start)
+	if s, ok := f.Graph.Prog.SymbolAt(pc); ok {
+		return s
+	}
+	return fmt.Sprintf("func@%#x", pc)
+}

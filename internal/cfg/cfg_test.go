@@ -1,0 +1,342 @@
+package cfg
+
+import (
+	"testing"
+
+	"levioso/internal/asm"
+	"levioso/internal/isa"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	p, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+// diamond: if/else that reconverges.
+const diamondSrc = `
+main:
+	li t0, 1
+	beq t0, zero, else_
+then_:
+	addi a0, a0, 1
+	j join
+else_:
+	addi a1, a1, 2
+join:
+	addi a2, a2, 3
+	halt a2
+`
+
+func TestDiamondCFG(t *testing.T) {
+	g := build(t, diamondSrc)
+	// Expect 4 blocks: entry(+branch), then, else, join.
+	if g.NumBlocks() != 4 {
+		t.Fatalf("blocks = %d, want 4\n%s", g.NumBlocks(), g)
+	}
+	entry := g.Blocks[0]
+	if entry.Term != TermBranch || len(entry.Succs) != 2 {
+		t.Errorf("entry term = %v succs = %v", entry.Term, entry.Succs)
+	}
+	join := g.BlockOf(mustIdx(t, g.Prog, "join"))
+	if len(join.Preds) != 2 {
+		t.Errorf("join preds = %v", join.Preds)
+	}
+	if join.Term != TermHalt {
+		t.Errorf("join term = %v", join.Term)
+	}
+}
+
+func TestDiamondReconvergence(t *testing.T) {
+	g := build(t, diamondSrc)
+	funcs := g.Functions()
+	if len(funcs) != 1 {
+		t.Fatalf("funcs = %d, want 1", len(funcs))
+	}
+	infos := funcs[0].AnalyzeBranches()
+	if len(infos) != 1 {
+		t.Fatalf("branches = %d, want 1", len(infos))
+	}
+	bi := infos[0]
+	if bi.ReconvPC != g.Prog.Symbols["join"] {
+		t.Errorf("reconv = %#x, want join %#x", bi.ReconvPC, g.Prog.Symbols["join"])
+	}
+	// Region: then_ and else_ blocks; writes a0 and a1 only.
+	if len(bi.Region) != 2 {
+		t.Errorf("region = %v, want 2 blocks", bi.Region)
+	}
+	want := isa.RegMask(0).Set(isa.RegA0).Set(isa.RegA1)
+	if bi.WriteSet != want {
+		t.Errorf("writeset = %s, want %s", bi.WriteSet, want)
+	}
+}
+
+func TestLoopReconvergence(t *testing.T) {
+	g := build(t, `
+main:
+	li t0, 10
+loop:
+	addi t0, t0, -1
+	bnez t0, loop
+exit:
+	halt zero
+`)
+	funcs := g.Functions()
+	infos := funcs[0].AnalyzeBranches()
+	if len(infos) != 1 {
+		t.Fatalf("branches = %d, want 1", len(infos))
+	}
+	bi := infos[0]
+	// Loop back-branch reconverges at the exit block.
+	if bi.ReconvPC != g.Prog.Symbols["exit"] {
+		t.Errorf("reconv = %#x, want exit %#x", bi.ReconvPC, g.Prog.Symbols["exit"])
+	}
+	// Region is the loop body itself (reachable from the taken successor
+	// without passing exit): writes t0.
+	if !bi.WriteSet.Has(isa.RegT0) {
+		t.Errorf("writeset %s missing t0", bi.WriteSet)
+	}
+}
+
+func TestNestedIfReconvergence(t *testing.T) {
+	g := build(t, `
+main:
+	beq a0, zero, outer_else
+	beq a1, zero, inner_else
+	addi t0, t0, 1
+	j inner_join
+inner_else:
+	addi t1, t1, 1
+inner_join:
+	addi t2, t2, 1
+	j outer_join
+outer_else:
+	addi t3, t3, 1
+outer_join:
+	halt zero
+`)
+	funcs := g.Functions()
+	infos := funcs[0].AnalyzeBranches()
+	if len(infos) != 2 {
+		t.Fatalf("branches = %d, want 2", len(infos))
+	}
+	outer, inner := infos[0], infos[1]
+	if outer.ReconvPC != g.Prog.Symbols["outer_join"] {
+		t.Errorf("outer reconv = %#x, want %#x", outer.ReconvPC, g.Prog.Symbols["outer_join"])
+	}
+	if inner.ReconvPC != g.Prog.Symbols["inner_join"] {
+		t.Errorf("inner reconv = %#x, want %#x", inner.ReconvPC, g.Prog.Symbols["inner_join"])
+	}
+	// Outer region includes everything through both arms: t0..t3.
+	for _, r := range []isa.Reg{isa.RegT0, isa.RegT1, isa.RegT2, isa.RegT3} {
+		if !outer.WriteSet.Has(r) {
+			t.Errorf("outer writeset %s missing %s", outer.WriteSet, r)
+		}
+	}
+	// Inner region is just the two arms: t0, t1 but not t2.
+	want := isa.RegMask(0).Set(isa.RegT0).Set(isa.RegT1)
+	if inner.WriteSet != want {
+		t.Errorf("inner writeset = %s, want %s", inner.WriteSet, want)
+	}
+}
+
+func TestCallInRegionUsesABISummary(t *testing.T) {
+	g := build(t, `
+main:
+	beq a0, zero, join
+	call helper
+join:
+	halt zero
+helper:
+	addi s2, s2, 1
+	ret
+`)
+	funcs := g.Functions()
+	// main and helper.
+	if len(funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(funcs))
+	}
+	var mainF *Func
+	for _, f := range funcs {
+		if f.Name() == "main" {
+			mainF = f
+		}
+	}
+	infos := mainF.AnalyzeBranches()
+	if len(infos) != 1 {
+		t.Fatalf("branches = %d", len(infos))
+	}
+	bi := infos[0]
+	if bi.ReconvPC != g.Prog.Symbols["join"] {
+		t.Errorf("reconv = %#x, want join", bi.ReconvPC)
+	}
+	if bi.WriteSet != CallerSavedMask {
+		t.Errorf("writeset = %s, want caller-saved %s", bi.WriteSet, CallerSavedMask)
+	}
+	// Note: s2 written by the callee is callee-saved and correctly absent.
+	if bi.WriteSet.Has(isa.RegS2) {
+		t.Error("callee-saved register leaked into write set")
+	}
+}
+
+func TestBranchOverReturnIsConservative(t *testing.T) {
+	// One arm returns: paths do not reconverge inside the function.
+	g := build(t, `
+main:
+	call f
+	halt a0
+f:
+	beq a0, zero, early
+	addi a0, a0, 1
+	ret
+early:
+	li a0, 0
+	ret
+`)
+	var fFunc *Func
+	for _, fn := range g.Functions() {
+		if fn.Name() == "f" {
+			fFunc = fn
+		}
+	}
+	infos := fFunc.AnalyzeBranches()
+	if len(infos) != 1 {
+		t.Fatalf("branches = %d", len(infos))
+	}
+	if infos[0].ReconvPC != 0 {
+		t.Errorf("reconv = %#x, want 0 (conservative)", infos[0].ReconvPC)
+	}
+	if infos[0].WriteSet != AllRegsMask {
+		t.Errorf("writeset = %s, want all", infos[0].WriteSet)
+	}
+}
+
+func TestIndirectJumpIsConservative(t *testing.T) {
+	g := build(t, `
+main:
+	la t0, tgt
+	beq a0, zero, ind
+	addi a1, a1, 1
+	j done
+ind:
+	jalr t1, 0(t0)   # indirect, statically unknown
+done:
+	halt zero
+tgt:
+	halt zero
+`)
+	funcs := g.Functions()
+	infos := funcs[0].AnalyzeBranches()
+	if len(infos) != 1 {
+		t.Fatalf("branches = %d", len(infos))
+	}
+	if infos[0].ReconvPC != 0 {
+		t.Errorf("reconv = %#x, want 0: one arm ends in an indirect jump", infos[0].ReconvPC)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := build(t, diamondSrc)
+	f := g.Functions()[0]
+	dom := f.Dominators()
+	entry := f.Entry
+	join := g.BlockOf(mustIdx(t, g.Prog, "join")).ID
+	thenB := g.BlockOf(mustIdx(t, g.Prog, "then_")).ID
+	if !dom.Dominates(entry, join) {
+		t.Error("entry should dominate join")
+	}
+	if dom.Dominates(thenB, join) {
+		t.Error("then_ should not dominate join")
+	}
+	if id, ok := dom.Idom(join); !ok || id != entry {
+		t.Errorf("idom(join) = %d, %v; want entry %d", id, ok, entry)
+	}
+	if _, ok := dom.Idom(entry); ok {
+		t.Error("entry has an idom")
+	}
+}
+
+func TestPostDominates(t *testing.T) {
+	g := build(t, diamondSrc)
+	f := g.Functions()[0]
+	pdom := f.PostDominators()
+	entry := f.Entry
+	join := g.BlockOf(mustIdx(t, g.Prog, "join")).ID
+	thenB := g.BlockOf(mustIdx(t, g.Prog, "then_")).ID
+	if !pdom.Dominates(join, entry) {
+		t.Error("join should post-dominate entry")
+	}
+	if pdom.Dominates(thenB, entry) {
+		t.Error("then_ should not post-dominate entry")
+	}
+}
+
+func TestFunctionPartition(t *testing.T) {
+	g := build(t, `
+main:
+	call a
+	call b
+	halt zero
+a:
+	addi t0, t0, 1
+	ret
+b:
+	addi t1, t1, 1
+	ret
+`)
+	funcs := g.Functions()
+	names := map[string]bool{}
+	for _, f := range funcs {
+		names[f.Name()] = true
+	}
+	for _, want := range []string{"main", "a", "b"} {
+		if !names[want] {
+			t.Errorf("missing function %q (got %v)", want, names)
+		}
+	}
+}
+
+func TestInfiniteLoopNoReconv(t *testing.T) {
+	g := build(t, `
+main:
+	beq a0, zero, spin
+	halt zero
+spin:
+	j spin
+`)
+	infos := g.Functions()[0].AnalyzeBranches()
+	if len(infos) != 1 {
+		t.Fatalf("branches = %d", len(infos))
+	}
+	// One arm never terminates: the branch has no real post-dominator.
+	if infos[0].ReconvPC != 0 {
+		t.Errorf("reconv = %#x, want 0", infos[0].ReconvPC)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	p := isa.NewProgram()
+	if _, err := Build(p); err == nil {
+		t.Error("Build on empty program succeeded")
+	}
+}
+
+func mustIdx(t *testing.T, p *isa.Program, sym string) int {
+	t.Helper()
+	addr, ok := p.Symbols[sym]
+	if !ok {
+		t.Fatalf("no symbol %q", sym)
+	}
+	i, ok := p.InstIndex(addr)
+	if !ok {
+		t.Fatalf("symbol %q not in text", sym)
+	}
+	return i
+}

@@ -1,0 +1,192 @@
+package cfg
+
+// Dominator computation using the Cooper–Harvey–Kennedy iterative algorithm,
+// applied per function. Post-dominators (the basis of reconvergence points)
+// are immediate dominators of the reversed graph rooted at a virtual exit.
+
+// idoms computes immediate dominators on an abstract directed graph with n
+// nodes rooted at root. succs enumerates edges. The returned slice maps each
+// node to its immediate dominator, with idom[root] == root and -1 for nodes
+// unreachable from root.
+func idoms(n, root int, succs func(int) []int) []int {
+	// Postorder DFS from root (iterative: explicit stack with visit state).
+	order := make([]int, 0, n) // postorder sequence
+	number := make([]int, n)   // node -> postorder number + 1 (0 = unvisited)
+	preds := make([][]int, n)  // reverse edges among reachable nodes
+	type frame struct {
+		node int
+		next int
+	}
+	stack := []frame{{node: root}}
+	visited := make([]bool, n)
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ss := succs(f.node)
+		if f.next < len(ss) {
+			s := ss[f.next]
+			f.next++
+			preds[s] = append(preds[s], f.node)
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{node: s})
+			}
+			continue
+		}
+		number[f.node] = len(order) + 1
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[root] = root
+	intersect := func(a, b int) int {
+		for a != b {
+			for number[a] < number[b] {
+				a = idom[a]
+			}
+			for number[b] < number[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Reverse postorder, skipping the root (last in postorder).
+		for i := len(order) - 2; i >= 0; i-- {
+			node := order[i]
+			newIdom := -1
+			for _, p := range preds[node] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[node] != newIdom {
+				idom[node] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// DomTree holds a function's dominator or post-dominator relation over local
+// node indices (positions in Func.BlockIDs), plus the virtual exit for
+// post-dominators.
+type DomTree struct {
+	f     *Func
+	local map[int]int // block ID -> local index
+	idom  []int       // local index -> local idom (or exit), -1 unreachable
+	exit  int         // local index of the virtual exit (post-dom only), else -1
+}
+
+// exitLike reports whether the block leaves the function (or the program, or
+// goes somewhere statically unknown).
+func exitLike(b *Block) bool {
+	switch b.Term {
+	case TermReturn, TermHalt, TermIndirect:
+		return true
+	}
+	return len(b.Succs) == 0
+}
+
+// PostDominators computes the immediate post-dominator tree of f, rooted at
+// a virtual exit that every return/halt/indirect block feeds.
+func (f *Func) PostDominators() *DomTree {
+	m := len(f.BlockIDs)
+	local := make(map[int]int, m)
+	for i, id := range f.BlockIDs {
+		local[id] = i
+	}
+	exit := m // virtual exit node
+	// Reversed-graph successors: for the exit, all exit-like blocks; for a
+	// block, its CFG predecessors (restricted to the function).
+	succs := func(n int) []int {
+		if n == exit {
+			var out []int
+			for i, id := range f.BlockIDs {
+				if exitLike(f.Graph.Blocks[id]) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		var out []int
+		for _, p := range f.Graph.Blocks[f.BlockIDs[n]].Preds {
+			if li, ok := local[p]; ok {
+				out = append(out, li)
+			}
+		}
+		return out
+	}
+	return &DomTree{f: f, local: local, idom: idoms(m+1, exit, succs), exit: exit}
+}
+
+// Dominators computes the immediate dominator tree of f rooted at its entry.
+func (f *Func) Dominators() *DomTree {
+	m := len(f.BlockIDs)
+	local := make(map[int]int, m)
+	for i, id := range f.BlockIDs {
+		local[id] = i
+	}
+	root := local[f.Entry]
+	succs := func(n int) []int {
+		var out []int
+		for _, s := range f.Graph.Blocks[f.BlockIDs[n]].Succs {
+			if li, ok := local[s]; ok {
+				out = append(out, li)
+			}
+		}
+		return out
+	}
+	return &DomTree{f: f, local: local, idom: idoms(m, root, succs), exit: -1}
+}
+
+// Idom returns the immediate (post-)dominator of block id as a block ID.
+// ok is false when the idom is the virtual exit, the root itself, or the
+// block is unreachable — i.e. whenever there is no real dominating block.
+func (t *DomTree) Idom(id int) (int, bool) {
+	li, ok := t.local[id]
+	if !ok {
+		return 0, false
+	}
+	d := t.idom[li]
+	if d == -1 || d == t.exit || d == li {
+		return 0, false
+	}
+	return t.f.BlockIDs[d], true
+}
+
+// Dominates reports whether block a (post-)dominates block b, both given as
+// block IDs. Every block dominates itself.
+func (t *DomTree) Dominates(a, b int) bool {
+	la, ok1 := t.local[a]
+	lb, ok2 := t.local[b]
+	if !ok1 || !ok2 {
+		return false
+	}
+	// Walk up from b.
+	for {
+		if lb == la {
+			return true
+		}
+		d := t.idom[lb]
+		if d == -1 || d == lb {
+			return false
+		}
+		if t.exit >= 0 && d == t.exit {
+			return false
+		}
+		lb = d
+	}
+}

@@ -1,0 +1,166 @@
+package cfg
+
+import "levioso/internal/isa"
+
+// CallerSavedMask is the ABI summary used for calls inside a branch's
+// control-dependent region: a callee may clobber the link register, the
+// temporaries and the argument registers. Callee-saved registers are restored
+// before return, so they never carry a speculatively-divergent value out of a
+// region through a call.
+var CallerSavedMask = func() isa.RegMask {
+	var m isa.RegMask
+	m = m.Set(isa.RegRA)
+	for r := isa.RegT0; r <= isa.RegT2; r++ {
+		m = m.Set(r)
+	}
+	for r := isa.RegA0; r <= isa.RegA7; r++ {
+		m = m.Set(r)
+	}
+	for r := isa.RegT3; r <= isa.RegT6; r++ {
+		m = m.Set(r)
+	}
+	return m
+}()
+
+// AllRegsMask covers every writable register; it is the conservative write
+// set used when a branch has no computable reconvergence point.
+var AllRegsMask = func() isa.RegMask {
+	var m isa.RegMask
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		m = m.Set(r)
+	}
+	return m
+}()
+
+// BranchInfo is the analysis result for one conditional branch: its
+// reconvergence point (0 when unknown) and the register write set of its
+// control-dependent region. This is exactly the information encoded as
+// isa.BranchHint by the Levioso pass.
+type BranchInfo struct {
+	InstIndex int    // instruction index of the branch
+	PC        uint64 // address of the branch
+	ReconvPC  uint64 // address of the immediate post-dominator block, 0 if none
+	Region    []int  // block IDs control-dependent on the branch
+	WriteSet  isa.RegMask
+}
+
+// AnalyzeBranches computes BranchInfo for every conditional branch in f.
+// Results are in program order.
+func (f *Func) AnalyzeBranches() []BranchInfo {
+	pdom := f.PostDominators()
+	var out []BranchInfo
+	g := f.Graph
+	for _, id := range f.BlockIDs {
+		b := g.Blocks[id]
+		if b.Term != TermBranch {
+			continue
+		}
+		info := BranchInfo{
+			InstIndex: b.End - 1,
+			PC:        g.Prog.PCOf(b.End - 1),
+		}
+		ip, ok := pdom.Idom(id)
+		// Post-dominance can hold vacuously when one arm has no terminating
+		// path (e.g. an unconditional self-loop): the "reconvergence" block
+		// is then never reached on that outcome and marking instructions
+		// after it independent of the branch would leak the predicate. Keep
+		// the analysis termination-insensitive (as in the paper) but reject
+		// reconvergence points that one arm cannot even reach.
+		if ok {
+			for _, s := range g.Blocks[id].Succs {
+				if !f.reaches(s, ip) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			// No real reconvergence point (paths may leave the function or
+			// never rejoin). The hardware treats ReconvPC 0 as "never
+			// reconverges in view": fully conservative for this branch.
+			info.ReconvPC = 0
+			info.WriteSet = AllRegsMask
+			out = append(out, info)
+			continue
+		}
+		info.ReconvPC = g.Prog.PCOf(g.Blocks[ip].Start)
+		info.Region = f.regionBlocks(id, ip)
+		info.WriteSet = f.regionWriteSet(info.Region)
+		out = append(out, info)
+	}
+	return out
+}
+
+// regionBlocks returns the blocks reachable from branch block id's successors
+// without passing through the reconvergence block ip. These are the blocks
+// whose execution depends on the branch outcome.
+func (f *Func) regionBlocks(id, ip int) []int {
+	g := f.Graph
+	seen := map[int]bool{ip: true}
+	var stack, region []int
+	for _, s := range g.Blocks[id].Succs {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !f.Member[x] {
+			continue
+		}
+		region = append(region, x)
+		for _, s := range g.Blocks[x].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return region
+}
+
+// reaches reports whether block 'to' is reachable from block 'from' along
+// intra-procedural edges (including from == to).
+func (f *Func) reaches(from, to int) bool {
+	if from == to {
+		return true
+	}
+	g := f.Graph
+	seen := map[int]bool{from: true}
+	stack := []int{from}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[x].Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] && f.Member[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// regionWriteSet unions the destination registers of every instruction in the
+// region, with calls summarized by the ABI caller-saved set.
+func (f *Func) regionWriteSet(region []int) isa.RegMask {
+	var m isa.RegMask
+	g := f.Graph
+	for _, id := range region {
+		b := g.Blocks[id]
+		for i := b.Start; i < b.End; i++ {
+			if rd, ok := g.Prog.Text[i].DestReg(); ok {
+				m = m.Set(rd)
+			}
+		}
+		if b.Term == TermCall {
+			m = m.Union(CallerSavedMask)
+		}
+	}
+	return m
+}

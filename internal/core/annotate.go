@@ -1,0 +1,124 @@
+// Package core implements the Levioso hardware/software co-design from
+// "Levioso: Efficient Compiler-Informed Secure Speculation" (DAC 2024).
+//
+// The software half (Annotate) is the compiler pass: for every conditional
+// branch it computes the reconvergence point (immediate post-dominator) and
+// the register write set of the branch's control-dependent region, and embeds
+// them as isa.BranchHint annotations in the binary.
+//
+// The hardware half (BranchTable, DepState) is the in-core mechanism: a
+// table of in-flight branches whose control regions are tracked against the
+// annotated reconvergence points, and per-physical-register dependency masks
+// propagated through rename. Together they give every dynamic instruction its
+// set of *true* branch dependencies, so a secure-speculation policy can delay
+// a transmitter only until the branches it actually depends on resolve,
+// instead of all older unresolved branches.
+package core
+
+import (
+	"fmt"
+
+	"levioso/internal/cfg"
+	"levioso/internal/isa"
+)
+
+// AnnotateStats summarizes a compiler pass run, feeding experiment T3.
+type AnnotateStats struct {
+	Functions    int // functions analyzed
+	Branches     int // conditional branches seen
+	Annotated    int // branches given a real reconvergence point
+	Conservative int // branches with no reconvergence point (hint 0)
+	RegionBlocks int // total blocks across all regions
+	WriteRegs    int // total registers across all write sets
+	TableBytes   int // size of the annotation table in the binary image
+}
+
+// AvgRegionBlocks returns the mean control-dependent region size, in basic
+// blocks, over annotated branches.
+func (s AnnotateStats) AvgRegionBlocks() float64 {
+	if s.Annotated == 0 {
+		return 0
+	}
+	return float64(s.RegionBlocks) / float64(s.Annotated)
+}
+
+// AvgWriteRegs returns the mean write-set size over annotated branches.
+func (s AnnotateStats) AvgWriteRegs() float64 {
+	if s.Annotated == 0 {
+		return 0
+	}
+	return float64(s.WriteRegs) / float64(s.Annotated)
+}
+
+// Annotate runs the Levioso compiler pass over prog, replacing prog.Hints
+// with freshly computed branch annotations. Branches whose reconvergence
+// point cannot be established (indirect control flow, arms that leave the
+// function) receive the conservative hint (ReconvPC 0), which the hardware
+// treats as "depend on this branch until it resolves, and keep its region
+// open for everything younger".
+func Annotate(prog *isa.Program) (AnnotateStats, error) {
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return AnnotateStats{}, fmt.Errorf("core: %w", err)
+	}
+	var st AnnotateStats
+	hints := make(map[uint64]isa.BranchHint)
+	for _, f := range g.Functions() {
+		st.Functions++
+		for _, bi := range f.AnalyzeBranches() {
+			// A branch shared between two functions (shared tail) keeps the
+			// more conservative of the two analyses.
+			if old, ok := hints[bi.PC]; ok {
+				if old.ReconvPC == 0 {
+					continue
+				}
+				if bi.ReconvPC == 0 {
+					hints[bi.PC] = isa.BranchHint{ReconvPC: 0, WriteSet: cfg.AllRegsMask}
+					continue
+				}
+				// Both real but different: fall back to conservative.
+				if old.ReconvPC != bi.ReconvPC {
+					hints[bi.PC] = isa.BranchHint{ReconvPC: 0, WriteSet: cfg.AllRegsMask}
+					continue
+				}
+				hints[bi.PC] = isa.BranchHint{ReconvPC: old.ReconvPC, WriteSet: old.WriteSet.Union(bi.WriteSet)}
+				continue
+			}
+			hints[bi.PC] = isa.BranchHint{ReconvPC: bi.ReconvPC, WriteSet: bi.WriteSet}
+		}
+	}
+	// Branches in unreachable code (not in any function) get conservative
+	// hints so the table is total over branch PCs.
+	for i, in := range prog.Text {
+		if in.Op.IsBranch() {
+			pc := prog.PCOf(i)
+			if _, ok := hints[pc]; !ok {
+				hints[pc] = isa.BranchHint{ReconvPC: 0, WriteSet: cfg.AllRegsMask}
+			}
+		}
+	}
+	prog.Hints = hints
+	for _, h := range hints {
+		st.Branches++
+		if h.ReconvPC == 0 {
+			st.Conservative++
+		} else {
+			st.Annotated++
+			st.WriteRegs += h.WriteSet.Count()
+		}
+	}
+	// Region sizes are a per-function analysis detail; recompute totals from
+	// the per-function results for reporting.
+	for _, f := range g.Functions() {
+		for _, bi := range f.AnalyzeBranches() {
+			if bi.ReconvPC != 0 {
+				st.RegionBlocks += len(bi.Region)
+			}
+		}
+	}
+	st.TableBytes = len(hints) * 20 // pc u64 + reconv u64 + writeset u32
+	if err := prog.Validate(); err != nil {
+		return st, fmt.Errorf("core: annotated program invalid: %w", err)
+	}
+	return st, nil
+}

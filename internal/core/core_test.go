@@ -1,0 +1,273 @@
+package core
+
+import (
+	"testing"
+
+	"levioso/internal/asm"
+	"levioso/internal/isa"
+)
+
+func TestAnnotateDiamond(t *testing.T) {
+	p := asm.MustAssemble("t.s", `
+main:
+	beq a0, zero, else_
+	addi t0, t0, 1
+	j join
+else_:
+	addi t1, t1, 2
+join:
+	halt zero
+`)
+	st, err := Annotate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Branches != 1 || st.Annotated != 1 || st.Conservative != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	h, ok := p.Hints[p.Symbols["main"]]
+	if !ok {
+		t.Fatal("no hint for the branch")
+	}
+	if h.ReconvPC != p.Symbols["join"] {
+		t.Errorf("reconv = %#x, want join", h.ReconvPC)
+	}
+	want := isa.RegMask(0).Set(isa.RegT0).Set(isa.RegT1)
+	if h.WriteSet != want {
+		t.Errorf("writeset = %s, want %s", h.WriteSet, want)
+	}
+	if st.AvgRegionBlocks() <= 0 || st.AvgWriteRegs() != 2 {
+		t.Errorf("avg region %f, avg writes %f", st.AvgRegionBlocks(), st.AvgWriteRegs())
+	}
+}
+
+func TestAnnotateIsTotalOverBranches(t *testing.T) {
+	// Unreachable branch (after halt, not a call target) still gets a hint.
+	p := asm.MustAssemble("t.s", `
+main:
+	halt zero
+dead:
+	beq a0, zero, dead2
+dead2:
+	halt zero
+`)
+	if _, err := Annotate(p); err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range p.Text {
+		if in.Op.IsBranch() {
+			if _, ok := p.Hints[p.PCOf(i)]; !ok {
+				t.Errorf("branch at %#x has no hint", p.PCOf(i))
+			}
+		}
+	}
+}
+
+func TestMaskOps(t *testing.T) {
+	var m Mask
+	m = m.With(0).With(63).With(5)
+	if !m.Has(0) || !m.Has(63) || !m.Has(5) || m.Has(4) {
+		t.Errorf("mask membership wrong: %b", m)
+	}
+	if m.Count() != 3 {
+		t.Errorf("count = %d", m.Count())
+	}
+	m = m.Without(5)
+	if m.Has(5) || m.Count() != 2 {
+		t.Errorf("without failed: %b", m)
+	}
+}
+
+func branchProg(t *testing.T) *isa.Program {
+	t.Helper()
+	p := asm.MustAssemble("t.s", `
+main:
+	beq a0, zero, join
+	addi t0, t0, 1
+join:
+	beq a1, zero, join2
+	addi t1, t1, 1
+join2:
+	halt zero
+`)
+	if _, err := Annotate(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBranchTableRegionLifecycle(t *testing.T) {
+	p := branchProg(t)
+	bt := NewBranchTable(p)
+	b1pc := p.Symbols["main"]
+	joinPC := p.Symbols["join"]
+
+	bt.CloseRegions(b1pc)
+	if bt.OpenMask() != 0 {
+		t.Fatal("open mask nonzero before any branch")
+	}
+	s1, ok := bt.Alloc(1, b1pc)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if !bt.OpenMask().Has(s1) || !bt.Unresolved().Has(s1) {
+		t.Error("slot not open/unresolved after alloc")
+	}
+
+	// Next instruction (inside region): region still open.
+	bt.CloseRegions(b1pc + isa.InstBytes)
+	if !bt.OpenMask().Has(s1) {
+		t.Error("region closed too early")
+	}
+
+	// Reconvergence point: region closes, branch still unresolved.
+	bt.CloseRegions(joinPC)
+	if bt.OpenMask().Has(s1) {
+		t.Error("region open past reconvergence")
+	}
+	if !bt.Unresolved().Has(s1) {
+		t.Error("branch resolved by region close")
+	}
+
+	bt.Resolve(s1)
+	if bt.Unresolved() != 0 || bt.InFlight() != 0 {
+		t.Error("resolve did not free slot")
+	}
+}
+
+func TestBranchTableUnannotatedStaysOpen(t *testing.T) {
+	p := branchProg(t)
+	// Remove annotations: regions never close.
+	p.Hints = map[uint64]isa.BranchHint{}
+	bt := NewBranchTable(p)
+	s, _ := bt.Alloc(1, p.Symbols["main"])
+	for pc := p.Symbols["main"]; pc < p.TextEnd(); pc += isa.InstBytes {
+		bt.CloseRegions(pc)
+	}
+	if !bt.OpenMask().Has(s) {
+		t.Error("unannotated branch region closed")
+	}
+}
+
+func TestBranchTableSquashRestoresRegions(t *testing.T) {
+	p := branchProg(t)
+	bt := NewBranchTable(p)
+	b1pc := p.Symbols["main"]
+	joinPC := p.Symbols["join"]
+
+	s1, _ := bt.Alloc(1, b1pc) // B1, region open
+	// B2 renamed while B1's region open (B2 is at joinPC... use seq 2 at join:
+	// first close regions at join — B1 closes — then realloc. To exercise the
+	// snapshot we allocate B2 *before* reaching B1's reconvergence.)
+	s2, _ := bt.Alloc(2, b1pc+isa.InstBytes) // pretend branch inside region
+	if bt.OpenMask() != Mask(0).With(s1).With(s2) {
+		t.Fatalf("open = %b", bt.OpenMask())
+	}
+	// Wrong-path fetch reaches B1's reconvergence: B1 closes.
+	bt.CloseRegions(joinPC)
+	if bt.OpenMask().Has(s1) {
+		t.Fatal("B1 should be closed")
+	}
+	// B2 mispredicted: squash younger than seq 2, restore regions as of B2's
+	// rename — B1 must be open again.
+	bt.Squash(2, s2)
+	if !bt.OpenMask().Has(s1) {
+		t.Error("squash did not restore B1's open region")
+	}
+	if !bt.OpenMask().Has(s2) {
+		t.Error("mispredicted branch's own region not restored")
+	}
+	bt.Resolve(s2)
+	if bt.OpenMask().Has(s2) {
+		t.Error("resolve left region open")
+	}
+}
+
+func TestBranchTableSquashDoesNotReopenResolved(t *testing.T) {
+	p := branchProg(t)
+	bt := NewBranchTable(p)
+	s1, _ := bt.Alloc(1, p.Symbols["main"])
+	s2, _ := bt.Alloc(2, p.Symbols["join"])
+	// B1 resolves while B2 in flight.
+	bt.Resolve(s1)
+	// B2 mispredicts: B1 must not reopen.
+	bt.Squash(2, s2)
+	if bt.OpenMask().Has(s1) {
+		t.Error("resolved branch region reopened by squash")
+	}
+}
+
+func TestBranchTableExhaustion(t *testing.T) {
+	p := branchProg(t)
+	bt := NewBranchTable(p)
+	for i := 0; i < NumSlots; i++ {
+		if _, ok := bt.Alloc(uint64(i+1), p.Symbols["main"]); !ok {
+			t.Fatalf("alloc %d failed early", i)
+		}
+	}
+	if _, ok := bt.Alloc(999, p.Symbols["main"]); ok {
+		t.Error("alloc succeeded on full table")
+	}
+	if bt.AllocFailures != 1 {
+		t.Errorf("AllocFailures = %d", bt.AllocFailures)
+	}
+	// Squash everything younger than 1 frees 63 slots.
+	bt.Squash(1, 0)
+	if got := bt.InFlight(); got != 1 {
+		t.Errorf("in flight after squash = %d, want 1", got)
+	}
+	bt.SquashAll()
+	if bt.InFlight() != 0 || bt.Unresolved() != 0 {
+		t.Error("SquashAll left state")
+	}
+}
+
+func TestDepState(t *testing.T) {
+	d := NewDepState(8)
+	d.Set(3, Mask(0).With(1).With(7))
+	d.Set(4, Mask(0).With(1))
+	d.ClearSlot(1)
+	if d.Get(3) != Mask(0).With(7) {
+		t.Errorf("reg3 = %b", d.Get(3))
+	}
+	if d.Get(4) != 0 {
+		t.Errorf("reg4 = %b", d.Get(4))
+	}
+	d.Reset()
+	if d.Get(3) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestAnnotateSharedTailConservativeMerge(t *testing.T) {
+	// Two functions share a tail block containing a branch; the two analyses
+	// may disagree, and the merge must stay sound (here they agree, so the
+	// hint should be real).
+	p := asm.MustAssemble("t.s", `
+main:
+	call f
+	call g
+	halt zero
+f:
+	addi a0, a0, 1
+	j shared
+g:
+	addi a0, a0, 2
+shared:
+	beq a0, zero, sj
+	addi t0, t0, 1
+sj:
+	ret
+`)
+	st, err := Annotate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Branches != 1 {
+		t.Fatalf("branches = %d", st.Branches)
+	}
+	h := p.Hints[p.Symbols["shared"]]
+	if h.ReconvPC != p.Symbols["sj"] {
+		t.Errorf("shared-tail reconv = %#x, want sj", h.ReconvPC)
+	}
+}

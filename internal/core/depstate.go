@@ -1,0 +1,42 @@
+package core
+
+// DepState is the per-physical-register dependency-mask file used by
+// tracking policies (Levioso and the taint baseline): for each physical
+// register it records the set of in-flight branches the register's value may
+// depend on. Rename-stage propagation:
+//
+//	mask(dst) = controlMask(inst) | mask(src1) | mask(src2) | extra
+//
+// where controlMask is policy-specific (Levioso: open regions; taint: zero
+// for register ops) and extra covers value taint sources (taint policy:
+// all unresolved branches for speculatively executed loads).
+type DepState struct {
+	reg []Mask
+}
+
+// NewDepState returns a mask file for nPhys physical registers.
+func NewDepState(nPhys int) *DepState {
+	return &DepState{reg: make([]Mask, nPhys)}
+}
+
+// Get returns the mask of physical register p.
+func (d *DepState) Get(p int) Mask { return d.reg[p] }
+
+// Set records the mask of physical register p.
+func (d *DepState) Set(p int, m Mask) { d.reg[p] = m }
+
+// ClearSlot removes a resolved branch's bit from every register mask.
+// Hardware implements this as a column clear across the mask file.
+func (d *DepState) ClearSlot(s int) {
+	bit := Mask(1) << uint(s)
+	for i := range d.reg {
+		d.reg[i] &^= bit
+	}
+}
+
+// Reset zeroes all masks.
+func (d *DepState) Reset() {
+	for i := range d.reg {
+		d.reg[i] = 0
+	}
+}

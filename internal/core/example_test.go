@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+
+	"levioso/internal/asm"
+	"levioso/internal/core"
+)
+
+// Annotate computes, for every conditional branch, its reconvergence point
+// and the registers its control-dependent region may write — the information
+// Levioso hardware uses to restrict only truly-dependent transmitters.
+func ExampleAnnotate() {
+	prog := asm.MustAssemble("example.s", `
+main:
+	beq a0, zero, else_
+	addi t0, t0, 1
+	j join
+else_:
+	addi t1, t1, 2
+join:
+	halt zero
+`)
+	stats, err := core.Annotate(prog)
+	if err != nil {
+		panic(err)
+	}
+	h := prog.Hints[prog.Symbols["main"]]
+	fmt.Printf("branches annotated: %d\n", stats.Annotated)
+	fmt.Printf("reconvergence at join: %v\n", h.ReconvPC == prog.Symbols["join"])
+	fmt.Printf("region writes: %s\n", h.WriteSet)
+	// Output:
+	// branches annotated: 1
+	// reconvergence at join: true
+	// region writes: {t0,t1}
+}
+
+// The Branch Dependency Table is the hardware half: regions open when a
+// branch is renamed and close when fetch reaches the annotated reconvergence
+// point — long before the branch itself resolves.
+func ExampleBranchTable() {
+	prog := asm.MustAssemble("example.s", `
+main:
+	beq a0, zero, join
+	addi t0, t0, 1
+join:
+	halt zero
+`)
+	if _, err := core.Annotate(prog); err != nil {
+		panic(err)
+	}
+	bt := core.NewBranchTable(prog)
+	slot, _ := bt.Alloc(1, prog.Symbols["main"])
+	fmt.Printf("after branch: region open = %v\n", bt.OpenMask().Has(slot))
+	bt.CloseRegions(prog.Symbols["join"]) // fetch reached reconvergence
+	fmt.Printf("at reconvergence: region open = %v, branch resolved = %v\n",
+		bt.OpenMask().Has(slot), !bt.Unresolved().Has(slot))
+	// Output:
+	// after branch: region open = true
+	// at reconvergence: region open = false, branch resolved = false
+}

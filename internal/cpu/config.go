@@ -1,0 +1,154 @@
+// Package cpu implements the cycle-level out-of-order superscalar LEV64 core
+// used as the paper's evaluation vehicle: fetch with branch prediction,
+// register renaming over a physical register file, a unified issue queue,
+// a load/store queue with store-to-load forwarding, precise in-order commit,
+// and immediate misprediction recovery from rename-map checkpoints.
+//
+// Secure-speculation policies (internal/secure) plug in through the Policy
+// interface: they assign every renamed instruction a dependency mask over the
+// core's Branch Dependency Table (internal/core) and decide at issue time
+// whether a ready instruction may proceed, proceed invisibly, or wait.
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"levioso/internal/core"
+	"levioso/internal/mem"
+)
+
+// Config holds every core parameter. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// Pipeline widths (instructions per cycle).
+	FetchWidth  int
+	RenameWidth int
+	IssueWidth  int
+	CommitWidth int
+
+	// Window sizes.
+	ROBSize      int
+	IQSize       int
+	LQSize       int
+	SQSize       int
+	NumPhysRegs  int
+	FetchBufSize int
+
+	// Functional units.
+	NumALU      int
+	NumMul      int
+	NumMemPorts int // load/store address+access ports per cycle
+	MulLatency  int
+	// The divider is single and unpipelined; its latency depends on operand
+	// magnitudes (DivLatencyBase..DivLatencyBase+DivLatencyRange), which is
+	// what makes DIV a transmitter.
+	DivLatencyBase  int
+	DivLatencyRange int
+
+	// Front-end redirect penalty after a misprediction resolves (cycles
+	// before fetch delivers from the corrected path).
+	RedirectPenalty int
+	// BranchResolveLatency is the extra delay, beyond the 1-cycle compare,
+	// between a control instruction issuing and its resolution broadcast
+	// (squash or Branch Dependency Table clear) taking effect — the depth of
+	// the execute/writeback pipeline a real core pays. It lengthens every
+	// speculation shadow and is part of the misprediction penalty.
+	BranchResolveLatency int
+
+	Predictor PredConfig
+	Hier      mem.HierConfig
+
+	// Run limits: 0 means unlimited.
+	MaxCycles uint64
+	MaxInsts  uint64
+	// WatchdogCycles aborts the run if no instruction commits for this many
+	// cycles (a scheduling deadlock in the model); 0 uses a default.
+	WatchdogCycles uint64
+
+	// BDTEntries caps the number of in-flight tracked branches (at most
+	// core.NumSlots, which is also the default when 0). Smaller tables are
+	// cheaper hardware but stall rename when full — the hardware-cost
+	// ablation in the BDT-size sweep.
+	BDTEntries int
+
+	// Trace, when non-nil, receives one line per committed instruction:
+	// cycle, sequence number, pc, disassembly, and key pipeline events
+	// (mispredicts, policy waits, invisible execution). Slow; for debugging.
+	Trace io.Writer
+}
+
+// DefaultConfig returns the baseline core used throughout the evaluation
+// (experiment T1): an 8-wide, 192-entry-ROB out-of-order core in the same
+// class as the paper's gem5 configuration.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:           8,
+		RenameWidth:          8,
+		IssueWidth:           8,
+		CommitWidth:          8,
+		ROBSize:              192,
+		IQSize:               64,
+		LQSize:               48,
+		SQSize:               32,
+		NumPhysRegs:          300,
+		FetchBufSize:         24,
+		NumALU:               6,
+		NumMul:               2,
+		NumMemPorts:          2,
+		MulLatency:           3,
+		DivLatencyBase:       8,
+		DivLatencyRange:      24,
+		RedirectPenalty:      6,
+		BranchResolveLatency: 4,
+		Predictor:            DefaultPredConfig(),
+		Hier:                 mem.DefaultHierConfig(),
+		WatchdogCycles:       100_000,
+	}
+}
+
+// Validate checks structural requirements.
+func (c Config) Validate() error {
+	pos := func(name string, v int) error {
+		if v <= 0 {
+			return fmt.Errorf("cpu: %s must be positive, got %d", name, v)
+		}
+		return nil
+	}
+	checks := []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth}, {"RenameWidth", c.RenameWidth},
+		{"IssueWidth", c.IssueWidth}, {"CommitWidth", c.CommitWidth},
+		{"ROBSize", c.ROBSize}, {"IQSize", c.IQSize},
+		{"LQSize", c.LQSize}, {"SQSize", c.SQSize},
+		{"FetchBufSize", c.FetchBufSize},
+		{"NumALU", c.NumALU}, {"NumMul", c.NumMul}, {"NumMemPorts", c.NumMemPorts},
+		{"MulLatency", c.MulLatency}, {"DivLatencyBase", c.DivLatencyBase},
+		{"RedirectPenalty", c.RedirectPenalty},
+	}
+	for _, ch := range checks {
+		if err := pos(ch.name, ch.v); err != nil {
+			return err
+		}
+	}
+	if c.DivLatencyRange < 0 {
+		return fmt.Errorf("cpu: DivLatencyRange must be non-negative")
+	}
+	if c.BranchResolveLatency < 0 {
+		return fmt.Errorf("cpu: BranchResolveLatency must be non-negative")
+	}
+	if c.BDTEntries < 0 || c.BDTEntries > core.NumSlots {
+		return fmt.Errorf("cpu: BDTEntries %d outside 0..%d", c.BDTEntries, core.NumSlots)
+	}
+	// Physical registers must cover the architectural state plus the ROB.
+	if c.NumPhysRegs < 32+c.ROBSize {
+		return fmt.Errorf("cpu: NumPhysRegs %d < 32+ROBSize %d (rename would deadlock)",
+			c.NumPhysRegs, 32+c.ROBSize)
+	}
+	if err := c.Predictor.Validate(); err != nil {
+		return err
+	}
+	return c.Hier.Validate()
+}

@@ -1,0 +1,853 @@
+package cpu
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+
+	"levioso/internal/core"
+	"levioso/internal/isa"
+	"levioso/internal/mem"
+)
+
+// Result summarizes a completed run.
+type Result struct {
+	ExitCode uint64
+	Output   string
+	Stats    Stats
+}
+
+// Core is one out-of-order LEV64 core.
+type Core struct {
+	cfg    Config
+	prog   *isa.Program
+	policy Policy
+
+	BT   *core.BranchTable
+	Hier *mem.Hierarchy
+	Phys *mem.Memory
+	Pred *Predictor
+
+	// Physical register file.
+	regVal   []uint64
+	regReady []bool
+	rat      [isa.NumRegs]int // speculative rename map
+	commitRT [isa.NumRegs]int // architectural (retirement) map
+	freeList []int
+
+	// Windows. rob/lq/sq are program-order queues with a moving head; iq is
+	// age-ordered and filtered each cycle.
+	rob     []*DynInst
+	robHead int
+	iq      []*DynInst
+	lq      []*DynInst
+	lqHead  int
+	sq      []*DynInst
+	sqHead  int
+
+	fetchBuf []*DynInst
+
+	fetchPC         uint64
+	fetchStallUntil uint64
+	fetchHalted     bool
+	lastFetchLine   uint64 // last I-cache line touched (avoid per-inst lookups)
+
+	fenceSeqs []uint64 // in-flight FENCE/HALT sequence numbers, program order
+
+	divBusyUntil uint64
+
+	cycle uint64
+	seq   uint64
+
+	out      []byte
+	halted   bool
+	exitCode uint64
+
+	stats           Stats
+	lastCommitCycle uint64
+}
+
+// New builds a core with prog loaded, memory initialized, and the policy
+// attached. Pass NopPolicy{} for an unprotected core.
+func New(prog *isa.Program, cfg Config, pol Policy) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	phys := mem.NewMemory()
+	phys.WriteBytes(isa.DataBase, prog.Data)
+	hier, err := mem.NewHierarchy(cfg.Hier, phys)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:    cfg,
+		prog:   prog,
+		policy: pol,
+		BT:     core.NewBranchTable(prog),
+		Hier:   hier,
+		Phys:   phys,
+		Pred:   NewPredictor(cfg.Predictor),
+	}
+	c.regVal = make([]uint64, cfg.NumPhysRegs)
+	c.regReady = make([]bool, cfg.NumPhysRegs)
+	for r := 0; r < isa.NumRegs; r++ {
+		c.rat[r] = r
+		c.commitRT[r] = r
+		c.regReady[r] = true
+	}
+	c.regVal[isa.RegSP] = isa.StackTop
+	c.regVal[isa.RegGP] = isa.DataBase
+	for p := isa.NumRegs; p < cfg.NumPhysRegs; p++ {
+		c.freeList = append(c.freeList, p)
+	}
+	c.fetchPC = prog.Entry
+	c.lastFetchLine = ^uint64(0)
+	pol.Attach(c)
+	pol.Reset()
+	return c, nil
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Prog returns the loaded program.
+func (c *Core) Prog() *isa.Program { return c.prog }
+
+// Cycle returns the current cycle count.
+func (c *Core) CycleCount() uint64 { return c.cycle }
+
+// Halted reports whether a HALT has committed.
+func (c *Core) Halted() bool { return c.halted }
+
+// Output returns console output so far.
+func (c *Core) Output() string { return string(c.out) }
+
+// ArchReg returns the architectural (retired) value of register r.
+func (c *Core) ArchReg(r isa.Reg) uint64 { return c.regVal[c.commitRT[r]] }
+
+// Run simulates until HALT commits or a limit trips.
+func (c *Core) Run() (Result, error) {
+	for !c.halted {
+		if err := c.Step(); err != nil {
+			return Result{}, err
+		}
+	}
+	return c.result(), nil
+}
+
+func (c *Core) result() Result {
+	c.stats.L1IHits = c.Hier.L1I.Stats.Hits
+	c.stats.L1IMisses = c.Hier.L1I.Stats.Misses
+	c.stats.L1DHits = c.Hier.L1D.Stats.Hits
+	c.stats.L1DMisses = c.Hier.L1D.Stats.Misses
+	c.stats.L2Hits = c.Hier.L2.Stats.Hits
+	c.stats.L2Misses = c.Hier.L2.Stats.Misses
+	c.stats.BDTAllocStalls = c.BT.AllocFailures
+	c.stats.Cycles = c.cycle
+	return Result{ExitCode: c.exitCode, Output: string(c.out), Stats: c.stats}
+}
+
+// Stats returns the statistics accumulated so far (cache counters are synced
+// on read).
+func (c *Core) Stats() Stats { return c.result().Stats }
+
+// Step advances the core by one cycle.
+func (c *Core) Step() error {
+	if c.halted {
+		return nil
+	}
+	c.cycle++
+	if c.cfg.MaxCycles > 0 && c.cycle > c.cfg.MaxCycles {
+		return fmt.Errorf("cpu: cycle limit %d exceeded at pc=%#x", c.cfg.MaxCycles, c.fetchPC)
+	}
+	if c.cfg.MaxInsts > 0 && c.stats.Committed > c.cfg.MaxInsts {
+		return fmt.Errorf("cpu: instruction limit %d exceeded", c.cfg.MaxInsts)
+	}
+	wd := c.cfg.WatchdogCycles
+	if wd == 0 {
+		wd = 100_000
+	}
+	if c.cycle-c.lastCommitCycle > wd {
+		return fmt.Errorf("cpu: watchdog: no commit for %d cycles at cycle %d (%s)", wd, c.cycle, c.deadlockInfo())
+	}
+	if err := c.commit(); err != nil {
+		return err
+	}
+	c.complete()
+	c.issue()
+	c.rename()
+	c.fetch()
+	return nil
+}
+
+func (c *Core) deadlockInfo() string {
+	if c.robHead >= len(c.rob) {
+		return fmt.Sprintf("window empty, fetchPC=%#x fetchHalted=%v", c.fetchPC, c.fetchHalted)
+	}
+	d := c.rob[c.robHead]
+	return fmt.Sprintf("head seq=%d pc=%#x %v state=%d wait=%#x", d.Seq, d.PC, d.Inst, d.State, uint64(d.WaitMask))
+}
+
+// ---------------------------------------------------------------- commit --
+
+func (c *Core) commit() error {
+	for n := 0; n < c.cfg.CommitWidth && c.robHead < len(c.rob); n++ {
+		d := c.rob[c.robHead]
+		if d.State != StateDone {
+			return nil
+		}
+		op := d.Inst.Op
+		switch {
+		case d.IsStore():
+			if d.MemErr {
+				return fmt.Errorf("cpu: pc %#x %v: store to invalid address %#x committed", d.PC, d.Inst, d.Addr)
+			}
+			if err := c.Phys.Write(d.Addr, op.MemBytes(), d.Result); err != nil {
+				return fmt.Errorf("cpu: pc %#x %v: %w", d.PC, d.Inst, err)
+			}
+			c.Hier.FillVisible(d.Addr)
+			c.sqHead++
+			c.stats.Stores++
+		case d.IsLoad():
+			if d.MemErr {
+				return fmt.Errorf("cpu: pc %#x %v: load from invalid address %#x committed", d.PC, d.Inst, d.Addr)
+			}
+			if d.Invisible && d.FwdFrom == nil {
+				// Deferred exposure of an invisible load: the line becomes
+				// architecturally cached only now that the load is safe, and
+				// the load cannot retire until the exposure/validation access
+				// completes (the InvisiSpec validation step). Because the
+				// invisible execution never filled the cache, validation of a
+				// missing line pays the full hierarchy latency again — the
+				// dominant cost of the invisible-execution defense class.
+				if d.exposeUntil == 0 {
+					lat := c.Hier.InvisibleLoadLatency(d.Addr)
+					c.Hier.FillVisible(d.Addr)
+					d.exposeUntil = c.cycle + uint64(lat)
+					c.compact()
+					return nil
+				}
+				if c.cycle < d.exposeUntil {
+					c.compact()
+					return nil
+				}
+				c.stats.InvisibleLoads++
+			}
+			if d.FwdFrom != nil {
+				c.stats.LoadForward++
+			}
+			c.lqHead++
+			c.stats.Loads++
+		case op == isa.PUTC:
+			c.out = append(c.out, byte(d.Result))
+		case op == isa.PUTI:
+			c.out = appendInt(c.out, int64(d.Result))
+		case op == isa.HALT:
+			c.halted = true
+			c.exitCode = d.Result
+			c.popFence(d.Seq)
+		case op == isa.FENCE:
+			c.popFence(d.Seq)
+		case d.IsCondBranch():
+			c.Pred.UpdateBranch(d.PhtIdx, d.ActualTaken)
+			c.stats.CondBranches++
+			if d.Mispredict {
+				c.stats.CondMispredicts++
+			}
+		case op == isa.JALR:
+			if !d.UsedRAS {
+				c.Pred.UpdateIndirect(d.PC, d.ActualNext)
+			}
+			c.stats.Indirects++
+			if d.Mispredict {
+				c.stats.IndMispredicts++
+			}
+		}
+		if op.IsTransmitter() {
+			c.stats.Transmitters++
+			if d.EverWaited {
+				c.stats.RestrictedTransmitters++
+			}
+			if d.specAtIssue {
+				c.stats.SpecTransmitters++
+			}
+		}
+		if d.Dst >= 0 {
+			if d.OldDst >= 0 {
+				c.freeList = append(c.freeList, d.OldDst)
+			}
+			c.commitRT[d.Inst.Rd] = d.Dst
+		}
+		if c.cfg.Trace != nil {
+			c.traceCommit(d)
+		}
+		c.robHead++
+		c.stats.Committed++
+		c.lastCommitCycle = c.cycle
+		if c.halted {
+			break
+		}
+	}
+	c.compact()
+	return nil
+}
+
+// traceCommit writes one human-readable line per retired instruction.
+func (c *Core) traceCommit(d *DynInst) {
+	flags := ""
+	if d.Mispredict {
+		flags += " MISPREDICT"
+	}
+	if d.EverWaited {
+		flags += " WAITED"
+	}
+	if d.Invisible {
+		flags += " INVISIBLE"
+	}
+	if d.FwdFrom != nil {
+		flags += " FWD"
+	}
+	loc := ""
+	if sym, off, ok := c.prog.NearestSymbol(d.PC); ok {
+		loc = fmt.Sprintf(" <%s+%#x>", sym, off)
+	}
+	fmt.Fprintf(c.cfg.Trace, "%10d seq=%-8d %#06x%s  %s%s\n",
+		c.cycle, d.Seq, d.PC, loc, d.Inst, flags)
+}
+
+func (c *Core) popFence(seq uint64) {
+	if len(c.fenceSeqs) > 0 && c.fenceSeqs[0] == seq {
+		c.fenceSeqs = c.fenceSeqs[1:]
+	}
+}
+
+func (c *Core) compact() {
+	if c.robHead > 4*c.cfg.ROBSize {
+		c.rob = append(c.rob[:0], c.rob[c.robHead:]...)
+		c.robHead = 0
+	}
+	if c.lqHead > 4*c.cfg.LQSize {
+		c.lq = append(c.lq[:0], c.lq[c.lqHead:]...)
+		c.lqHead = 0
+	}
+	if c.sqHead > 4*c.cfg.SQSize {
+		c.sq = append(c.sq[:0], c.sq[c.sqHead:]...)
+		c.sqHead = 0
+	}
+}
+
+// -------------------------------------------------------------- complete --
+
+// complete handles instructions whose execution finishes this cycle:
+// writeback, branch resolution, and misprediction recovery (oldest first).
+func (c *Core) complete() {
+	var recover *DynInst
+	for i := c.robHead; i < len(c.rob); i++ {
+		d := c.rob[i]
+		if d.State != StateExecuting || d.DoneCycle != c.cycle {
+			continue
+		}
+		d.State = StateDone
+		if d.Dst >= 0 {
+			c.regVal[d.Dst] = d.Result
+			c.regReady[d.Dst] = true
+		}
+		if d.BrSlot >= 0 {
+			if d.Mispredict && recover == nil {
+				recover = d // oldest mispredict this cycle (rob order)
+			} else if !d.Mispredict {
+				c.resolveSlot(d)
+			}
+		}
+	}
+	if recover != nil {
+		c.recoverFrom(recover)
+	}
+}
+
+// resolveSlot retires a correctly-speculated control instruction's BDT slot
+// and clears its bit from every in-flight dependency mask.
+func (c *Core) resolveSlot(d *DynInst) {
+	slot := d.BrSlot
+	d.BrSlot = -1
+	c.BT.Resolve(slot)
+	c.policy.OnSlotResolved(slot)
+	for i := c.robHead; i < len(c.rob); i++ {
+		e := c.rob[i]
+		e.WaitMask = e.WaitMask.Without(slot)
+		e.DataMask = e.DataMask.Without(slot)
+	}
+}
+
+// recoverFrom squashes everything younger than the mispredicted control
+// instruction d and redirects fetch to the resolved target.
+func (c *Core) recoverFrom(d *DynInst) {
+	// Squash younger window contents, youngest first.
+	for i := len(c.rob) - 1; i > c.robHead; i-- {
+		e := c.rob[i]
+		if e.Seq <= d.Seq {
+			break
+		}
+		e.Squashed = true
+		c.policy.OnSquash(e)
+		if e.Dst >= 0 {
+			c.freeList = append(c.freeList, e.Dst)
+		}
+		c.rob = c.rob[:i]
+		c.stats.Squashed++
+	}
+	// Remove squashed entries from the side queues.
+	c.iq = filterLive(c.iq)
+	c.lq = trimYounger(c.lq, d.Seq)
+	c.sq = trimYounger(c.sq, d.Seq)
+	for len(c.fenceSeqs) > 0 && c.fenceSeqs[len(c.fenceSeqs)-1] > d.Seq {
+		c.fenceSeqs = c.fenceSeqs[:len(c.fenceSeqs)-1]
+	}
+	c.fetchBuf = c.fetchBuf[:0]
+
+	// Branch table: free younger slots, restore region state, then resolve
+	// the mispredicted control instruction itself.
+	c.BT.Squash(d.Seq, d.BrSlot)
+	c.resolveSlot(d)
+
+	// Restore the rename map and predictor state.
+	c.rat = d.Check.RAT
+	c.Pred.Recover(d.Check.Pred, d.IsCondBranch(), d.ActualTaken)
+	if d.Inst.Op == isa.JALR {
+		// Re-apply the RAS effect of the (now resolved) JALR.
+		if d.UsedRAS {
+			c.Pred.PopRAS()
+		} else if d.Inst.Rd == isa.RegRA {
+			c.Pred.PushRAS(d.PC + isa.InstBytes)
+		}
+	}
+
+	c.fetchPC = d.ActualNext
+	c.fetchStallUntil = c.cycle + uint64(c.cfg.RedirectPenalty)
+	c.fetchHalted = false
+	c.lastFetchLine = ^uint64(0)
+}
+
+func filterLive(q []*DynInst) []*DynInst {
+	out := q[:0]
+	for _, d := range q {
+		if !d.Squashed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func trimYounger(q []*DynInst, seq uint64) []*DynInst {
+	for len(q) > 0 && q[len(q)-1].Seq > seq {
+		q = q[:len(q)-1]
+	}
+	return q
+}
+
+// ----------------------------------------------------------------- issue --
+
+func (c *Core) issue() {
+	aluFree := c.cfg.NumALU
+	mulFree := c.cfg.NumMul
+	memFree := c.cfg.NumMemPorts
+	issued := 0
+
+	// Drop finished/squashed entries, keeping age order.
+	live := c.iq[:0]
+	for _, d := range c.iq {
+		if !d.Squashed && d.State != StateDone && d.State != StateExecuting {
+			live = append(live, d)
+		}
+	}
+	c.iq = live
+
+	for _, d := range c.iq {
+		if issued >= c.cfg.IssueWidth {
+			break
+		}
+		if d.State != StateRenamed {
+			continue
+		}
+		// Serialization: nothing younger than an in-flight FENCE/HALT runs.
+		if len(c.fenceSeqs) > 0 && d.Seq > c.fenceSeqs[0] {
+			continue
+		}
+		op := d.Inst.Op
+		// FENCE and HALT execute only from the window head.
+		if (op == isa.FENCE || op == isa.HALT) && !c.isHead(d) {
+			continue
+		}
+		if !c.srcsReady(d) {
+			continue
+		}
+		// Memory structural checks first: a load blocked by an unresolved
+		// older store address is a correctness stall, not a policy stall.
+		var fwd *DynInst
+		if d.IsLoad() || d.IsStore() || op == isa.CFLUSH {
+			if memFree <= 0 {
+				continue
+			}
+			c.computeAddr(d)
+			if d.IsLoad() {
+				ok, src := c.loadMayIssue(d)
+				if !ok {
+					continue
+				}
+				fwd = src
+			}
+		}
+		switch op.Class() {
+		case isa.ClassALU, isa.ClassBranch, isa.ClassJump:
+			if aluFree <= 0 {
+				continue
+			}
+		case isa.ClassMul:
+			if mulFree <= 0 {
+				continue
+			}
+		case isa.ClassDiv:
+			if c.divBusyUntil > c.cycle {
+				continue
+			}
+		case isa.ClassSystem:
+			if op == isa.CFLUSH {
+				// uses a memory port, checked above
+			} else if aluFree <= 0 {
+				continue
+			}
+		}
+		// Policy gate.
+		decision := c.policy.Decide(d)
+		if decision == Wait {
+			d.EverWaited = true
+			c.stats.PolicyWaitEvents++
+			continue
+		}
+		if op.IsTransmitter() && c.BT.Unresolved() != 0 {
+			d.specAtIssue = true
+		}
+		// Fire.
+		switch op.Class() {
+		case isa.ClassALU, isa.ClassBranch, isa.ClassJump:
+			aluFree--
+		case isa.ClassMul:
+			mulFree--
+		case isa.ClassSystem:
+			if op == isa.CFLUSH {
+				memFree--
+			} else {
+				aluFree--
+			}
+		case isa.ClassLoad, isa.ClassStore:
+			memFree--
+		}
+		c.execute(d, decision, fwd)
+		issued++
+	}
+}
+
+func (c *Core) isHead(d *DynInst) bool {
+	return c.robHead < len(c.rob) && c.rob[c.robHead] == d
+}
+
+func (c *Core) srcsReady(d *DynInst) bool {
+	if d.Src1 >= 0 && !c.regReady[d.Src1] {
+		return false
+	}
+	if d.Src2 >= 0 && !c.regReady[d.Src2] {
+		return false
+	}
+	return true
+}
+
+func (c *Core) srcVal(phys int) uint64 {
+	if phys < 0 {
+		return 0
+	}
+	return c.regVal[phys]
+}
+
+func (c *Core) computeAddr(d *DynInst) {
+	if !d.AddrReady {
+		d.Addr = c.srcVal(d.Src1) + uint64(d.Inst.Imm)
+		d.AddrReady = true
+	}
+}
+
+// loadMayIssue enforces conservative memory disambiguation: every older
+// store's address must be known; an exact-match store with captured data
+// forwards; any partial overlap stalls the load until the store commits.
+func (c *Core) loadMayIssue(d *DynInst) (bool, *DynInst) {
+	size := uint64(d.Inst.Op.MemBytes())
+	var match *DynInst
+	for i := c.sqHead; i < len(c.sq); i++ {
+		s := c.sq[i]
+		if s.Seq > d.Seq {
+			break
+		}
+		if !s.AddrReady {
+			return false, nil
+		}
+		ssize := uint64(s.Inst.Op.MemBytes())
+		if s.Addr < d.Addr+size && d.Addr < s.Addr+ssize {
+			if s.Addr == d.Addr && ssize == size && s.State == StateDone {
+				match = s // youngest older exact match wins
+			} else {
+				return false, nil // partial overlap: wait for store commit
+			}
+		}
+	}
+	return true, match
+}
+
+// execute computes d's result and schedules completion.
+func (c *Core) execute(d *DynInst, decision Decision, fwd *DynInst) {
+	op := d.Inst.Op
+	v1 := c.srcVal(d.Src1)
+	v2 := c.srcVal(d.Src2)
+	if op.HasImm() && op.Class() != isa.ClassLoad && op.Class() != isa.ClassStore &&
+		op != isa.JALR && op != isa.CFLUSH && !op.IsBranch() && op != isa.JAL {
+		v2 = uint64(d.Inst.Imm)
+	}
+	lat := 1
+	switch op.Class() {
+	case isa.ClassALU:
+		d.Result = isa.EvalALU(op, v1, v2)
+	case isa.ClassMul:
+		d.Result = isa.EvalALU(op, v1, v2)
+		lat = c.cfg.MulLatency
+	case isa.ClassDiv:
+		d.Result = isa.EvalALU(op, v1, v2)
+		// Operand-dependent latency: what makes the divider a transmitter.
+		lat = c.cfg.DivLatencyBase
+		if c.cfg.DivLatencyRange > 0 {
+			lat += bits.Len64(v1) * c.cfg.DivLatencyRange / 64
+		}
+		c.divBusyUntil = c.cycle + uint64(lat)
+	case isa.ClassLoad:
+		lat = c.executeLoad(d, decision, fwd)
+	case isa.ClassStore:
+		d.Result = v2
+		if d.Addr+uint64(op.MemBytes()) > isa.MemLimit ||
+			(op.MemBytes() > 1 && d.Addr%uint64(op.MemBytes()) != 0) {
+			d.MemErr = true
+		}
+	case isa.ClassBranch:
+		d.ActualTaken = isa.EvalBranch(op, v1, v2)
+		if d.ActualTaken {
+			d.ActualNext = d.Inst.BranchTarget(d.PC)
+		} else {
+			d.ActualNext = d.PC + isa.InstBytes
+		}
+		d.Mispredict = d.ActualNext != d.PredNext
+		lat += c.cfg.BranchResolveLatency
+	case isa.ClassJump:
+		d.Result = d.PC + isa.InstBytes
+		if op == isa.JAL {
+			d.ActualNext = d.Inst.BranchTarget(d.PC)
+		} else {
+			d.ActualNext = (v1 + uint64(d.Inst.Imm)) &^ 1
+			d.Mispredict = d.ActualNext != d.PredNext
+			lat += c.cfg.BranchResolveLatency
+		}
+	case isa.ClassSystem:
+		switch op {
+		case isa.RDCYCLE:
+			d.Result = c.cycle
+		case isa.PUTC, isa.PUTI, isa.HALT:
+			d.Result = v1
+		case isa.CFLUSH:
+			// Microarchitectural effect at execute time — this is the
+			// speculative attack primitive the policies must gate.
+			c.Hier.Flush(d.Addr)
+		case isa.FENCE:
+			// No effect; serialization handled at issue.
+		}
+	}
+	d.State = StateExecuting
+	d.DoneCycle = c.cycle + uint64(lat)
+}
+
+// executeLoad performs the data access and returns its latency.
+func (c *Core) executeLoad(d *DynInst, decision Decision, fwd *DynInst) int {
+	size := d.Inst.Op.MemBytes()
+	if fwd != nil {
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		d.Result = isa.ExtendLoad(d.Inst.Op, fwd.Result&mask)
+		d.FwdFrom = fwd
+		c.policy.OnForward(d, fwd)
+		return 1
+	}
+	raw, err := c.Phys.Read(d.Addr, size)
+	if err != nil {
+		// Wrong-path access outside simulated memory: produce a harmless
+		// value with hit latency and no cache perturbation. If this load is
+		// actually architectural the commit stage reports the fault.
+		d.MemErr = true
+		d.Result = 0
+		return c.cfg.Hier.L1D.Latency
+	}
+	d.Result = isa.ExtendLoad(d.Inst.Op, raw)
+	if decision == ProceedInvisible {
+		d.Invisible = true
+		return c.Hier.InvisibleLoadLatency(d.Addr)
+	}
+	return c.Hier.LoadLatency(d.Addr)
+}
+
+// ---------------------------------------------------------------- rename --
+
+func (c *Core) rename() {
+	for n := 0; n < c.cfg.RenameWidth && len(c.fetchBuf) > 0; n++ {
+		d := c.fetchBuf[0]
+		if len(c.rob)-c.robHead >= c.cfg.ROBSize {
+			return
+		}
+		if len(c.iq) >= c.cfg.IQSize {
+			return
+		}
+		op := d.Inst.Op
+		if d.IsLoad() && len(c.lq)-c.lqHead >= c.cfg.LQSize {
+			return
+		}
+		if d.IsStore() && len(c.sq)-c.sqHead >= c.cfg.SQSize {
+			return
+		}
+		needsSlot := d.IsCondBranch() || op == isa.JALR
+		bdtCap := c.cfg.BDTEntries
+		if bdtCap == 0 {
+			bdtCap = core.NumSlots
+		}
+		if needsSlot && c.BT.InFlight() >= bdtCap {
+			c.BT.AllocFailures++
+			return
+		}
+		hasDst := op.HasRd() && d.Inst.Rd != isa.RegZero
+		if hasDst && len(c.freeList) == 0 {
+			return
+		}
+
+		c.fetchBuf = c.fetchBuf[1:]
+		c.BT.CloseRegions(d.PC)
+
+		d.Src1, d.Src2, d.Dst, d.OldDst = -1, -1, -1, -1
+		if op.HasRs1() && d.Inst.Rs1 != isa.RegZero {
+			d.Src1 = c.rat[d.Inst.Rs1]
+		}
+		if op.HasRs2() && d.Inst.Rs2 != isa.RegZero {
+			d.Src2 = c.rat[d.Inst.Rs2]
+		}
+		if hasDst {
+			d.OldDst = c.rat[d.Inst.Rd]
+			d.Dst = c.freeList[len(c.freeList)-1]
+			c.freeList = c.freeList[:len(c.freeList)-1]
+			c.regReady[d.Dst] = false
+			c.rat[d.Inst.Rd] = d.Dst
+		}
+
+		// Policy sees the pre-allocation table state (its own slot is not a
+		// dependency of itself).
+		c.policy.OnRename(d)
+
+		if needsSlot {
+			slot, ok := c.BT.Alloc(d.Seq, d.PC)
+			if !ok {
+				// Should not happen: capacity checked above. Treat as stall.
+				c.fetchBuf = append([]*DynInst{d}, c.fetchBuf...)
+				return
+			}
+			d.BrSlot = slot
+			d.Check.RAT = c.rat
+		}
+		if op == isa.FENCE || op == isa.HALT {
+			c.fenceSeqs = append(c.fenceSeqs, d.Seq)
+		}
+
+		d.State = StateRenamed
+		c.rob = append(c.rob, d)
+		c.iq = append(c.iq, d)
+		if d.IsLoad() {
+			c.lq = append(c.lq, d)
+		}
+		if d.IsStore() {
+			c.sq = append(c.sq, d)
+		}
+		c.stats.Renamed++
+	}
+}
+
+// ----------------------------------------------------------------- fetch --
+
+func (c *Core) fetch() {
+	if c.fetchHalted || c.cycle < c.fetchStallUntil {
+		return
+	}
+	lineBytes := uint64(c.cfg.Hier.L1I.LineBytes)
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchBuf) < c.cfg.FetchBufSize; n++ {
+		inst, ok := c.prog.InstAt(c.fetchPC)
+		if !ok {
+			// Wrong-path fetch ran outside the text segment; stall until a
+			// misprediction recovery redirects us.
+			c.fetchHalted = true
+			return
+		}
+		if line := c.fetchPC / lineBytes; line != c.lastFetchLine {
+			lat := c.Hier.FetchLatency(c.fetchPC)
+			c.lastFetchLine = line
+			if lat > c.cfg.Hier.L1I.Latency {
+				// Miss: deliver nothing until the line arrives.
+				c.fetchStallUntil = c.cycle + uint64(lat)
+				return
+			}
+		}
+		c.seq++
+		d := &DynInst{Seq: c.seq, PC: c.fetchPC, Inst: inst, BrSlot: -1}
+		next := c.fetchPC + isa.InstBytes
+		switch {
+		case inst.Op.IsBranch():
+			d.Check = &Checkpoint{Pred: c.Pred.Checkpoint()}
+			taken, idx := c.Pred.PredictBranch(c.fetchPC)
+			d.PredTaken, d.PhtIdx = taken, idx
+			if taken {
+				next = inst.BranchTarget(c.fetchPC)
+			}
+		case inst.Op == isa.JAL:
+			next = inst.BranchTarget(c.fetchPC)
+			if inst.Rd == isa.RegRA {
+				c.Pred.PushRAS(c.fetchPC + isa.InstBytes)
+			}
+		case inst.Op == isa.JALR:
+			d.Check = &Checkpoint{Pred: c.Pred.Checkpoint()}
+			if inst.Rd == isa.RegZero && inst.Rs1 == isa.RegRA {
+				next = c.Pred.PopRAS()
+				d.UsedRAS = true
+			} else {
+				if tgt, hit := c.Pred.PredictIndirect(c.fetchPC); hit {
+					next = tgt
+				}
+				if inst.Rd == isa.RegRA {
+					c.Pred.PushRAS(c.fetchPC + isa.InstBytes)
+				}
+			}
+		}
+		d.PredNext = next
+		c.fetchBuf = append(c.fetchBuf, d)
+		c.stats.Fetched++
+		c.fetchPC = next
+		if inst.Op == isa.HALT {
+			c.fetchHalted = true
+			return
+		}
+		if inst.Op.IsControl() && next != d.PC+isa.InstBytes {
+			return // taken-control fetch break
+		}
+	}
+}
+
+func appendInt(b []byte, v int64) []byte {
+	return strconv.AppendInt(b, v, 10)
+}

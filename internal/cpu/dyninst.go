@@ -1,0 +1,142 @@
+package cpu
+
+import (
+	"levioso/internal/core"
+	"levioso/internal/isa"
+)
+
+// InstState tracks a dynamic instruction's progress through the window.
+type InstState uint8
+
+const (
+	StateRenamed   InstState = iota // in window, waiting for operands/policy
+	StateIssued                     // sent to a functional unit this cycle
+	StateExecuting                  // occupying a unit / waiting for memory
+	StateDone                       // result produced
+)
+
+// DynInst is one in-flight dynamic instruction.
+type DynInst struct {
+	Seq  uint64 // global program-order sequence number (1-based)
+	PC   uint64
+	Inst isa.Inst
+
+	// Fetch-time prediction state.
+	PredNext  uint64 // predicted next PC (fetch continued here)
+	PredTaken bool   // conditional branches: predicted direction
+	PhtIdx    int    // PHT entry used (conditional branches)
+	UsedRAS   bool   // JALR predicted via the return address stack
+	Check     *Checkpoint
+
+	// Rename results: physical register indices, -1 when absent.
+	Dst, Src1, Src2 int
+	OldDst          int
+
+	State     InstState
+	DoneCycle uint64 // cycle the result becomes available (while executing)
+	Result    uint64
+
+	// Memory state.
+	Addr      uint64 // effective address (valid once AddrReady)
+	AddrReady bool
+	MemErr    bool     // wrong-path access outside simulated memory
+	FwdFrom   *DynInst // store that forwarded its data, if any
+
+	// Control state.
+	ActualNext  uint64 // resolved next PC
+	ActualTaken bool
+	Mispredict  bool
+	BrSlot      int // Branch Dependency Table slot, -1 if none
+
+	// Policy state. WaitMask names the BDT slots that must resolve before
+	// this instruction may execute under the active policy; the core clears
+	// bits as branches resolve. DataMask is the dependency mask of the value
+	// this instruction produces (propagated through rename and forwarding).
+	WaitMask   core.Mask
+	DataMask   core.Mask
+	Invisible  bool // executed as an invisible load (no cache state change)
+	EverWaited bool // was ready but policy-blocked at least once (stats)
+
+	Squashed    bool
+	specAtIssue bool   // issued while >= 1 older branch was unresolved (stats)
+	exposeUntil uint64 // invisible loads: cycle the commit-time exposure/validation completes
+}
+
+// Checkpoint captures rename and predictor state at a control instruction,
+// allowing single-cycle recovery on misprediction.
+type Checkpoint struct {
+	RAT  [isa.NumRegs]int
+	Pred PredCheckpoint
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (d *DynInst) IsLoad() bool { return d.Inst.Op.IsLoad() }
+
+// IsStore reports whether the instruction writes data memory.
+func (d *DynInst) IsStore() bool { return d.Inst.Op.IsStore() }
+
+// IsCondBranch reports whether this is a conditional branch.
+func (d *DynInst) IsCondBranch() bool { return d.Inst.Op.IsBranch() }
+
+// IsControl reports whether the instruction can redirect fetch.
+func (d *DynInst) IsControl() bool { return d.Inst.Op.IsControl() }
+
+// Decision is a policy's verdict on a ready-to-issue instruction.
+type Decision uint8
+
+const (
+	// Proceed lets the instruction execute normally.
+	Proceed Decision = iota
+	// ProceedInvisible executes a load without changing cache state
+	// (InvisiSpec/GhostMinion-style); the fill happens when the load becomes
+	// safe. Only meaningful for loads.
+	ProceedInvisible
+	// Wait blocks the instruction this cycle.
+	Wait
+)
+
+// Policy is a secure-speculation policy plugged into the core. The core
+// calls OnRename in program order (including wrong-path instructions),
+// Decide whenever a data-ready instruction is considered for issue,
+// OnSlotResolved when a Branch Dependency Table slot resolves (so the policy
+// clears the slot from its own tables), and OnSquash for every squashed
+// instruction. Attach gives the policy access to the core's BDT and
+// configuration; Reset is called at the start of every run.
+type Policy interface {
+	Name() string
+	Attach(c *Core)
+	Reset()
+	OnRename(d *DynInst)
+	Decide(d *DynInst) Decision
+	OnForward(load, store *DynInst)
+	OnSlotResolved(slot int)
+	OnSquash(d *DynInst)
+}
+
+// NopPolicy is the unprotected baseline: full speculative execution.
+// (internal/secure re-exports it as the `unsafe` policy.)
+type NopPolicy struct{}
+
+// Name implements Policy.
+func (NopPolicy) Name() string { return "unsafe" }
+
+// Attach implements Policy.
+func (NopPolicy) Attach(*Core) {}
+
+// Reset implements Policy.
+func (NopPolicy) Reset() {}
+
+// OnRename implements Policy.
+func (NopPolicy) OnRename(*DynInst) {}
+
+// Decide implements Policy.
+func (NopPolicy) Decide(*DynInst) Decision { return Proceed }
+
+// OnForward implements Policy.
+func (NopPolicy) OnForward(_, _ *DynInst) {}
+
+// OnSlotResolved implements Policy.
+func (NopPolicy) OnSlotResolved(int) {}
+
+// OnSquash implements Policy.
+func (NopPolicy) OnSquash(*DynInst) {}

@@ -1,0 +1,396 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"levioso/internal/attack"
+	"levioso/internal/core"
+	"levioso/internal/cpu"
+	"levioso/internal/mem"
+	"levioso/internal/secure"
+	"levioso/internal/stats"
+	"levioso/internal/workloads"
+)
+
+// Experiment IDs (see DESIGN.md's experiment index).
+const (
+	ExpConfigID     = "config"     // T1
+	ExpCharactID    = "charact"    // T1b: workload characterization
+	ExpOverheadID   = "overhead"   // F1 (headline)
+	ExpRestrictedID = "restricted" // F2
+	ExpROBID        = "rob"        // F3
+	ExpMispredictID = "mispredict" // F4
+	ExpSecurityID   = "security"   // T2
+	ExpAblationID   = "ablation"   // F5
+	ExpBDTID        = "bdt"        // F6: Branch Dependency Table size
+	ExpCompilerID   = "compiler"   // T3
+)
+
+// ExperimentIDs lists all experiments in presentation order.
+func ExperimentIDs() []string {
+	return []string{
+		ExpConfigID, ExpCharactID, ExpOverheadID, ExpRestrictedID, ExpROBID,
+		ExpMispredictID, ExpSecurityID, ExpAblationID, ExpBDTID, ExpCompilerID,
+	}
+}
+
+// RunExperiment runs one experiment by ID and returns its rendered report.
+func RunExperiment(id string, size workloads.Size) (string, error) {
+	switch id {
+	case ExpConfigID:
+		return ExpConfig(cpu.DefaultConfig()), nil
+	case ExpCharactID:
+		return ExpCharacterization(size)
+	case ExpOverheadID:
+		return ExpOverhead(size)
+	case ExpRestrictedID:
+		return ExpRestricted(size)
+	case ExpROBID:
+		return ExpROBSweep(size, []int{64, 96, 128, 192, 256, 384})
+	case ExpMispredictID:
+		return ExpMispredict(size, []float64{0, 0.02, 0.05, 0.10, 0.20})
+	case ExpSecurityID:
+		return ExpSecurity()
+	case ExpAblationID:
+		return ExpAblation(size)
+	case ExpBDTID:
+		return ExpBDTSweep(size, []int{4, 8, 16, 32, 64})
+	case ExpCompilerID:
+		return ExpCompiler(size)
+	default:
+		return "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+}
+
+// RunAll runs every experiment, streaming reports to w.
+func RunAll(w io.Writer, size workloads.Size) error {
+	for _, id := range ExperimentIDs() {
+		fmt.Fprintf(w, "==> experiment %s\n", id)
+		rep, err := RunExperiment(id, size)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, rep)
+	}
+	return nil
+}
+
+// ExpConfig renders T1: the simulated core configuration table.
+func ExpConfig(cfg cpu.Config) string {
+	t := stats.NewTable("T1: simulated core configuration", "parameter", "value")
+	t.Add("pipeline width (F/R/I/C)", fmt.Sprintf("%d/%d/%d/%d",
+		cfg.FetchWidth, cfg.RenameWidth, cfg.IssueWidth, cfg.CommitWidth))
+	t.Add("ROB / IQ / LQ / SQ", fmt.Sprintf("%d / %d / %d / %d",
+		cfg.ROBSize, cfg.IQSize, cfg.LQSize, cfg.SQSize))
+	t.Add("physical registers", fmt.Sprint(cfg.NumPhysRegs))
+	t.Add("ALUs / MULs / mem ports", fmt.Sprintf("%d / %d / %d",
+		cfg.NumALU, cfg.NumMul, cfg.NumMemPorts))
+	t.Add("mul / div latency", fmt.Sprintf("%d / %d..%d", cfg.MulLatency,
+		cfg.DivLatencyBase, cfg.DivLatencyBase+cfg.DivLatencyRange))
+	t.Add("branch predictor", fmt.Sprintf("gshare 2^%d, %d-bit history, %d-entry BTB, %d-deep RAS",
+		cfg.Predictor.GShareBits, cfg.Predictor.HistoryBits,
+		cfg.Predictor.BTBEntries, cfg.Predictor.RASDepth))
+	t.Add("redirect penalty", fmt.Sprintf("%d cycles", cfg.RedirectPenalty))
+	t.Add("L1I", cacheLine(cfg.Hier.L1I))
+	t.Add("L1D", cacheLine(cfg.Hier.L1D))
+	t.Add("L2", cacheLine(cfg.Hier.L2))
+	t.Add("inclusive invisible-load support", "expose-at-commit (InvisiSpec-style)")
+	t.Add("memory latency", fmt.Sprintf("%d cycles", cfg.Hier.MemLatency))
+	t.Add("branch dependency table", fmt.Sprintf("%d entries", core.NumSlots))
+	return t.String()
+}
+
+func cacheLine(c mem.CacheConfig) string {
+	return fmt.Sprintf("%d KiB, %d-way, %dB lines, %d-cycle",
+		c.SizeBytes()/1024, c.Ways, c.LineBytes, c.Latency)
+}
+
+// ExpCharacterization renders T1b: per-workload behaviour on the unprotected
+// core — the numbers that explain the per-workload overhead texture in F1.
+func ExpCharacterization(size workloads.Size) (string, error) {
+	spec := DefaultSpec()
+	spec.Size = size
+	spec.Policies = []string{"unsafe"}
+	runs, err := Sweep(spec)
+	if err != nil {
+		return "", err
+	}
+	t := stats.NewTable("T1b: workload characterization (unsafe baseline)",
+		"workload", "class", "insts", "IPC", "br-miss%", "L1D-MPKI", "L2-MPKI", "spec-transmit%")
+	for _, r := range runs {
+		w, _ := workloads.ByName(r.Workload)
+		st := r.Stats
+		mpki := func(miss uint64) string {
+			return fmt.Sprintf("%.1f", 1000*float64(miss)/float64(st.Committed))
+		}
+		t.Add(r.Workload, w.Class,
+			fmt.Sprint(st.Committed),
+			fmt.Sprintf("%.2f", st.IPC()),
+			fmt.Sprintf("%.1f", 100*st.MispredictRate()),
+			mpki(st.L1DMisses), mpki(st.L2Misses),
+			stats.Pct(st.SpecFrac()))
+	}
+	return t.String(), nil
+}
+
+// ExpOverhead renders F1 (the headline figure): per-workload and geomean
+// execution-time overhead of each defense relative to the unprotected core.
+func ExpOverhead(size workloads.Size) (string, error) {
+	spec := DefaultSpec()
+	spec.Size = size
+	runs, err := Sweep(spec)
+	if err != nil {
+		return "", err
+	}
+	return renderOverhead("F1: execution-time overhead vs unsafe (lower is better)",
+		NewIndex(runs), spec.Policies), nil
+}
+
+func renderOverhead(title string, ix *Index, policies []string) string {
+	headers := append([]string{"workload"}, policies[1:]...)
+	t := stats.NewTable(title, headers...)
+	for _, w := range ix.Workloads {
+		row := []string{w}
+		for _, p := range policies[1:] {
+			ov, _ := ix.Overhead(w, p, policies[0])
+			row = append(row, stats.Pct(ov))
+		}
+		t.Add(row...)
+	}
+	row := []string{"geomean"}
+	var gms []float64
+	for _, p := range policies[1:] {
+		gm := ix.GeoMeanOverhead(p, policies[0])
+		gms = append(gms, gm)
+		row = append(row, stats.Pct(gm))
+	}
+	t.Add(row...)
+	var b strings.Builder
+	b.WriteString(t.String())
+	// Figure-style bars for the geomean.
+	b.WriteString("\ngeomean overhead:\n")
+	maxOv := 0.0
+	for _, gm := range gms {
+		if gm > maxOv {
+			maxOv = gm
+		}
+	}
+	for i, p := range policies[1:] {
+		fmt.Fprintf(&b, "  %-10s %7s %s\n", p, stats.Pct(gms[i]), stats.Bar(gms[i], maxOv, 40))
+	}
+	return b.String()
+}
+
+// ExpRestricted renders F2: the fraction of dynamic transmitters each policy
+// actually delayed, against the fraction a conservative scheme must delay
+// (transmitters issued under at least one unresolved branch).
+func ExpRestricted(size workloads.Size) (string, error) {
+	spec := DefaultSpec()
+	spec.Size = size
+	spec.Policies = []string{"unsafe", "delay", "levioso"}
+	runs, err := Sweep(spec)
+	if err != nil {
+		return "", err
+	}
+	ix := NewIndex(runs)
+	t := stats.NewTable(
+		"F2: fraction of dynamic transmitters restricted",
+		"workload", "speculative@issue(unsafe)", "delay-restricted", "levioso-restricted", "bdt-stalls")
+	var spec_, del, lev []float64
+	for _, w := range ix.Workloads {
+		u, _ := ix.Stats(w, "unsafe")
+		d, _ := ix.Stats(w, "delay")
+		l, _ := ix.Stats(w, "levioso")
+		spec_ = append(spec_, u.SpecFrac())
+		del = append(del, d.RestrictedFrac())
+		lev = append(lev, l.RestrictedFrac())
+		t.Add(w, stats.Pct(u.SpecFrac()), stats.Pct(d.RestrictedFrac()),
+			stats.Pct(l.RestrictedFrac()), fmt.Sprint(l.BDTAllocStalls))
+	}
+	t.Add("mean", stats.Pct(stats.Mean(spec_)), stats.Pct(stats.Mean(del)), stats.Pct(stats.Mean(lev)), "")
+	return t.String(), nil
+}
+
+// SensitivityWorkloads is the six-kernel subset used by the sensitivity
+// sweeps (F3, F4): two Levioso-friendly (pchase, hashjoin), two adversarial
+// (bsearch, treesearch), one branchy-recursive (qsort) and one predictable
+// (matmul). Running sweeps on a representative subset keeps the full
+// reference-scale regeneration tractable, as sensitivity studies in the
+// paper's venue usually do.
+func SensitivityWorkloads() []workloads.Workload {
+	var out []workloads.Workload
+	for _, name := range []string{"pchase", "qsort", "bsearch", "hashjoin", "matmul", "treesearch"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			panic("harness: missing sensitivity workload " + name)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// ExpROBSweep renders F3: geomean overhead of each policy as the window
+// (ROB) scales — bigger windows widen the speculation shadow, growing the
+// gap between conservative schemes and Levioso.
+func ExpROBSweep(size workloads.Size, robs []int) (string, error) {
+	policies := secure.EvalNames()
+	t := stats.NewTable("F3: geomean overhead vs ROB size (6-workload subset)",
+		append([]string{"ROB"}, policies[1:]...)...)
+	for _, rob := range robs {
+		cfg := defaultRunConfig()
+		cfg.ROBSize = rob
+		cfg.IQSize = rob / 3
+		cfg.LQSize = rob / 4
+		cfg.SQSize = rob / 6
+		cfg.NumPhysRegs = 32 + rob + 76
+		spec := Spec{
+			Workloads: SensitivityWorkloads(), Policies: policies,
+			Size: size, Config: cfg, Verify: false,
+		}
+		runs, err := Sweep(spec)
+		if err != nil {
+			return "", err
+		}
+		ix := NewIndex(runs)
+		row := []string{fmt.Sprint(rob)}
+		for _, p := range policies[1:] {
+			row = append(row, stats.Pct(ix.GeoMeanOverhead(p, "unsafe")))
+		}
+		t.Add(row...)
+	}
+	return t.String(), nil
+}
+
+// ExpMispredict renders F4: geomean overhead as predictor quality degrades
+// (forced extra misprediction rate). Worse prediction means more and longer
+// speculation shadows: all defenses get more expensive, Levioso least.
+func ExpMispredict(size workloads.Size, rates []float64) (string, error) {
+	policies := secure.EvalNames()
+	t := stats.NewTable("F4: geomean overhead vs forced extra mispredict rate (6-workload subset)",
+		append([]string{"rate"}, policies[1:]...)...)
+	for _, rate := range rates {
+		cfg := defaultRunConfig()
+		cfg.Predictor.ForceMispredictRate = rate
+		spec := Spec{
+			Workloads: SensitivityWorkloads(), Policies: policies,
+			Size: size, Config: cfg, Verify: false,
+		}
+		runs, err := Sweep(spec)
+		if err != nil {
+			return "", err
+		}
+		ix := NewIndex(runs)
+		row := []string{fmt.Sprintf("%.0f%%", 100*rate)}
+		for _, p := range policies[1:] {
+			row = append(row, stats.Pct(ix.GeoMeanOverhead(p, "unsafe")))
+		}
+		t.Add(row...)
+	}
+	return t.String(), nil
+}
+
+// ExpSecurity renders T2: the attack matrix over three attacks — Spectre-V1
+// (control-dependent gadget), its data-dependence variant (transmitter after
+// reconvergence consuming a region-produced value), and Spectre-CT
+// (non-speculatively loaded secret).
+func ExpSecurity() (string, error) {
+	policies := append([]string{}, secure.EvalNames()...)
+	policies = append(policies, "taint", "levioso-ctrl")
+	outcomes, err := attack.Run(policies, nil)
+	if err != nil {
+		return "", err
+	}
+	t := stats.NewTable("T2: secrets recovered (of trials) per attack",
+		"policy", "v1 (ctrl gadget)", "ct-data (post-reconv)", "ct (non-spec secret)", "verdict")
+	for _, o := range outcomes {
+		verdict := "SECURE"
+		switch {
+		case o.V1Leaks() && o.CTDLeaks() && o.CTLeaks():
+			verdict = "LEAKS ALL"
+		case o.CTLeaks():
+			verdict = "LEAKS CT (not comprehensive)"
+		case o.CTDLeaks():
+			verdict = "LEAKS CT-DATA (no data tracking)"
+		case o.V1Leaks():
+			verdict = "LEAKS V1"
+		}
+		t.Add(o.Policy,
+			fmt.Sprintf("%d/%d", o.V1Correct, o.V1Trials),
+			fmt.Sprintf("%d/%d", o.CTDCorrect, o.CTDTrials),
+			fmt.Sprintf("%d/%d", o.CTCorrect, o.CTTrials),
+			verdict)
+	}
+	return t.String(), nil
+}
+
+// ExpAblation renders F5: Levioso component ablation — control-only
+// annotations (unsound, cheaper) vs the full control+data design, plus the
+// taint baseline for calibration.
+func ExpAblation(size workloads.Size) (string, error) {
+	spec := DefaultSpec()
+	spec.Size = size
+	spec.Policies = []string{"unsafe", "taint", "levioso-ctrl", "levioso", "levioso-ghost"}
+	runs, err := Sweep(spec)
+	if err != nil {
+		return "", err
+	}
+	out := renderOverhead("F5: Levioso ablation+extension (levioso-ctrl drops data tracking — UNSOUND, cost attribution only; levioso-ghost runs dependent loads invisibly — extension beyond the paper)",
+		NewIndex(runs), spec.Policies)
+	return out, nil
+}
+
+// ExpBDTSweep renders F6: Levioso overhead and rename stalls as the Branch
+// Dependency Table shrinks — the hardware-cost knob. The table is sized so
+// capacity stalls are rare at 64 entries; this sweep shows where the knee is.
+func ExpBDTSweep(size workloads.Size, sizes []int) (string, error) {
+	t := stats.NewTable("F6: levioso geomean overhead vs Branch Dependency Table size (6-workload subset)",
+		"BDT entries", "levioso overhead", "alloc stalls")
+	for _, n := range sizes {
+		cfg := defaultRunConfig()
+		cfg.BDTEntries = n
+		spec := Spec{
+			Workloads: SensitivityWorkloads(),
+			Policies:  []string{"unsafe", "levioso"},
+			Size:      size, Config: cfg, Verify: false,
+		}
+		runs, err := Sweep(spec)
+		if err != nil {
+			return "", err
+		}
+		ix := NewIndex(runs)
+		var stalls uint64
+		for _, r := range runs {
+			if r.Policy == "levioso" {
+				stalls += r.Stats.BDTAllocStalls
+			}
+		}
+		t.Add(fmt.Sprint(n),
+			stats.Pct(ix.GeoMeanOverhead("levioso", "unsafe")),
+			fmt.Sprint(stalls))
+	}
+	return t.String(), nil
+}
+
+// ExpCompiler renders T3: per-workload Levioso compiler pass statistics.
+func ExpCompiler(size workloads.Size) (string, error) {
+	t := stats.NewTable("T3: compiler annotation statistics",
+		"workload", "branches", "annotated", "conservative", "avg region (blocks)", "avg writeset", "table bytes")
+	for _, w := range workloads.All() {
+		prog, err := w.Build(size)
+		if err != nil {
+			return "", err
+		}
+		st, err := core.Annotate(prog)
+		if err != nil {
+			return "", err
+		}
+		t.Add(w.Name, fmt.Sprint(st.Branches), fmt.Sprint(st.Annotated),
+			fmt.Sprint(st.Conservative),
+			fmt.Sprintf("%.1f", st.AvgRegionBlocks()),
+			fmt.Sprintf("%.1f", st.AvgWriteRegs()),
+			fmt.Sprint(st.TableBytes))
+	}
+	return t.String(), nil
+}

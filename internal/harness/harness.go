@@ -1,0 +1,189 @@
+// Package harness runs the paper's experiments: it sweeps the workload suite
+// across secure-speculation policies and core configurations and renders the
+// tables and figures indexed in DESIGN.md (T1–T3, F1–F5). cmd/levbench and
+// the repository benchmarks are thin wrappers over this package.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"levioso/internal/cpu"
+	"levioso/internal/ref"
+	"levioso/internal/secure"
+	"levioso/internal/stats"
+	"levioso/internal/workloads"
+)
+
+// Run is one (workload, policy) simulation result.
+type Run struct {
+	Workload string
+	Policy   string
+	Stats    cpu.Stats
+	ExitCode uint64
+}
+
+// Spec describes a sweep.
+type Spec struct {
+	Workloads []workloads.Workload
+	Policies  []string
+	Size      workloads.Size
+	Config    cpu.Config
+	// Verify cross-checks every run against the reference interpreter
+	// (exit code and console output) and fails on divergence.
+	Verify bool
+}
+
+// DefaultSpec sweeps the full suite over the headline policies at reference
+// scale on the default core.
+func DefaultSpec() Spec {
+	return Spec{
+		Workloads: workloads.All(),
+		Policies:  secure.EvalNames(),
+		Size:      workloads.SizeRef,
+		Config:    defaultRunConfig(),
+		Verify:    true,
+	}
+}
+
+func defaultRunConfig() cpu.Config {
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 500_000_000
+	return cfg
+}
+
+// Sweep runs every (workload, policy) pair, in parallel across workloads.
+// Results are ordered workload-major, matching Spec order.
+func Sweep(spec Spec) ([]Run, error) {
+	type cell struct {
+		run Run
+		err error
+	}
+	n := len(spec.Workloads) * len(spec.Policies)
+	cells := make([]cell, n)
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for wi, w := range spec.Workloads {
+		prog, err := w.Build(spec.Size)
+		if err != nil {
+			return nil, err
+		}
+		var want ref.Result
+		if spec.Verify {
+			want, err = ref.Run(prog, ref.Limits{})
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s: reference run: %w", w.Name, err)
+			}
+		}
+		for pi, pol := range spec.Policies {
+			wg.Add(1)
+			go func(idx int, wname, pol string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				// Each run gets its own program build to keep per-run state
+				// (memory image, hint tables) independent.
+				c, err := cpu.New(prog, spec.Config, secure.MustNew(pol))
+				if err != nil {
+					cells[idx] = cell{err: err}
+					return
+				}
+				res, err := c.Run()
+				if err != nil {
+					cells[idx] = cell{err: fmt.Errorf("harness: %s/%s: %w", wname, pol, err)}
+					return
+				}
+				if spec.Verify && (res.ExitCode != want.ExitCode || res.Output != want.Output) {
+					cells[idx] = cell{err: fmt.Errorf(
+						"harness: %s/%s: architectural divergence: got exit %d output %q, want %d %q",
+						wname, pol, res.ExitCode, res.Output, want.ExitCode, want.Output)}
+					return
+				}
+				cells[idx] = cell{run: Run{Workload: wname, Policy: pol, Stats: res.Stats, ExitCode: res.ExitCode}}
+			}(wi*len(spec.Policies)+pi, w.Name, pol)
+		}
+	}
+	wg.Wait()
+	out := make([]Run, 0, n)
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+		out = append(out, c.run)
+	}
+	return out, nil
+}
+
+func maxParallel() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Index organizes runs for table rendering: byWP[workload][policy].
+type Index struct {
+	Workloads []string
+	Policies  []string
+	byWP      map[string]map[string]cpu.Stats
+}
+
+// NewIndex builds an index over runs.
+func NewIndex(runs []Run) *Index {
+	ix := &Index{byWP: make(map[string]map[string]cpu.Stats)}
+	seenW := map[string]bool{}
+	seenP := map[string]bool{}
+	for _, r := range runs {
+		if !seenW[r.Workload] {
+			seenW[r.Workload] = true
+			ix.Workloads = append(ix.Workloads, r.Workload)
+		}
+		if !seenP[r.Policy] {
+			seenP[r.Policy] = true
+			ix.Policies = append(ix.Policies, r.Policy)
+		}
+		m := ix.byWP[r.Workload]
+		if m == nil {
+			m = make(map[string]cpu.Stats)
+			ix.byWP[r.Workload] = m
+		}
+		m[r.Policy] = r.Stats
+	}
+	return ix
+}
+
+// Stats returns the run statistics for (workload, policy).
+func (ix *Index) Stats(w, p string) (cpu.Stats, bool) {
+	s, ok := ix.byWP[w][p]
+	return s, ok
+}
+
+// Overhead returns policy p's execution-time overhead on workload w relative
+// to the baseline policy (normalized cycles - 1).
+func (ix *Index) Overhead(w, p, baseline string) (float64, bool) {
+	base, ok1 := ix.byWP[w][baseline]
+	s, ok2 := ix.byWP[w][p]
+	if !ok1 || !ok2 || base.Cycles == 0 {
+		return 0, false
+	}
+	return float64(s.Cycles)/float64(base.Cycles) - 1, true
+}
+
+// GeoMeanOverhead aggregates a policy's overhead across all workloads using
+// the geometric mean of normalized runtimes (the paper's metric).
+func (ix *Index) GeoMeanOverhead(p, baseline string) float64 {
+	var ratios []float64
+	for _, w := range ix.Workloads {
+		ov, ok := ix.Overhead(w, p, baseline)
+		if !ok {
+			continue
+		}
+		ratios = append(ratios, 1+ov)
+	}
+	if len(ratios) == 0 {
+		return 0
+	}
+	return stats.GeoMean(ratios) - 1
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"levioso/internal/cpu"
+	"levioso/internal/workloads"
+)
+
+func TestSweepAndOverheads(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Size = workloads.SizeTest
+	runs, err := Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(spec.Workloads)*len(spec.Policies) {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	ix := NewIndex(runs)
+	for _, p := range []string{"fence", "delay", "invisible", "levioso"} {
+		gm := ix.GeoMeanOverhead(p, "unsafe")
+		t.Logf("%-10s geomean overhead %.1f%%", p, 100*gm)
+		if gm < 0 {
+			t.Errorf("%s geomean overhead negative: %f", p, gm)
+		}
+	}
+	lev := ix.GeoMeanOverhead("levioso", "unsafe")
+	del := ix.GeoMeanOverhead("delay", "unsafe")
+	fen := ix.GeoMeanOverhead("fence", "unsafe")
+	if !(lev < del && del < fen) {
+		t.Errorf("ordering violated: levioso %.3f, delay %.3f, fence %.3f", lev, del, fen)
+	}
+}
+
+func TestExpConfigRenders(t *testing.T) {
+	out := ExpConfig(cpu.DefaultConfig())
+	for _, want := range []string{"ROB", "gshare", "L1D", "branch dependency table"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("config table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpCompilerRenders(t *testing.T) {
+	out, err := ExpCompiler(workloads.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workloads.Names() {
+		if !strings.Contains(out, w) {
+			t.Errorf("compiler table missing %q", w)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("bogus", workloads.SizeTest); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestIndexHelpers(t *testing.T) {
+	runs := []Run{
+		{Workload: "w", Policy: "unsafe", Stats: cpu.Stats{Cycles: 100}},
+		{Workload: "w", Policy: "x", Stats: cpu.Stats{Cycles: 150}},
+	}
+	ix := NewIndex(runs)
+	ov, ok := ix.Overhead("w", "x", "unsafe")
+	if !ok || ov < 0.49 || ov > 0.51 {
+		t.Errorf("overhead = %f, %v", ov, ok)
+	}
+	if gm := ix.GeoMeanOverhead("x", "unsafe"); gm < 0.49 || gm > 0.51 {
+		t.Errorf("geomean = %f", gm)
+	}
+	if _, ok := ix.Overhead("nope", "x", "unsafe"); ok {
+		t.Error("missing workload reported ok")
+	}
+}

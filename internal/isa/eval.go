@@ -1,0 +1,159 @@
+package isa
+
+// This file holds the pure (register-only) semantics of LEV64, shared by the
+// functional reference interpreter and the out-of-order core's execute stage.
+// Memory, control flow and system effects are handled by the callers.
+
+// EvalALU computes the result of a register-register or register-immediate
+// ALU/MUL/DIV instruction given its (already read) operand values. For
+// immediate forms, pass the immediate as b.
+func EvalALU(op Op, a, b uint64) uint64 {
+	switch op {
+	case ADD, ADDI:
+		return a + b
+	case SUB:
+		return a - b
+	case AND, ANDI:
+		return a & b
+	case OR, ORI:
+		return a | b
+	case XOR, XORI:
+		return a ^ b
+	case SLL, SLLI:
+		return a << (b & 63)
+	case SRL, SRLI:
+		return a >> (b & 63)
+	case SRA, SRAI:
+		return uint64(int64(a) >> (b & 63))
+	case SLT, SLTI:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case SLTU, SLTIU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case LUI:
+		// rd <- imm << 12, the canonical upper-immediate constructor.
+		return b << 12
+	case MUL:
+		return a * b
+	case MULH:
+		return mulh(int64(a), int64(b))
+	case DIV:
+		if b == 0 {
+			return ^uint64(0) // -1, RISC-V division-by-zero semantics
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return a // overflow: result is the dividend
+		}
+		return uint64(int64(a) / int64(b))
+	case DIVU:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case REM:
+		if b == 0 {
+			return a
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case REMU:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	default:
+		panic("isa: EvalALU on non-ALU op " + op.String())
+	}
+}
+
+// mulh returns the high 64 bits of the 128-bit signed product a*b.
+func mulh(a, b int64) uint64 {
+	// Split into 32-bit halves and recombine; avoids math/bits dependence on
+	// signedness handling.
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+	}
+	if b < 0 {
+		ub = uint64(-b)
+	}
+	hi, lo := umul128(ua, ub)
+	if neg {
+		// Negate the 128-bit value (two's complement).
+		lo = ^lo + 1
+		hi = ^hi
+		if lo == 0 {
+			hi++
+		}
+	}
+	_ = lo
+	return hi
+}
+
+// umul128 returns the 128-bit product of a and b as (hi, lo).
+func umul128(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	t := al * bl
+	lo = t & mask
+	c := t >> 32
+	t = ah*bl + c
+	c = t >> 32
+	t2 := al*bh + t&mask
+	lo |= t2 << 32
+	hi = ah*bh + c + t2>>32
+	return hi, lo
+}
+
+// EvalBranch returns whether a conditional branch with operand values a and b
+// is taken.
+func EvalBranch(op Op, a, b uint64) bool {
+	switch op {
+	case BEQ:
+		return a == b
+	case BNE:
+		return a != b
+	case BLT:
+		return int64(a) < int64(b)
+	case BGE:
+		return int64(a) >= int64(b)
+	case BLTU:
+		return a < b
+	case BGEU:
+		return a >= b
+	default:
+		panic("isa: EvalBranch on non-branch op " + op.String())
+	}
+}
+
+// ExtendLoad sign- or zero-extends a raw little-endian load value of the
+// given op's width to 64 bits.
+func ExtendLoad(op Op, raw uint64) uint64 {
+	switch op {
+	case LB:
+		return uint64(int64(int8(raw)))
+	case LBU:
+		return raw & 0xff
+	case LH:
+		return uint64(int64(int16(raw)))
+	case LHU:
+		return raw & 0xffff
+	case LW:
+		return uint64(int64(int32(raw)))
+	case LWU:
+		return raw & 0xffffffff
+	case LD:
+		return raw
+	default:
+		panic("isa: ExtendLoad on non-load op " + op.String())
+	}
+}

@@ -1,0 +1,124 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inst is one decoded LEV64 instruction.
+//
+// The immediate is stored sign-extended to 64 bits but must fit in 32 bits to
+// encode; branch and JAL immediates are PC-relative byte offsets.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// Encode writes the 8-byte encoding of in into b.
+// It returns an error if the instruction is malformed (invalid opcode,
+// register out of range, or immediate outside int32).
+func (in Inst) Encode(b []byte) error {
+	if len(b) < InstBytes {
+		return fmt.Errorf("isa: encode buffer too small (%d bytes)", len(b))
+	}
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: encode invalid opcode %d", in.Op)
+	}
+	if !in.Rd.Valid() || !in.Rs1.Valid() || !in.Rs2.Valid() {
+		return fmt.Errorf("isa: encode %s: register out of range", in.Op)
+	}
+	if in.Imm < -1<<31 || in.Imm > 1<<31-1 {
+		return fmt.Errorf("isa: encode %s: immediate %d does not fit in 32 bits", in.Op, in.Imm)
+	}
+	b[0] = byte(in.Op)
+	b[1] = byte(in.Rd)
+	b[2] = byte(in.Rs1)
+	b[3] = byte(in.Rs2)
+	binary.LittleEndian.PutUint32(b[4:8], uint32(int32(in.Imm)))
+	return nil
+}
+
+// Decode reads one instruction from b.
+func Decode(b []byte) (Inst, error) {
+	if len(b) < InstBytes {
+		return Inst{}, fmt.Errorf("isa: decode buffer too small (%d bytes)", len(b))
+	}
+	in := Inst{
+		Op:  Op(b[0]),
+		Rd:  Reg(b[1]),
+		Rs1: Reg(b[2]),
+		Rs2: Reg(b[3]),
+		Imm: int64(int32(binary.LittleEndian.Uint32(b[4:8]))),
+	}
+	if !in.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode invalid opcode %d", b[0])
+	}
+	if !in.Rd.Valid() || !in.Rs1.Valid() || !in.Rs2.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode %s: register out of range", in.Op)
+	}
+	return in, nil
+}
+
+// String renders the instruction in assembler syntax. Branch/JAL immediates
+// are shown as raw byte offsets (the disassembler in the asm package resolves
+// them to labels).
+func (in Inst) String() string {
+	info := opTable[in.Op]
+	switch {
+	case in.Op.IsLoad(), in.Op == JALR, in.Op == CFLUSH && info.hasRd:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case in.Op == CFLUSH:
+		return fmt.Sprintf("%s %d(%s)", in.Op, in.Imm, in.Rs1)
+	case in.Op.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case in.Op == JAL:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case in.Op == LUI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case info.hasRd && info.hasRs1 && info.hasRs2:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case info.hasRd && info.hasRs1 && info.hasImm:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case info.hasRd && !info.hasRs1 && !info.hasRs2 && !info.hasImm:
+		return fmt.Sprintf("%s %s", in.Op, in.Rd)
+	case info.hasRs1 && !info.hasRd && !info.hasRs2 && !info.hasImm:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	default:
+		return in.Op.String()
+	}
+}
+
+// DestReg returns the architectural register written by in, or (0, false) if
+// the instruction writes no register (writes to x0 also count as none).
+func (in Inst) DestReg() (Reg, bool) {
+	if in.Op.HasRd() && in.Rd != RegZero {
+		return in.Rd, true
+	}
+	return 0, false
+}
+
+// SrcRegs appends the architectural registers read by in to dst and returns
+// the result. Reads of x0 are omitted (x0 is constant).
+func (in Inst) SrcRegs(dst []Reg) []Reg {
+	if in.Op.HasRs1() && in.Rs1 != RegZero {
+		dst = append(dst, in.Rs1)
+	}
+	if in.Op.HasRs2() && in.Rs2 != RegZero {
+		dst = append(dst, in.Rs2)
+	}
+	return dst
+}
+
+// BranchTarget returns the taken-path target of a branch or JAL at pc.
+// It panics if the instruction is not PC-relative control flow.
+func (in Inst) BranchTarget(pc uint64) uint64 {
+	if !in.Op.IsBranch() && in.Op != JAL {
+		panic("isa: BranchTarget on non-PC-relative instruction " + in.Op.String())
+	}
+	return uint64(int64(pc) + in.Imm)
+}

@@ -1,0 +1,274 @@
+// Package isa defines LEV64, the 64-bit RISC instruction set executed by the
+// simulator and targeted by the assembler and the LevC compiler.
+//
+// LEV64 is deliberately close to the RV64I+M subset used by the Levioso paper's
+// evaluation vehicle: 32 integer registers, load/store architecture,
+// compare-and-branch control flow. Two extensions exist purely to support the
+// security evaluation inside the simulator: RDCYCLE (read the core cycle
+// counter) and CFLUSH (evict a cache line), which stand in for the timing and
+// flush primitives a real attacker has.
+//
+// Instructions use a fixed 8-byte encoding (opcode, rd, rs1, rs2, imm32) so
+// binaries are trivially seekable; PC advances by 8 (isa.InstBytes) per
+// instruction.
+package isa
+
+import "fmt"
+
+// InstBytes is the size of one encoded instruction in bytes.
+const InstBytes = 8
+
+// NumRegs is the number of architectural integer registers.
+const NumRegs = 32
+
+// Reg identifies an architectural register x0..x31. x0 is hardwired to zero.
+type Reg uint8
+
+// Op enumerates LEV64 opcodes.
+type Op uint8
+
+// Opcode space. The order groups instructions by class; metadata lives in the
+// opInfo table below, never in the numeric value.
+const (
+	INVALID Op = iota
+
+	// Register-register ALU.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+	MUL
+	MULH
+	DIV
+	DIVU
+	REM
+	REMU
+
+	// Register-immediate ALU.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	SLTIU
+	LUI
+
+	// Loads: rd <- mem[rs1+imm].
+	LB
+	LBU
+	LH
+	LHU
+	LW
+	LWU
+	LD
+
+	// Stores: mem[rs1+imm] <- rs2.
+	SB
+	SH
+	SW
+	SD
+
+	// Conditional branches: if cmp(rs1, rs2) then PC += imm.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// Unconditional control flow.
+	JAL  // rd <- PC+8; PC += imm
+	JALR // rd <- PC+8; PC <- (rs1+imm) &^ 1
+
+	// System / simulator support.
+	FENCE   // speculation barrier: drains all older unresolved branches
+	HALT    // stop simulation; exit code in rs1
+	PUTC    // write low byte of rs1 to the simulated console
+	PUTI    // write decimal value of rs1 to the simulated console
+	RDCYCLE // rd <- current core cycle count (attacker timing primitive)
+	CFLUSH  // evict cache line containing rs1+imm from all cache levels
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes (exported for table sizing).
+const NumOps = int(numOps)
+
+// Class partitions opcodes by the functional unit and scheduling behaviour
+// they need in the out-of-order core.
+type Class uint8
+
+const (
+	ClassALU    Class = iota // single-cycle integer ops
+	ClassMul                 // pipelined multiplier
+	ClassDiv                 // unpipelined, variable-latency divider
+	ClassLoad                // memory read
+	ClassStore               // memory write
+	ClassBranch              // conditional branch
+	ClassJump                // JAL/JALR
+	ClassSystem              // FENCE, HALT, console, RDCYCLE, CFLUSH
+)
+
+type opInfo struct {
+	name  string
+	class Class
+	// hasRd/hasRs1/hasRs2/hasImm describe which fields the op uses; the
+	// assembler and disassembler key off these.
+	hasRd, hasRs1, hasRs2, hasImm bool
+	// memBytes is the access size for loads/stores, 0 otherwise.
+	memBytes int
+	// unsigned marks loads that zero-extend and compares that are unsigned.
+	unsigned bool
+}
+
+var opTable = [numOps]opInfo{
+	INVALID: {name: "invalid"},
+
+	ADD:  {name: "add", class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	SUB:  {name: "sub", class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	AND:  {name: "and", class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OR:   {name: "or", class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	XOR:  {name: "xor", class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	SLL:  {name: "sll", class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	SRL:  {name: "srl", class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	SRA:  {name: "sra", class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	SLT:  {name: "slt", class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	SLTU: {name: "sltu", class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true, unsigned: true},
+	MUL:  {name: "mul", class: ClassMul, hasRd: true, hasRs1: true, hasRs2: true},
+	MULH: {name: "mulh", class: ClassMul, hasRd: true, hasRs1: true, hasRs2: true},
+	DIV:  {name: "div", class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true},
+	DIVU: {name: "divu", class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true, unsigned: true},
+	REM:  {name: "rem", class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true},
+	REMU: {name: "remu", class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true, unsigned: true},
+
+	ADDI:  {name: "addi", class: ClassALU, hasRd: true, hasRs1: true, hasImm: true},
+	ANDI:  {name: "andi", class: ClassALU, hasRd: true, hasRs1: true, hasImm: true},
+	ORI:   {name: "ori", class: ClassALU, hasRd: true, hasRs1: true, hasImm: true},
+	XORI:  {name: "xori", class: ClassALU, hasRd: true, hasRs1: true, hasImm: true},
+	SLLI:  {name: "slli", class: ClassALU, hasRd: true, hasRs1: true, hasImm: true},
+	SRLI:  {name: "srli", class: ClassALU, hasRd: true, hasRs1: true, hasImm: true},
+	SRAI:  {name: "srai", class: ClassALU, hasRd: true, hasRs1: true, hasImm: true},
+	SLTI:  {name: "slti", class: ClassALU, hasRd: true, hasRs1: true, hasImm: true},
+	SLTIU: {name: "sltiu", class: ClassALU, hasRd: true, hasRs1: true, hasImm: true, unsigned: true},
+	LUI:   {name: "lui", class: ClassALU, hasRd: true, hasImm: true},
+
+	LB:  {name: "lb", class: ClassLoad, hasRd: true, hasRs1: true, hasImm: true, memBytes: 1},
+	LBU: {name: "lbu", class: ClassLoad, hasRd: true, hasRs1: true, hasImm: true, memBytes: 1, unsigned: true},
+	LH:  {name: "lh", class: ClassLoad, hasRd: true, hasRs1: true, hasImm: true, memBytes: 2},
+	LHU: {name: "lhu", class: ClassLoad, hasRd: true, hasRs1: true, hasImm: true, memBytes: 2, unsigned: true},
+	LW:  {name: "lw", class: ClassLoad, hasRd: true, hasRs1: true, hasImm: true, memBytes: 4},
+	LWU: {name: "lwu", class: ClassLoad, hasRd: true, hasRs1: true, hasImm: true, memBytes: 4, unsigned: true},
+	LD:  {name: "ld", class: ClassLoad, hasRd: true, hasRs1: true, hasImm: true, memBytes: 8},
+
+	SB: {name: "sb", class: ClassStore, hasRs1: true, hasRs2: true, hasImm: true, memBytes: 1},
+	SH: {name: "sh", class: ClassStore, hasRs1: true, hasRs2: true, hasImm: true, memBytes: 2},
+	SW: {name: "sw", class: ClassStore, hasRs1: true, hasRs2: true, hasImm: true, memBytes: 4},
+	SD: {name: "sd", class: ClassStore, hasRs1: true, hasRs2: true, hasImm: true, memBytes: 8},
+
+	BEQ:  {name: "beq", class: ClassBranch, hasRs1: true, hasRs2: true, hasImm: true},
+	BNE:  {name: "bne", class: ClassBranch, hasRs1: true, hasRs2: true, hasImm: true},
+	BLT:  {name: "blt", class: ClassBranch, hasRs1: true, hasRs2: true, hasImm: true},
+	BGE:  {name: "bge", class: ClassBranch, hasRs1: true, hasRs2: true, hasImm: true},
+	BLTU: {name: "bltu", class: ClassBranch, hasRs1: true, hasRs2: true, hasImm: true, unsigned: true},
+	BGEU: {name: "bgeu", class: ClassBranch, hasRs1: true, hasRs2: true, hasImm: true, unsigned: true},
+
+	JAL:  {name: "jal", class: ClassJump, hasRd: true, hasImm: true},
+	JALR: {name: "jalr", class: ClassJump, hasRd: true, hasRs1: true, hasImm: true},
+
+	FENCE:   {name: "fence", class: ClassSystem},
+	HALT:    {name: "halt", class: ClassSystem, hasRs1: true},
+	PUTC:    {name: "putc", class: ClassSystem, hasRs1: true},
+	PUTI:    {name: "puti", class: ClassSystem, hasRs1: true},
+	RDCYCLE: {name: "rdcycle", class: ClassSystem, hasRd: true},
+	CFLUSH:  {name: "cflush", class: ClassSystem, hasRs1: true, hasImm: true},
+}
+
+// Valid reports whether op is a defined opcode other than INVALID.
+func (op Op) Valid() bool { return op > INVALID && op < numOps }
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if op >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Class returns the scheduling class of op.
+func (op Op) Class() Class {
+	if op >= numOps {
+		return ClassSystem
+	}
+	return opTable[op].class
+}
+
+// HasRd reports whether op writes a destination register.
+func (op Op) HasRd() bool { return op < numOps && opTable[op].hasRd }
+
+// HasRs1 reports whether op reads rs1.
+func (op Op) HasRs1() bool { return op < numOps && opTable[op].hasRs1 }
+
+// HasRs2 reports whether op reads rs2.
+func (op Op) HasRs2() bool { return op < numOps && opTable[op].hasRs2 }
+
+// HasImm reports whether op uses the immediate field.
+func (op Op) HasImm() bool { return op < numOps && opTable[op].hasImm }
+
+// MemBytes returns the memory access size for loads and stores, 0 otherwise.
+func (op Op) MemBytes() int {
+	if op >= numOps {
+		return 0
+	}
+	return opTable[op].memBytes
+}
+
+// Unsigned reports whether the op's comparison or load extension is unsigned.
+func (op Op) Unsigned() bool { return op < numOps && opTable[op].unsigned }
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return op.Class() == ClassLoad }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return op.Class() == ClassStore }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return op.Class() == ClassBranch }
+
+// IsJump reports whether op is an unconditional control transfer.
+func (op Op) IsJump() bool { return op.Class() == ClassJump }
+
+// IsControl reports whether op can redirect the PC.
+func (op Op) IsControl() bool { return op.IsBranch() || op.IsJump() }
+
+// IsTransmitter reports whether speculatively executing op can modulate
+// microarchitectural state observable by an attacker: loads perturb the cache
+// by address, and the unpipelined divider's occupancy depends on operand
+// values. This is the instruction set every secure-speculation policy in
+// internal/secure gates.
+func (op Op) IsTransmitter() bool {
+	c := op.Class()
+	return c == ClassLoad || c == ClassDiv || op == CFLUSH
+}
+
+// OpByName returns the opcode with the given assembler mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := INVALID + 1; op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()

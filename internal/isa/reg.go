@@ -1,0 +1,78 @@
+package isa
+
+import "fmt"
+
+// ABI register aliases, following the RISC-V calling convention the LevC
+// compiler targets.
+const (
+	RegZero Reg = 0 // hardwired zero
+	RegRA   Reg = 1 // return address
+	RegSP   Reg = 2 // stack pointer
+	RegGP   Reg = 3 // global pointer (base of .data)
+	RegTP   Reg = 4 // thread pointer (unused, reserved)
+	RegT0   Reg = 5 // temporaries t0..t2
+	RegT1   Reg = 6
+	RegT2   Reg = 7
+	RegS0   Reg = 8 // saved registers / frame pointer
+	RegFP   Reg = 8
+	RegS1   Reg = 9
+	RegA0   Reg = 10 // arguments / return values a0..a7
+	RegA1   Reg = 11
+	RegA2   Reg = 12
+	RegA3   Reg = 13
+	RegA4   Reg = 14
+	RegA5   Reg = 15
+	RegA6   Reg = 16
+	RegA7   Reg = 17
+	RegS2   Reg = 18 // saved registers s2..s11
+	RegS3   Reg = 19
+	RegS4   Reg = 20
+	RegS5   Reg = 21
+	RegS6   Reg = 22
+	RegS7   Reg = 23
+	RegS8   Reg = 24
+	RegS9   Reg = 25
+	RegS10  Reg = 26
+	RegS11  Reg = 27
+	RegT3   Reg = 28 // temporaries t3..t6
+	RegT4   Reg = 29
+	RegT5   Reg = 30
+	RegT6   Reg = 31
+)
+
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// String returns the ABI name of the register (e.g. "a0", "sp").
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x%d", uint8(r))
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// RegByName parses a register name: either an ABI alias ("a0", "sp", "fp")
+// or the numeric form ("x0".."x31").
+func RegByName(name string) (Reg, bool) {
+	if r, ok := regByName[name]; ok {
+		return r, true
+	}
+	return 0, false
+}
+
+var regByName = func() map[string]Reg {
+	m := make(map[string]Reg, NumRegs*2)
+	for i, n := range regNames {
+		m[n] = Reg(i)
+		m[fmt.Sprintf("x%d", i)] = Reg(i)
+	}
+	m["fp"] = RegFP
+	return m
+}()

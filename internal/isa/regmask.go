@@ -1,0 +1,46 @@
+package isa
+
+import "strings"
+
+// RegMask is a bitset over the 32 architectural registers. The Levioso
+// compiler uses it to annotate each branch with the set of registers that may
+// be written inside the branch's control-dependent region (between the branch
+// and its reconvergence point); the hardware uses it to seed data-dependency
+// tracking.
+type RegMask uint32
+
+// Set returns m with register r added.
+func (m RegMask) Set(r Reg) RegMask { return m | 1<<uint(r) }
+
+// Has reports whether register r is in the mask.
+func (m RegMask) Has(r Reg) bool { return m&(1<<uint(r)) != 0 }
+
+// Union returns the union of m and o.
+func (m RegMask) Union(o RegMask) RegMask { return m | o }
+
+// Count returns the number of registers in the mask.
+func (m RegMask) Count() int {
+	n := 0
+	for v := m; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// String lists the registers in the mask, e.g. "{a0,t1}".
+func (m RegMask) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for r := Reg(0); r < NumRegs; r++ {
+		if m.Has(r) {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(r.String())
+			first = false
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

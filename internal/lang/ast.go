@@ -1,0 +1,161 @@
+package lang
+
+// AST node types. Every node records its source line for diagnostics.
+
+// Program is a parsed LevC source file.
+type Program struct {
+	Globals []*Global
+	Funcs   []*Func
+}
+
+// Global is a file-scope variable or array declaration.
+type Global struct {
+	Name string
+	// Size < 0: scalar. Size >= 0: array of Size elements (if initialized
+	// with a list and no explicit size, Size == len(Init)).
+	Size int64
+	Init []int64 // constant initializers (scalar: at most one)
+	Line int
+}
+
+// IsArray reports whether the global is an array.
+func (g *Global) IsArray() bool { return g.Size >= 0 }
+
+// Func is a function definition.
+type Func struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Line   int
+}
+
+// Statements.
+
+// Block is a `{ ... }` statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// Stmt is any statement node.
+type Stmt interface{ stmtNode() }
+
+// VarDecl declares a local variable, optionally initialized.
+type VarDecl struct {
+	Name string
+	Init Expr // nil: zero-initialized
+	Line int
+}
+
+// Assign stores Value into Target (an identifier or index expression).
+type Assign struct {
+	Target Expr // *Ident or *Index
+	Value  Expr
+	Line   int
+}
+
+// If is a conditional with optional else.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else *Block // nil if absent
+	Line int
+}
+
+// While is a pre-tested loop.
+type While struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// For is for(init; cond; post) body; any clause may be nil.
+type For struct {
+	Init Stmt // VarDecl, Assign or ExprStmt
+	Cond Expr
+	Post Stmt
+	Body *Block
+	Line int
+}
+
+// Return exits the enclosing function; Value may be nil (returns 0).
+type Return struct {
+	Value Expr
+	Line  int
+}
+
+// Break exits the innermost loop.
+type Break struct{ Line int }
+
+// Continue jumps to the innermost loop's next iteration.
+type Continue struct{ Line int }
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*Block) stmtNode()    {}
+func (*VarDecl) stmtNode()  {}
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*ExprStmt) stmtNode() {}
+
+// Expressions.
+
+// Expr is any expression node.
+type Expr interface{ exprNode() }
+
+// Num is an integer literal.
+type Num struct {
+	Val  int64
+	Line int
+}
+
+// Ident references a local, parameter or global scalar (or a global array
+// when used as a call argument or index base).
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Index is base[idx] where base names a global array.
+type Index struct {
+	Base *Ident
+	Idx  Expr
+	Line int
+}
+
+// Unary is -x, !x or ~x.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is a binary operation, including short-circuit && and ||.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Call invokes a function or builtin (print, putc, cycles).
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*Num) exprNode()    {}
+func (*Ident) exprNode()  {}
+func (*Index) exprNode()  {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+func (*Call) exprNode()   {}

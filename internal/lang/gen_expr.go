@@ -1,0 +1,281 @@
+package lang
+
+import "levioso/internal/isa"
+
+// expr generates code computing e and returns the register holding the
+// result. The register is either a pool temporary (the caller frees it with
+// freeTemp) or a callee-saved register holding a live local (freeTemp is a
+// no-op for those; callers must never write through the returned register).
+func (g *codegen) expr(e Expr) (isa.Reg, error) {
+	switch e := e.(type) {
+	case *Num:
+		rd, err := g.allocTemp(e.Line)
+		if err != nil {
+			return 0, err
+		}
+		g.emit("li %s, %d", rd, e.Val)
+		return rd, nil
+
+	case *Ident:
+		if loc, ok := g.lookup(e.Name); ok {
+			if loc.inReg {
+				return loc.reg, nil
+			}
+			rd, err := g.allocTemp(e.Line)
+			if err != nil {
+				return 0, err
+			}
+			g.emit("ld %s, %s(sp)", rd, g.slotPlaceholder(loc.slot))
+			return rd, nil
+		}
+		gi, ok := g.globals[e.Name]
+		if !ok {
+			return 0, g.errAt(e.Line, "undefined variable %q", e.Name)
+		}
+		if gi.isArray {
+			return 0, g.errAt(e.Line, "array %q used without index", e.Name)
+		}
+		rd, err := g.allocTemp(e.Line)
+		if err != nil {
+			return 0, err
+		}
+		g.emit("ld %s, %s", rd, e.Name)
+		return rd, nil
+
+	case *Index:
+		gi, ok := g.globals[e.Base.Name]
+		if !ok || !gi.isArray {
+			return 0, g.errAt(e.Line, "%q is not a global array", e.Base.Name)
+		}
+		ri, err := g.expr(e.Idx)
+		if err != nil {
+			return 0, err
+		}
+		rd, err := g.allocTemp(e.Line)
+		if err != nil {
+			return 0, err
+		}
+		g.emit("slli %s, %s, 3", rd, ri)
+		g.freeTemp(ri)
+		g.emit("ld %s, %s(%s)", rd, e.Base.Name, rd)
+		return rd, nil
+
+	case *Unary:
+		r, err := g.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		rd, err := g.allocTemp(e.Line)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "-":
+			g.emit("neg %s, %s", rd, r)
+		case "~":
+			g.emit("not %s, %s", rd, r)
+		case "!":
+			g.emit("seqz %s, %s", rd, r)
+		default:
+			return 0, g.errAt(e.Line, "unknown unary operator %q", e.Op)
+		}
+		g.freeTemp(r)
+		return rd, nil
+
+	case *Binary:
+		return g.binaryExpr(e)
+
+	case *Call:
+		return g.call(e)
+
+	default:
+		return 0, g.errAt(0, "unknown expression %T", e)
+	}
+}
+
+var arithInst = map[string]string{
+	"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+	"&": "and", "|": "or", "^": "xor", "<<": "sll",
+	// >> is arithmetic: LevC integers are signed.
+	">>": "sra",
+}
+
+func (g *codegen) binaryExpr(e *Binary) (isa.Reg, error) {
+	// Short-circuit operators materialize a 0/1 value via branches.
+	if e.Op == "&&" || e.Op == "||" {
+		rd, err := g.allocTemp(e.Line)
+		if err != nil {
+			return 0, err
+		}
+		falseL, endL := g.label(), g.label()
+		if err := g.condBranch(e, falseL, false); err != nil {
+			return 0, err
+		}
+		g.emit("li %s, 1", rd)
+		g.emit("j %s", endL)
+		g.placeLabel(falseL)
+		g.emit("li %s, 0", rd)
+		g.placeLabel(endL)
+		return rd, nil
+	}
+
+	r1, err := g.expr(e.L)
+	if err != nil {
+		return 0, err
+	}
+	r2, err := g.expr(e.R)
+	if err != nil {
+		return 0, err
+	}
+	rd, err := g.allocTemp(e.Line)
+	if err != nil {
+		return 0, err
+	}
+	switch e.Op {
+	case "<":
+		g.emit("slt %s, %s, %s", rd, r1, r2)
+	case ">":
+		g.emit("slt %s, %s, %s", rd, r2, r1)
+	case "<=":
+		g.emit("slt %s, %s, %s", rd, r2, r1)
+		g.emit("xori %s, %s, 1", rd, rd)
+	case ">=":
+		g.emit("slt %s, %s, %s", rd, r1, r2)
+		g.emit("xori %s, %s, 1", rd, rd)
+	case "==":
+		g.emit("xor %s, %s, %s", rd, r1, r2)
+		g.emit("seqz %s, %s", rd, rd)
+	case "!=":
+		g.emit("xor %s, %s, %s", rd, r1, r2)
+		g.emit("snez %s, %s", rd, rd)
+	default:
+		inst, ok := arithInst[e.Op]
+		if !ok {
+			return 0, g.errAt(e.Line, "unknown operator %q", e.Op)
+		}
+		g.emit("%s %s, %s, %s", inst, rd, r1, r2)
+	}
+	g.freeTemp(r1)
+	g.freeTemp(r2)
+	return rd, nil
+}
+
+func (g *codegen) call(e *Call) (isa.Reg, error) {
+	// Builtins.
+	switch e.Name {
+	case "print", "putc":
+		if len(e.Args) != 1 {
+			return 0, g.errAt(e.Line, "%s takes one argument", e.Name)
+		}
+		r, err := g.expr(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if e.Name == "print" {
+			g.emit("puti %s", r)
+			g.freeTemp(r)
+			nl, err := g.allocTemp(e.Line)
+			if err != nil {
+				return 0, err
+			}
+			g.emit("li %s, '\\n'", nl)
+			g.emit("putc %s", nl)
+			// Reuse the newline temp as the (zero) result.
+			g.emit("li %s, 0", nl)
+			return nl, nil
+		}
+		g.emit("putc %s", r)
+		return r, nil
+	case "cycles":
+		if len(e.Args) != 0 {
+			return 0, g.errAt(e.Line, "cycles takes no arguments")
+		}
+		rd, err := g.allocTemp(e.Line)
+		if err != nil {
+			return 0, err
+		}
+		g.emit("rdcycle %s", rd)
+		return rd, nil
+	}
+
+	arity, ok := g.funcs[e.Name]
+	if !ok {
+		return 0, g.errAt(e.Line, "undefined function %q", e.Name)
+	}
+	if len(e.Args) != arity {
+		return 0, g.errAt(e.Line, "%s takes %d arguments, got %d", e.Name, arity, len(e.Args))
+	}
+
+	// Fast path: enough free temporaries to hold every argument at once.
+	free := 0
+	for _, used := range g.tempInUse {
+		if !used {
+			free++
+		}
+	}
+	if len(e.Args) <= free {
+		args := make([]isa.Reg, len(e.Args))
+		for i, a := range e.Args {
+			r, err := g.expr(a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = r
+		}
+		// Save the caller-saved temporaries that stay live across the call:
+		// every in-use pool register that is not an argument home.
+		isArg := map[isa.Reg]bool{}
+		for _, r := range args {
+			isArg[r] = true
+		}
+		var save []isa.Reg
+		for _, r := range g.liveTemps() {
+			if !isArg[r] {
+				save = append(save, r)
+			}
+		}
+		g.pushRegs(save)
+		for i, r := range args {
+			g.emit("mv %s, %s", isa.RegA0+isa.Reg(i), r)
+			g.freeTemp(r)
+		}
+		g.emit("call %s", e.Name)
+		rd, err := g.allocTemp(e.Line)
+		if err != nil {
+			return 0, err
+		}
+		g.emit("mv %s, %s", rd, isa.RegA0)
+		g.popRegs(save)
+		return rd, nil
+	}
+
+	// Spill path: evaluate each argument into a stack staging area, then
+	// reload into the argument registers. Needed when arguments outnumber
+	// the free temporaries (e.g. 8-argument calls in deep expressions).
+	n := len(e.Args)
+	g.emit("addi sp, sp, -%d", 8*n)
+	g.spDisp += 8 * n
+	for i, a := range e.Args {
+		r, err := g.expr(a)
+		if err != nil {
+			return 0, err
+		}
+		g.emit("sd %s, %d(sp)", r, 8*i)
+		g.freeTemp(r)
+	}
+	save := g.liveTemps()
+	g.pushRegs(save)
+	for i := range e.Args {
+		g.emit("ld %s, %d(sp)", isa.RegA0+isa.Reg(i), 8*len(save)+8*i)
+	}
+	g.emit("call %s", e.Name)
+	rd, err := g.allocTemp(e.Line)
+	if err != nil {
+		return 0, err
+	}
+	g.emit("mv %s, %s", rd, isa.RegA0)
+	g.popRegs(save)
+	g.emit("addi sp, sp, %d", 8*n)
+	g.spDisp -= 8 * n
+	return rd, nil
+}

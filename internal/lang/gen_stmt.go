@@ -1,0 +1,331 @@
+package lang
+
+import (
+	"fmt"
+
+	"levioso/internal/isa"
+)
+
+func (g *codegen) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		g.pushScope()
+		for _, inner := range s.Stmts {
+			if err := g.stmt(inner); err != nil {
+				return err
+			}
+		}
+		g.popScope()
+		return nil
+
+	case *VarDecl:
+		loc, err := g.declare(s.Name, s.Line)
+		if err != nil {
+			return err
+		}
+		if s.Init != nil {
+			r, err := g.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			g.storeLocal(loc, r)
+			g.freeTemp(r)
+		} else if loc.inReg {
+			g.emit("li %s, 0", loc.reg)
+		} else {
+			g.emit("sd zero, %s(sp)", g.slotPlaceholder(loc.slot))
+		}
+		return nil
+
+	case *Assign:
+		return g.assign(s)
+
+	case *If:
+		elseL := g.label()
+		endL := elseL
+		if s.Else != nil {
+			endL = g.label()
+		}
+		if err := g.condBranch(s.Cond, elseL, false); err != nil {
+			return err
+		}
+		if err := g.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			g.emit("j %s", endL)
+			g.placeLabel(elseL)
+			if err := g.stmt(s.Else); err != nil {
+				return err
+			}
+			g.placeLabel(endL)
+		} else {
+			g.placeLabel(elseL)
+		}
+		return nil
+
+	case *While:
+		startL, endL := g.label(), g.label()
+		g.placeLabel(startL)
+		if err := g.condBranch(s.Cond, endL, false); err != nil {
+			return err
+		}
+		g.breakLbl = append(g.breakLbl, endL)
+		g.contLbl = append(g.contLbl, startL)
+		err := g.stmt(s.Body)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		if err != nil {
+			return err
+		}
+		g.emit("j %s", startL)
+		g.placeLabel(endL)
+		return nil
+
+	case *For:
+		g.pushScope() // the init clause may declare a variable
+		defer g.popScope()
+		if s.Init != nil {
+			if err := g.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		startL, contL, endL := g.label(), g.label(), g.label()
+		g.placeLabel(startL)
+		if s.Cond != nil {
+			if err := g.condBranch(s.Cond, endL, false); err != nil {
+				return err
+			}
+		}
+		g.breakLbl = append(g.breakLbl, endL)
+		g.contLbl = append(g.contLbl, contL)
+		err := g.stmt(s.Body)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		if err != nil {
+			return err
+		}
+		g.placeLabel(contL)
+		if s.Post != nil {
+			if err := g.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		g.emit("j %s", startL)
+		g.placeLabel(endL)
+		return nil
+
+	case *Return:
+		if s.Value != nil {
+			r, err := g.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			g.emit("mv a0, %s", r)
+			g.freeTemp(r)
+		} else {
+			g.emit("li a0, 0")
+		}
+		g.emit("j .L%s_ret", g.fn.Name)
+		return nil
+
+	case *Break:
+		if len(g.breakLbl) == 0 {
+			return g.errAt(s.Line, "break outside loop")
+		}
+		g.emit("j %s", g.breakLbl[len(g.breakLbl)-1])
+		return nil
+
+	case *Continue:
+		if len(g.contLbl) == 0 {
+			return g.errAt(s.Line, "continue outside loop")
+		}
+		g.emit("j %s", g.contLbl[len(g.contLbl)-1])
+		return nil
+
+	case *ExprStmt:
+		r, err := g.expr(s.X)
+		if err != nil {
+			return err
+		}
+		g.freeTemp(r)
+		return nil
+
+	default:
+		return fmt.Errorf("lang: unknown statement %T", s)
+	}
+}
+
+func (g *codegen) assign(s *Assign) error {
+	switch tgt := s.Target.(type) {
+	case *Ident:
+		if loc, ok := g.lookup(tgt.Name); ok {
+			r, err := g.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			g.storeLocal(loc, r)
+			g.freeTemp(r)
+			return nil
+		}
+		gi, ok := g.globals[tgt.Name]
+		if !ok {
+			return g.errAt(s.Line, "undefined variable %q", tgt.Name)
+		}
+		if gi.isArray {
+			return g.errAt(s.Line, "array %q assigned without index", tgt.Name)
+		}
+		r, err := g.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		g.emit("sd %s, %s", r, tgt.Name)
+		g.freeTemp(r)
+		return nil
+
+	case *Index:
+		gi, ok := g.globals[tgt.Base.Name]
+		if !ok || !gi.isArray {
+			return g.errAt(s.Line, "%q is not a global array", tgt.Base.Name)
+		}
+		rv, err := g.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		ri, err := g.expr(tgt.Idx)
+		if err != nil {
+			return err
+		}
+		ra, err := g.allocTemp(s.Line)
+		if err != nil {
+			return err
+		}
+		g.emit("slli %s, %s, 3", ra, ri)
+		g.freeTemp(ri)
+		g.emit("sd %s, %s(%s)", rv, tgt.Base.Name, ra)
+		g.freeTemp(ra)
+		g.freeTemp(rv)
+		return nil
+
+	default:
+		return g.errAt(s.Line, "invalid assignment target")
+	}
+}
+
+// storeLocal moves r into a local's home location.
+func (g *codegen) storeLocal(loc location, r isa.Reg) {
+	if loc.inReg {
+		if loc.reg != r {
+			g.emit("mv %s, %s", loc.reg, r)
+		}
+	} else {
+		g.emit("sd %s, %s(sp)", r, g.slotPlaceholder(loc.slot))
+	}
+}
+
+// condBranch emits a branch to target taken when e's truth value equals
+// whenTrue, short-circuiting && and || and fusing comparisons into branch
+// instructions.
+func (g *codegen) condBranch(e Expr, target string, whenTrue bool) error {
+	switch e := e.(type) {
+	case *Unary:
+		if e.Op == "!" {
+			return g.condBranch(e.X, target, !whenTrue)
+		}
+	case *Binary:
+		switch e.Op {
+		case "&&":
+			if whenTrue {
+				skip := g.label()
+				if err := g.condBranch(e.L, skip, false); err != nil {
+					return err
+				}
+				if err := g.condBranch(e.R, target, true); err != nil {
+					return err
+				}
+				g.placeLabel(skip)
+				return nil
+			}
+			if err := g.condBranch(e.L, target, false); err != nil {
+				return err
+			}
+			return g.condBranch(e.R, target, false)
+		case "||":
+			if whenTrue {
+				if err := g.condBranch(e.L, target, true); err != nil {
+					return err
+				}
+				return g.condBranch(e.R, target, true)
+			}
+			skip := g.label()
+			if err := g.condBranch(e.L, skip, true); err != nil {
+				return err
+			}
+			if err := g.condBranch(e.R, target, false); err != nil {
+				return err
+			}
+			g.placeLabel(skip)
+			return nil
+		case "<", "<=", ">", ">=", "==", "!=":
+			r1, err := g.expr(e.L)
+			if err != nil {
+				return err
+			}
+			r2, err := g.expr(e.R)
+			if err != nil {
+				return err
+			}
+			op := e.Op
+			if !whenTrue {
+				op = negateCmp(op)
+			}
+			switch op {
+			case "<":
+				g.emit("blt %s, %s, %s", r1, r2, target)
+			case ">=":
+				g.emit("bge %s, %s, %s", r1, r2, target)
+			case ">":
+				g.emit("blt %s, %s, %s", r2, r1, target)
+			case "<=":
+				g.emit("bge %s, %s, %s", r2, r1, target)
+			case "==":
+				g.emit("beq %s, %s, %s", r1, r2, target)
+			case "!=":
+				g.emit("bne %s, %s, %s", r1, r2, target)
+			}
+			g.freeTemp(r1)
+			g.freeTemp(r2)
+			return nil
+		}
+	}
+	// General case: evaluate to a register and branch on zero/nonzero.
+	r, err := g.expr(e)
+	if err != nil {
+		return err
+	}
+	if whenTrue {
+		g.emit("bnez %s, %s", r, target)
+	} else {
+		g.emit("beqz %s, %s", r, target)
+	}
+	g.freeTemp(r)
+	return nil
+}
+
+func negateCmp(op string) string {
+	switch op {
+	case "<":
+		return ">="
+	case ">=":
+		return "<"
+	case ">":
+		return "<="
+	case "<=":
+		return ">"
+	case "==":
+		return "!="
+	case "!=":
+		return "=="
+	}
+	panic("lang: not a comparison: " + op)
+}

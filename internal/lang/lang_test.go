@@ -1,0 +1,477 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"levioso/internal/cpu"
+	"levioso/internal/isa"
+	"levioso/internal/ref"
+)
+
+// run compiles src and executes it on the reference interpreter.
+func run(t *testing.T, src string) ref.Result {
+	t.Helper()
+	prog, err := Compile("test.lc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	res, err := ref.Run(prog, ref.Limits{MaxInsts: 20_000_000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestReturnConstant(t *testing.T) {
+	res := run(t, `func main() { return 42; }`)
+	if res.ExitCode != 42 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 3", 3},
+		{"10 % 3", 1},
+		{"-7 / 2", -3},
+		{"1 << 10", 1024},
+		{"-16 >> 2", -4}, // arithmetic shift
+		{"0xff & 0x0f", 0x0f},
+		{"0xf0 | 0x0f", 0xff},
+		{"0xff ^ 0x0f", 0xf0},
+		{"~0", -1},
+		{"-(3 + 4)", -7},
+		{"!0", 1},
+		{"!5", 0},
+		{"3 < 4", 1},
+		{"4 < 3", 0},
+		{"3 <= 3", 1},
+		{"4 >= 5", 0},
+		{"3 == 3", 1},
+		{"3 != 3", 0},
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 0", 0},
+		{"0 || 7", 1},
+	}
+	for _, c := range cases {
+		res := run(t, "func main() { return "+c.expr+"; }")
+		if int64(res.ExitCode) != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, int64(res.ExitCode), c.want)
+		}
+	}
+}
+
+func TestLocalsAndLoops(t *testing.T) {
+	res := run(t, `
+func main() {
+	var sum = 0;
+	var i;
+	for (i = 1; i <= 100; i = i + 1) {
+		sum = sum + i;
+	}
+	return sum;
+}`)
+	if res.ExitCode != 5050 {
+		t.Errorf("sum = %d", res.ExitCode)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	res := run(t, `
+func main() {
+	var n = 0;
+	var i = 0;
+	while (1) {
+		i = i + 1;
+		if (i > 100) { break; }
+		if (i % 2 == 0) { continue; }
+		n = n + i;
+	}
+	return n;   // sum of odd numbers 1..99 = 2500
+}`)
+	if res.ExitCode != 2500 {
+		t.Errorf("n = %d", res.ExitCode)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	res := run(t, `
+var total = 5;
+var table[8];
+var primes[] = {2, 3, 5, 7};
+
+func main() {
+	var i;
+	for (i = 0; i < 8; i = i + 1) {
+		table[i] = i * i;
+	}
+	total = total + table[7] + primes[3];
+	return total;    // 5 + 49 + 7
+}`)
+	if res.ExitCode != 61 {
+		t.Errorf("total = %d", res.ExitCode)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	res := run(t, `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() { return fib(15); }`)
+	if res.ExitCode != 610 {
+		t.Errorf("fib(15) = %d", res.ExitCode)
+	}
+}
+
+func TestManyParams(t *testing.T) {
+	res := run(t, `
+func add8(a, b, c, d, e, f, g, h) {
+	return a + b + c + d + e + f + g + h;
+}
+func main() { return add8(1, 2, 3, 4, 5, 6, 7, 8); }`)
+	if res.ExitCode != 36 {
+		t.Errorf("add8 = %d", res.ExitCode)
+	}
+}
+
+func TestLiveAcrossCall(t *testing.T) {
+	// x + f(y) forces a temporary live across the call.
+	res := run(t, `
+func twice(v) { return v * 2; }
+func main() {
+	var x = 10;
+	return (x + 1) + twice(x) + (x + 2);
+}`)
+	if res.ExitCode != 43 {
+		t.Errorf("got %d", res.ExitCode)
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	res := run(t, `
+func inc(v) { return v + 1; }
+func main() { return inc(inc(inc(0))) + inc(10); }`)
+	if res.ExitCode != 14 {
+		t.Errorf("got %d", res.ExitCode)
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	res := run(t, `
+var calls = 0;
+func bump() { calls = calls + 1; return 1; }
+func main() {
+	var r = 0;
+	if (0 && bump()) { r = 1; }
+	if (1 || bump()) { r = r + 2; }
+	return calls * 10 + r;   // bump never called: 0*10 + 2
+}`)
+	if res.ExitCode != 2 {
+		t.Errorf("got %d", res.ExitCode)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	res := run(t, `
+func classify(x) {
+	if (x < 10) { return 1; }
+	else if (x < 100) { return 2; }
+	else if (x < 1000) { return 3; }
+	else { return 4; }
+}
+func main() {
+	return classify(5)*1000 + classify(50)*100 + classify(500)*10 + classify(5000);
+}`)
+	if res.ExitCode != 1234 {
+		t.Errorf("got %d", res.ExitCode)
+	}
+}
+
+func TestPrintAndPutc(t *testing.T) {
+	res := run(t, `
+func main() {
+	print(123);
+	putc('o');
+	putc('k');
+	putc('\n');
+	return 0;
+}`)
+	if res.Output != "123\nok\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestScoping(t *testing.T) {
+	res := run(t, `
+func main() {
+	var x = 1;
+	{
+		var x = 2;
+		{
+			var x = 3;
+			if (x != 3) { return 100; }
+		}
+		if (x != 2) { return 200; }
+	}
+	return x;
+}`)
+	if res.ExitCode != 1 {
+		t.Errorf("got %d", res.ExitCode)
+	}
+}
+
+func TestManyLocalsSpillToStack(t *testing.T) {
+	// More locals than callee-saved registers: some land on the stack.
+	res := run(t, `
+func main() {
+	var a=1; var b=2; var c=3; var d=4; var e=5; var f=6;
+	var g=7; var h=8; var i=9; var j=10; var k=11; var l=12;
+	var m=13; var n=14;
+	return a+b+c+d+e+f+g+h+i+j+k+l+m+n;  // 105
+}`)
+	if res.ExitCode != 105 {
+		t.Errorf("got %d", res.ExitCode)
+	}
+}
+
+func TestCyclesBuiltin(t *testing.T) {
+	res := run(t, `
+func main() {
+	var t0 = cycles();
+	var i;
+	var s = 0;
+	for (i = 0; i < 10; i = i + 1) { s = s + i; }
+	var t1 = cycles();
+	return t1 > t0;
+}`)
+	if res.ExitCode != 1 {
+		t.Errorf("cycles not monotonic: %d", res.ExitCode)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no-main", `func f() { return 0; }`, "no main"},
+		{"main-params", `func main(x) { return 0; }`, "no parameters"},
+		{"undef-var", `func main() { return nope; }`, "undefined variable"},
+		{"undef-func", `func main() { return nope(); }`, "undefined function"},
+		{"arity", `func f(a) { return a; } func main() { return f(1, 2); }`, "takes 1 arguments"},
+		{"array-no-index", `var a[4]; func main() { return a; }`, "without index"},
+		{"scalar-indexed", `var s; func main() { return s[0]; }`, "not a global array"},
+		{"redeclared", `func main() { var x; var x; return 0; }`, "redeclared"},
+		{"redefined-func", `func f() { return 0; } func f() { return 1; } func main() { return 0; }`, "redefined"},
+		{"break-outside", `func main() { break; return 0; }`, "break outside loop"},
+		{"assign-to-call", `func f() { return 0; } func main() { f() = 3; return 0; }`, "assignment target"},
+		{"bad-token", "func main() { return $; }", "unexpected character"},
+		{"too-many-params", `func f(a,b,c,d,e,f,g,h,i) { return 0; } func main() { return 0; }`, "max 8"},
+		{"unterminated", `func main() { return 0;`, "unterminated block"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile("t.lc", c.src)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestHintsGeneratedForCompiledCode(t *testing.T) {
+	prog, err := Compile("t.lc", `
+func main() {
+	var i;
+	var s = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0) { s = s + i; }
+	}
+	return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches := 0
+	for i, in := range prog.Text {
+		if in.Op.IsBranch() {
+			branches++
+			if _, ok := prog.Hints[prog.PCOf(i)]; !ok {
+				t.Errorf("branch at %#x lacks a hint", prog.PCOf(i))
+			}
+		}
+	}
+	if branches == 0 {
+		t.Error("compiled loop produced no branches")
+	}
+}
+
+// Compiled code must behave identically on the OoO core under every policy —
+// the full-stack integration check.
+func TestCompiledCodeOnCore(t *testing.T) {
+	prog := MustCompile("t.lc", `
+var table[64];
+func hash(x) { return ((x * 2654435761) >> 13) & 63; }
+func main() {
+	var i;
+	var hits = 0;
+	for (i = 0; i < 300; i = i + 1) {
+		table[hash(i)] = table[hash(i)] + 1;
+		if (table[hash(i * 7)] > 2) { hits = hits + 1; }
+	}
+	return hits;
+}`)
+	want, err := ref.Run(prog, ref.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig()
+	c, err := cpu.New(prog, cfg, cpu.NopPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ExitCode != want.ExitCode {
+		t.Errorf("core exit = %d, ref = %d", got.ExitCode, want.ExitCode)
+	}
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if c.ArchReg(r) != want.Regs[r] {
+			t.Errorf("reg %s mismatch", r)
+		}
+	}
+}
+
+func TestDeepExpressionRejected(t *testing.T) {
+	// Build an expression needing more than 7 live temporaries.
+	expr := "1"
+	for i := 0; i < 10; i++ {
+		expr = "(" + expr + " + (2 * (3 + (4"
+	}
+	for i := 0; i < 10; i++ {
+		expr = expr + "))))"
+	}
+	_, err := Compile("t.lc", "func main() { return "+expr+"; }")
+	if err == nil {
+		t.Skip("expression folded shallow enough") // acceptable either way
+	}
+	if !strings.Contains(err.Error(), "too complex") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	// The whole arithmetic tree folds away: no mul/div instructions remain.
+	asmText, err := CompileToAsm("t.lc", `
+func main() {
+	return (3 * 4 + 100 / 5 - (6 % 4)) << 2;   // (12+20-2)<<2 = 120
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"mul", "div", "rem", "sll "} {
+		if strings.Contains(asmText, op) {
+			t.Errorf("folding left %q in:\n%s", op, asmText)
+		}
+	}
+	res := run(t, `func main() { return (3 * 4 + 100 / 5 - (6 % 4)) << 2; }`)
+	if res.ExitCode != 120 {
+		t.Errorf("exit = %d, want 120", res.ExitCode)
+	}
+}
+
+func TestFoldingMatchesRuntimeCornerCases(t *testing.T) {
+	// Division by zero and shift masking must fold to the ISA's semantics.
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"7 / 0", -1},         // RISC-V: div by zero = -1
+		{"7 % 0", 7},          // rem by zero = dividend
+		{"1 << 64", 1},        // shift masked to 6 bits
+		{"(0 - 16) >> 2", -4}, // arithmetic shift
+		{"1 && 2", 1},
+		{"0 || 0", 0},
+		{"!(3 < 2)", 1},
+	}
+	for _, c := range cases {
+		res := run(t, "func main() { return "+c.expr+"; }")
+		if int64(res.ExitCode) != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, int64(res.ExitCode), c.want)
+		}
+	}
+}
+
+func TestDeadBranchElimination(t *testing.T) {
+	asmText, err := CompileToAsm("t.lc", `
+var g;
+func main() {
+	if (1) { g = 5; } else { g = 7; }
+	if (0) { g = 9; }
+	while (0) { g = 11; }
+	return g;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(asmText, "beq") || strings.Contains(asmText, "bne") {
+		t.Errorf("dead branches survived:\n%s", asmText)
+	}
+	for _, dead := range []string{"li t0, 7", "li t0, 9", "li t0, 11"} {
+		if strings.Contains(asmText, dead) {
+			t.Errorf("dead code %q survived:\n%s", dead, asmText)
+		}
+	}
+	res := run(t, `
+var g;
+func main() {
+	if (1) { g = 5; } else { g = 7; }
+	if (0) { g = 9; }
+	return g;
+}`)
+	if res.ExitCode != 5 {
+		t.Errorf("exit = %d, want 5", res.ExitCode)
+	}
+}
+
+func TestShortCircuitConstLeft(t *testing.T) {
+	// Constant left side must not suppress the right side's side effects
+	// when the right side still matters.
+	res := run(t, `
+var n;
+func bump() { n = n + 1; return n; }
+func main() {
+	var r = 1 && bump();   // bump must run: r = truthiness of bump()
+	return r * 10 + n;     // 1*10 + 1
+}`)
+	if res.ExitCode != 11 {
+		t.Errorf("exit = %d, want 11", res.ExitCode)
+	}
+	// And a false && must suppress it.
+	res = run(t, `
+var n;
+func bump() { n = n + 1; return n; }
+func main() {
+	var r = 0 && bump();
+	return r * 10 + n;     // 0
+}`)
+	if res.ExitCode != 0 {
+		t.Errorf("exit = %d, want 0", res.ExitCode)
+	}
+}

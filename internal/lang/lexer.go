@@ -1,0 +1,230 @@
+// Package lang implements LevC, a small C-like systems language compiled to
+// LEV64 assembly. It exists so the evaluation can run *compiled* workloads:
+// the Levioso pass (internal/core) operates on the generated code exactly as
+// the paper's LLVM pass operates on SPEC binaries.
+//
+// The language has one value type (64-bit signed integers), global scalars
+// and arrays, functions with up to 8 parameters, the usual expression
+// operators (with short-circuit && and ||), if/else, while, for, break,
+// continue, and return. Builtins: print(x), putc(x), cycles().
+//
+//	var table[256];
+//	var seed = 12345;
+//
+//	func hash(x) { return (x * 2654435761) >> 13; }
+//
+//	func main() {
+//	    var i;
+//	    for (i = 0; i < 100; i = i + 1) {
+//	        table[hash(i) & 255] = i;
+//	    }
+//	    print(table[42]);
+//	    return 0;
+//	}
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // numbers
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+var keywords = map[string]bool{
+	"var": true, "func": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true,
+	"break": true, "continue": true,
+}
+
+// twoCharPunct lists the two-character operators, longest-match-first.
+var twoCharPunct = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+}
+
+// Error is a LevC front-end error with position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(file, src string) ([]token, error) {
+	l := &lexer{file: file, src: src, line: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return &Error{File: l.file, Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("unterminated block comment")
+			}
+			l.pos += 2
+		default:
+			goto content
+		}
+	}
+content:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case isAlpha(c):
+		for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+	case isDigit(c):
+		for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			u, uerr := strconv.ParseUint(text, 0, 64)
+			if uerr != nil {
+				return token{}, l.errf("bad number %q", text)
+			}
+			v = int64(u)
+		}
+		return token{kind: tokNumber, text: text, val: v, line: l.line}, nil
+	case c == '\'':
+		l.pos++
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated character literal")
+		}
+		var v int64
+		if l.src[l.pos] == '\\' {
+			l.pos++
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated character literal")
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case 'r':
+				v = '\r'
+			case '0':
+				v = 0
+			case '\\':
+				v = '\\'
+			case '\'':
+				v = '\''
+			default:
+				return token{}, l.errf("unknown escape \\%c", l.src[l.pos])
+			}
+		} else {
+			v = int64(l.src[l.pos])
+		}
+		l.pos++
+		if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+			return token{}, l.errf("unterminated character literal")
+		}
+		l.pos++
+		return token{kind: tokNumber, text: "'" + string(byte(v)) + "'", val: v, line: l.line}, nil
+	default:
+		for _, p := range twoCharPunct {
+			if l.pos+2 <= len(l.src) && l.src[l.pos:l.pos+2] == p {
+				l.pos += 2
+				return token{kind: tokPunct, text: p, line: l.line}, nil
+			}
+		}
+		if oneCharPunct(c) {
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected character %q", string(c))
+	}
+}
+
+func oneCharPunct(c byte) bool {
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!',
+		'<', '>', '=', '(', ')', '{', '}', '[', ']', ',', ';':
+		return true
+	}
+	return false
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z'
+}
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }

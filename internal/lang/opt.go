@@ -1,0 +1,204 @@
+package lang
+
+import "levioso/internal/isa"
+
+// Constant folding and dead-branch elimination over the AST, run before code
+// generation. Folding uses the ISA's own evaluation semantics (isa.EvalALU /
+// isa.EvalBranch) so compile-time and run-time arithmetic can never disagree
+// — including the RISC-V corner cases (division by zero yields -1, shift
+// amounts are masked to 6 bits, MinInt64/-1 wraps).
+
+// optimize rewrites the program in place.
+func optimize(p *Program) {
+	for _, f := range p.Funcs {
+		f.Body = optBlock(f.Body)
+	}
+}
+
+func optBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	var out []Stmt
+	for _, s := range b.Stmts {
+		if o := optStmt(s); o != nil {
+			out = append(out, o)
+		}
+	}
+	b.Stmts = out
+	return b
+}
+
+// optStmt folds expressions inside s; it returns nil when the statement is
+// provably dead (e.g. `if (0) {...}` with no else).
+func optStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Block:
+		return optBlock(s)
+	case *VarDecl:
+		if s.Init != nil {
+			s.Init = foldExpr(s.Init)
+		}
+		return s
+	case *Assign:
+		// Fold the index of an array target but never the target itself.
+		if ix, ok := s.Target.(*Index); ok {
+			ix.Idx = foldExpr(ix.Idx)
+		}
+		s.Value = foldExpr(s.Value)
+		return s
+	case *If:
+		s.Cond = foldExpr(s.Cond)
+		s.Then = optBlock(s.Then)
+		s.Else = optBlock(s.Else)
+		if n, ok := s.Cond.(*Num); ok {
+			// The branch direction is known at compile time.
+			if n.Val != 0 {
+				return s.Then
+			}
+			if s.Else != nil {
+				return s.Else
+			}
+			return nil
+		}
+		return s
+	case *While:
+		s.Cond = foldExpr(s.Cond)
+		s.Body = optBlock(s.Body)
+		if n, ok := s.Cond.(*Num); ok && n.Val == 0 {
+			return nil // while(0): dead
+		}
+		return s
+	case *For:
+		if s.Init != nil {
+			s.Init = optStmt(s.Init)
+		}
+		if s.Cond != nil {
+			s.Cond = foldExpr(s.Cond)
+		}
+		if s.Post != nil {
+			s.Post = optStmt(s.Post)
+		}
+		s.Body = optBlock(s.Body)
+		return s
+	case *Return:
+		if s.Value != nil {
+			s.Value = foldExpr(s.Value)
+		}
+		return s
+	case *ExprStmt:
+		s.X = foldExpr(s.X)
+		// A side-effect-free expression statement is dead.
+		if _, isNum := s.X.(*Num); isNum {
+			return nil
+		}
+		if _, isIdent := s.X.(*Ident); isIdent {
+			return nil
+		}
+		return s
+	default:
+		return s
+	}
+}
+
+// foldOps maps LevC arithmetic operators to the ISA op whose semantics
+// define the fold.
+var foldOps = map[string]isa.Op{
+	"+": isa.ADD, "-": isa.SUB, "*": isa.MUL, "/": isa.DIV, "%": isa.REM,
+	"&": isa.AND, "|": isa.OR, "^": isa.XOR, "<<": isa.SLL, ">>": isa.SRA,
+}
+
+var foldCmps = map[string]isa.Op{
+	"<": isa.BLT, ">=": isa.BGE,
+}
+
+func foldExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *Index:
+		e.Idx = foldExpr(e.Idx)
+		return e
+	case *Call:
+		for i := range e.Args {
+			e.Args[i] = foldExpr(e.Args[i])
+		}
+		return e
+	case *Unary:
+		e.X = foldExpr(e.X)
+		n, ok := e.X.(*Num)
+		if !ok {
+			return e
+		}
+		switch e.Op {
+		case "-":
+			return &Num{Val: -n.Val, Line: e.Line}
+		case "~":
+			return &Num{Val: ^n.Val, Line: e.Line}
+		case "!":
+			if n.Val == 0 {
+				return &Num{Val: 1, Line: e.Line}
+			}
+			return &Num{Val: 0, Line: e.Line}
+		}
+		return e
+	case *Binary:
+		e.L = foldExpr(e.L)
+		// Short-circuit folding may skip evaluating R entirely.
+		if e.Op == "&&" || e.Op == "||" {
+			if ln, ok := e.L.(*Num); ok {
+				lTrue := ln.Val != 0
+				if e.Op == "&&" && !lTrue {
+					return &Num{Val: 0, Line: e.Line}
+				}
+				if e.Op == "||" && lTrue {
+					return &Num{Val: 1, Line: e.Line}
+				}
+				// Result is R's truthiness.
+				e.R = foldExpr(e.R)
+				if rn, ok := e.R.(*Num); ok {
+					if rn.Val != 0 {
+						return &Num{Val: 1, Line: e.Line}
+					}
+					return &Num{Val: 0, Line: e.Line}
+				}
+				// Keep `x && y` shape: truthiness conversion happens in
+				// codegen via the branch lowering.
+				return e
+			}
+			e.R = foldExpr(e.R)
+			return e
+		}
+		e.R = foldExpr(e.R)
+		ln, lok := e.L.(*Num)
+		rn, rok := e.R.(*Num)
+		if !lok || !rok {
+			return e
+		}
+		a, b := uint64(ln.Val), uint64(rn.Val)
+		if op, ok := foldOps[e.Op]; ok {
+			return &Num{Val: int64(isa.EvalALU(op, a, b)), Line: e.Line}
+		}
+		var v bool
+		switch e.Op {
+		case "<":
+			v = isa.EvalBranch(isa.BLT, a, b)
+		case ">=":
+			v = isa.EvalBranch(isa.BGE, a, b)
+		case ">":
+			v = isa.EvalBranch(isa.BLT, b, a)
+		case "<=":
+			v = isa.EvalBranch(isa.BGE, b, a)
+		case "==":
+			v = a == b
+		case "!=":
+			v = a != b
+		default:
+			return e
+		}
+		if v {
+			return &Num{Val: 1, Line: e.Line}
+		}
+		return &Num{Val: 0, Line: e.Line}
+	default:
+		return e
+	}
+}

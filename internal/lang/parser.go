@@ -1,0 +1,484 @@
+package lang
+
+import "fmt"
+
+// Recursive-descent parser with standard C precedence.
+
+type parser struct {
+	file string
+	toks []token
+	pos  int
+}
+
+// Parse turns LevC source into an AST.
+func Parse(file, src string) (*Program, error) {
+	toks, err := lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokKeyword, "var"):
+			g, err := p.global()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case p.at(tokKeyword, "func"):
+			f, err := p.function()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, p.errf("expected 'var' or 'func', got %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) line() int  { return p.cur().line }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = map[tokKind]string{tokIdent: "identifier", tokNumber: "number"}[kind]
+		}
+		return t, p.errf("expected %s, got %s", want, t)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &Error{File: p.file, Line: p.line(), Msg: fmt.Sprintf(format, args...)}
+}
+
+// global = "var" ident [ "[" [number] "]" ] [ "=" init ] ";"
+// init   = constExpr | "{" constExpr {"," constExpr} "}"
+func (p *parser) global() (*Global, error) {
+	line := p.line()
+	p.advance() // var
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	g := &Global{Name: name.text, Size: -1, Line: line}
+	if p.accept(tokPunct, "[") {
+		if p.at(tokNumber, "") {
+			g.Size = p.cur().val
+			p.advance()
+			if g.Size <= 0 {
+				return nil, p.errf("array %q size must be positive", g.Name)
+			}
+		} else {
+			g.Size = 0 // size from initializer
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokPunct, "=") {
+		if p.accept(tokPunct, "{") {
+			if !g.IsArray() {
+				return nil, p.errf("scalar %q initialized with a list", g.Name)
+			}
+			for {
+				v, err := p.constExpr()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, v)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, "}"); err != nil {
+				return nil, err
+			}
+		} else {
+			v, err := p.constExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = []int64{v}
+		}
+	}
+	if g.IsArray() {
+		if g.Size == 0 {
+			g.Size = int64(len(g.Init))
+			if g.Size == 0 {
+				return nil, p.errf("array %q has neither size nor initializer", g.Name)
+			}
+		}
+		if int64(len(g.Init)) > g.Size {
+			return nil, p.errf("array %q has %d initializers for %d elements", g.Name, len(g.Init), g.Size)
+		}
+	} else if len(g.Init) > 1 {
+		return nil, p.errf("scalar %q has multiple initializers", g.Name)
+	}
+	_, err = p.expect(tokPunct, ";")
+	return g, err
+}
+
+// constExpr = ["-"] number
+func (p *parser) constExpr() (int64, error) {
+	neg := p.accept(tokPunct, "-")
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -t.val, nil
+	}
+	return t.val, nil
+}
+
+// function = "func" ident "(" [ident {"," ident}] ")" block
+func (p *parser) function() (*Func, error) {
+	line := p.line()
+	p.advance() // func
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	f := &Func{Name: name.text, Line: line}
+	if !p.at(tokPunct, ")") {
+		for {
+			param, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, param.text)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if len(f.Params) > 8 {
+		return nil, p.errf("function %q has %d parameters (max 8)", f.Name, len(f.Params))
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	f.Body, err = p.block()
+	return f, err
+}
+
+func (p *parser) block() (*Block, error) {
+	line := p.line()
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{Line: line}
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	line := p.line()
+	switch {
+	case p.at(tokPunct, "{"):
+		return p.block()
+	case p.accept(tokKeyword, "var"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Name: name.text, Line: line}
+		if p.accept(tokPunct, "=") {
+			d.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		_, err = p.expect(tokPunct, ";")
+		return d, err
+	case p.accept(tokKeyword, "if"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &If{Cond: cond, Then: then, Line: line}
+		if p.accept(tokKeyword, "else") {
+			if p.at(tokKeyword, "if") {
+				// else-if chains: wrap the nested if in a synthetic block.
+				inner, err := p.statement()
+				if err != nil {
+					return nil, err
+				}
+				s.Else = &Block{Stmts: []Stmt{inner}, Line: p.line()}
+			} else {
+				s.Else, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return s, nil
+	case p.accept(tokKeyword, "while"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body, Line: line}, nil
+	case p.accept(tokKeyword, "for"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		s := &For{Line: line}
+		var err error
+		if !p.at(tokPunct, ";") {
+			s.Init, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokPunct, ";") {
+			s.Cond, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokPunct, ")") {
+			s.Post, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		s.Body, err = p.block()
+		return s, err
+	case p.accept(tokKeyword, "return"):
+		s := &Return{Line: line}
+		if !p.at(tokPunct, ";") {
+			var err error
+			s.Value, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		_, err := p.expect(tokPunct, ";")
+		return s, err
+	case p.accept(tokKeyword, "break"):
+		_, err := p.expect(tokPunct, ";")
+		return &Break{Line: line}, err
+	case p.accept(tokKeyword, "continue"):
+		_, err := p.expect(tokPunct, ";")
+		return &Continue{Line: line}, err
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokPunct, ";")
+		return s, err
+	}
+}
+
+// simpleStmt = assignment | var decl | expression (used directly by for-clauses)
+func (p *parser) simpleStmt() (Stmt, error) {
+	line := p.line()
+	if p.accept(tokKeyword, "var") {
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Name: name.text, Line: line}
+		if p.accept(tokPunct, "=") {
+			d.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "=") {
+		switch x.(type) {
+		case *Ident, *Index:
+		default:
+			return nil, p.errf("invalid assignment target")
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Target: x, Value: v, Line: line}, nil
+	}
+	return &ExprStmt{X: x, Line: line}, nil
+}
+
+// Expression parsing: precedence climbing.
+// Levels (loosest to tightest):
+//
+//	 1: ||
+//	 2: &&
+//	 3: |
+//	 4: ^
+//	 5: &
+//	 6: == !=
+//	 7: < <= > >=
+//	 8: << >>
+//	 9: + -
+//	10: * / %
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		line := t.line
+		p.advance()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.text, L: lhs, R: rhs, Line: line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!" || t.text == "~") {
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return &Num{Val: t.val, Line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokPunct, ")")
+		return x, err
+	case t.kind == tokIdent:
+		p.advance()
+		id := &Ident{Name: t.text, Line: t.line}
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &Index{Base: id, Idx: idx, Line: t.line}, nil
+		case p.accept(tokPunct, "("):
+			call := &Call{Name: id.Name, Line: t.line}
+			if !p.at(tokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+			}
+			_, err := p.expect(tokPunct, ")")
+			return call, err
+		}
+		return id, nil
+	default:
+		return nil, p.errf("unexpected %s in expression", t)
+	}
+}

@@ -1,0 +1,157 @@
+// Package mem provides the simulated physical memory and the cache hierarchy
+// used by the out-of-order core. Cache state (which lines are resident) is
+// the side channel every secure-speculation policy must protect: speculative
+// fills perturb it by address, and the attack harness recovers secrets by
+// timing probes against it.
+package mem
+
+import "fmt"
+
+// CacheConfig describes one set-associative cache level.
+type CacheConfig struct {
+	Sets      int // number of sets (power of two)
+	Ways      int
+	LineBytes int // line size (power of two)
+	Latency   int // access latency in cycles (hit cost at this level)
+}
+
+// Lines returns the total line capacity.
+func (c CacheConfig) Lines() int { return c.Sets * c.Ways }
+
+// SizeBytes returns the total data capacity.
+func (c CacheConfig) SizeBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+func (c CacheConfig) validate(name string) error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("mem: %s sets %d not a positive power of two", name, c.Sets)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: %s line bytes %d not a positive power of two", name, c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("mem: %s ways %d invalid", name, c.Ways)
+	}
+	if c.Latency <= 0 {
+		return fmt.Errorf("mem: %s latency %d invalid", name, c.Latency)
+	}
+	return nil
+}
+
+// CacheStats counts accesses at one level.
+type CacheStats struct {
+	Hits, Misses, Evictions, Flushes uint64
+}
+
+// Cache is one tag-only set-associative cache level with LRU replacement.
+// Data always lives in the backing Memory; the cache models presence and
+// timing, which is exactly what the side channel needs.
+type Cache struct {
+	cfg   CacheConfig
+	tags  [][]uint64 // [set][way] line address
+	valid [][]bool
+	used  [][]uint64 // [set][way] LRU stamp
+	stamp uint64
+	Stats CacheStats
+}
+
+// NewCache builds a cache; it panics on invalid geometry (configs are
+// validated by Hierarchy construction first).
+func NewCache(cfg CacheConfig) *Cache {
+	c := &Cache{cfg: cfg}
+	c.tags = make([][]uint64, cfg.Sets)
+	c.valid = make([][]bool, cfg.Sets)
+	c.used = make([][]uint64, cfg.Sets)
+	for s := range c.tags {
+		c.tags[s] = make([]uint64, cfg.Ways)
+		c.valid[s] = make([]bool, cfg.Ways)
+		c.used[s] = make([]uint64, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) line(addr uint64) (set int, tag uint64) {
+	l := addr / uint64(c.cfg.LineBytes)
+	return int(l % uint64(c.cfg.Sets)), l
+}
+
+// Lookup reports whether addr's line is resident, updating LRU on hit but
+// never filling.
+func (c *Cache) Lookup(addr uint64) bool {
+	set, tag := c.line(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.stamp++
+			c.used[set][w] = c.stamp
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// Probe reports residency without touching LRU or statistics (used by tests
+// and the attack scorer, which must not perturb the state it observes).
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.line(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts addr's line, evicting the LRU way if needed.
+func (c *Cache) Fill(addr uint64) {
+	set, tag := c.line(addr)
+	// Already resident (racing fills): refresh LRU only.
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.stamp++
+			c.used[set][w] = c.stamp
+			return
+		}
+	}
+	victim := 0
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.used[set][w] < c.used[set][victim] {
+			victim = w
+		}
+	}
+	if c.valid[set][victim] {
+		c.Stats.Evictions++
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.stamp++
+	c.used[set][victim] = c.stamp
+}
+
+// Flush evicts addr's line if resident.
+func (c *Cache) Flush(addr uint64) {
+	set, tag := c.line(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.valid[set][w] = false
+			c.Stats.Flushes++
+			return
+		}
+	}
+}
+
+// InvalidateAll empties the cache (used between attack trials).
+func (c *Cache) InvalidateAll() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package mem
+
+import "testing"
+
+func smallCache() *Cache {
+	return NewCache(CacheConfig{Sets: 2, Ways: 2, LineBytes: 64, Latency: 2})
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := smallCache()
+	if c.Lookup(0x1000) {
+		t.Error("cold lookup hit")
+	}
+	c.Fill(0x1000)
+	if !c.Lookup(0x1000) {
+		t.Error("lookup after fill missed")
+	}
+	if !c.Lookup(0x1038) {
+		t.Error("same line different offset missed")
+	}
+	if c.Lookup(0x1040) {
+		t.Error("adjacent line hit")
+	}
+	if c.Stats.Hits != 2 || c.Stats.Misses != 2 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := smallCache() // 2 sets x 2 ways, 64B lines: set = (addr/64) % 2
+	// Three lines mapping to set 0: 0x0, 0x80, 0x100.
+	c.Fill(0x0)
+	c.Fill(0x80)
+	c.Lookup(0x0) // make 0x0 most recently used
+	c.Fill(0x100) // evicts 0x80
+	if !c.Probe(0x0) {
+		t.Error("MRU line evicted")
+	}
+	if c.Probe(0x80) {
+		t.Error("LRU line survived")
+	}
+	if !c.Probe(0x100) {
+		t.Error("filled line absent")
+	}
+	if c.Stats.Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats.Evictions)
+	}
+}
+
+func TestCacheProbeIsPure(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x0)
+	h, m := c.Stats.Hits, c.Stats.Misses
+	c.Probe(0x0)
+	c.Probe(0x40)
+	if c.Stats.Hits != h || c.Stats.Misses != m {
+		t.Error("Probe changed statistics")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x0)
+	c.Flush(0x20) // same line
+	if c.Probe(0x0) {
+		t.Error("flush did not evict")
+	}
+	c.Flush(0x0) // already gone: no-op
+	if c.Stats.Flushes != 1 {
+		t.Errorf("flushes = %d", c.Stats.Flushes)
+	}
+}
+
+func TestCacheDoubleFill(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x0)
+	c.Fill(0x0)
+	c.Fill(0x80)
+	if !c.Probe(0x0) || !c.Probe(0x80) {
+		t.Error("double fill corrupted set")
+	}
+	if c.Stats.Evictions != 0 {
+		t.Error("double fill evicted")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h, err := NewHierarchy(DefaultHierConfig(), NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h.Cfg
+	full := cfg.L1D.Latency + cfg.L2.Latency + cfg.MemLatency
+	if lat := h.LoadLatency(0x2000); lat != full {
+		t.Errorf("cold load lat = %d, want %d", lat, full)
+	}
+	if lat := h.LoadLatency(0x2000); lat != cfg.L1D.Latency {
+		t.Errorf("warm load lat = %d, want %d", lat, cfg.L1D.Latency)
+	}
+	h.L1D.Flush(0x2000)
+	if lat := h.LoadLatency(0x2000); lat != cfg.L1D.Latency+cfg.L2.Latency {
+		t.Errorf("L2-hit load lat = %d", lat)
+	}
+}
+
+func TestHierarchyInvisibleLoad(t *testing.T) {
+	h, _ := NewHierarchy(DefaultHierConfig(), NewMemory())
+	cfg := h.Cfg
+	full := cfg.L1D.Latency + cfg.L2.Latency + cfg.MemLatency
+	// Invisible load of a cold line: full latency, and the line stays cold.
+	if lat := h.InvisibleLoadLatency(0x3000); lat != full {
+		t.Errorf("invisible cold lat = %d, want %d", lat, full)
+	}
+	if h.ProbeD(0x3000) || h.L2.Probe(0x3000) {
+		t.Error("invisible load changed cache state")
+	}
+	// Second invisible load pays full latency again (miss amplification).
+	if lat := h.InvisibleLoadLatency(0x3000); lat != full {
+		t.Errorf("repeat invisible lat = %d, want %d", lat, full)
+	}
+	// Exposure fills without latency.
+	h.FillVisible(0x3000)
+	if !h.ProbeD(0x3000) {
+		t.Error("FillVisible did not fill")
+	}
+	if lat := h.InvisibleLoadLatency(0x3000); lat != cfg.L1D.Latency {
+		t.Errorf("invisible warm lat = %d", lat)
+	}
+}
+
+func TestHierarchyFlushBothLevels(t *testing.T) {
+	h, _ := NewHierarchy(DefaultHierConfig(), NewMemory())
+	h.LoadLatency(0x4000)
+	h.Flush(0x4000)
+	if h.L1D.Probe(0x4000) || h.L2.Probe(0x4000) {
+		t.Error("flush left line resident")
+	}
+	full := h.Cfg.L1D.Latency + h.Cfg.L2.Latency + h.Cfg.MemLatency
+	if lat := h.LoadLatency(0x4000); lat != full {
+		t.Errorf("post-flush lat = %d, want %d", lat, full)
+	}
+}
+
+func TestHierarchyFetchPath(t *testing.T) {
+	h, _ := NewHierarchy(DefaultHierConfig(), NewMemory())
+	cold := h.Cfg.L1I.Latency + h.Cfg.L2.Latency + h.Cfg.MemLatency
+	if lat := h.FetchLatency(0x1000); lat != cold {
+		t.Errorf("cold fetch = %d, want %d", lat, cold)
+	}
+	if lat := h.FetchLatency(0x1000); lat != h.Cfg.L1I.Latency {
+		t.Errorf("warm fetch = %d", lat)
+	}
+	// I-fetch warms L2: a D-load of the same line is an L2 hit.
+	h.L1D.Flush(0x1000)
+	if lat := h.LoadLatency(0x1000); lat != h.Cfg.L1D.Latency+h.Cfg.L2.Latency {
+		t.Errorf("load after fetch = %d", lat)
+	}
+}
+
+func TestHierConfigValidate(t *testing.T) {
+	bad := DefaultHierConfig()
+	bad.L1D.Sets = 3
+	if _, err := NewHierarchy(bad, NewMemory()); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	bad = DefaultHierConfig()
+	bad.MemLatency = 0
+	if _, err := NewHierarchy(bad, NewMemory()); err == nil {
+		t.Error("zero memory latency accepted")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x0)
+	c.Fill(0x40)
+	c.InvalidateAll()
+	if c.Probe(0x0) || c.Probe(0x40) {
+		t.Error("InvalidateAll left lines")
+	}
+}

@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"fmt"
+
+	"levioso/internal/isa"
+)
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, page-backed, little-endian byte-addressable memory.
+// It bounds addresses to isa.MemLimit so a wild pointer in a guest program
+// fails fast instead of allocating unbounded pages.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+func (m *Memory) check(addr uint64, size int) error {
+	if addr >= isa.MemLimit || addr+uint64(size) > isa.MemLimit {
+		return fmt.Errorf("memory access %#x size %d out of bounds", addr, size)
+	}
+	if size != 1 && addr%uint64(size) != 0 {
+		return fmt.Errorf("misaligned %d-byte access at %#x", size, addr)
+	}
+	return nil
+}
+
+// Read returns the little-endian value of size bytes at addr (1, 2, 4 or 8).
+func (m *Memory) Read(addr uint64, size int) (uint64, error) {
+	if err := m.check(addr, size); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.Load8(addr+uint64(i))) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write stores the low size bytes of val at addr little-endian.
+func (m *Memory) Write(addr uint64, size int, val uint64) error {
+	if err := m.check(addr, size); err != nil {
+		return err
+	}
+	for i := 0; i < size; i++ {
+		m.Store8(addr+uint64(i), byte(val>>(8*i)))
+	}
+	return nil
+}
+
+// Load8 returns the byte at addr (zero if the page was never written).
+func (m *Memory) Load8(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Store8 stores one byte at addr.
+func (m *Memory) Store8(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// WriteBytes copies b to memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i, v := range b {
+		m.Store8(addr+uint64(i), v)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Load8(addr + uint64(i))
+	}
+	return out
+}
+
+// Clone returns a deep copy of the memory (used by cosimulation to fork a
+// reference machine from an initial state).
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, p := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		c.pages[pn] = cp
+	}
+	return c
+}
+
+// Pages returns the number of allocated pages (test introspection).
+func (m *Memory) Pages() int { return len(m.pages) }

@@ -1,0 +1,69 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"levioso/internal/isa"
+)
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	f := func(addrRaw uint64, val uint64, sizeSel uint8) bool {
+		sizes := []int{1, 2, 4, 8}
+		size := sizes[sizeSel%4]
+		addr := (addrRaw % (isa.MemLimit - 8)) &^ uint64(size-1)
+		m := NewMemory()
+		if err := m.Write(addr, size, val); err != nil {
+			return false
+		}
+		got, err := m.Read(addr, size)
+		if err != nil {
+			return false
+		}
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		return got == val&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	m := NewMemory()
+	if err := m.Write(isa.MemLimit, 8, 1); err == nil {
+		t.Error("write past MemLimit succeeded")
+	}
+	if _, err := m.Read(isa.MemLimit-4, 8); err == nil {
+		t.Error("read straddling MemLimit succeeded")
+	}
+	if err := m.Write(17, 8, 1); err == nil {
+		t.Error("misaligned 8-byte write succeeded")
+	}
+}
+
+func TestMemoryZeroDefault(t *testing.T) {
+	m := NewMemory()
+	v, err := m.Read(0x2000, 8)
+	if err != nil || v != 0 {
+		t.Errorf("fresh read = %d, %v", v, err)
+	}
+	if m.Pages() != 0 {
+		t.Errorf("read allocated %d pages", m.Pages())
+	}
+}
+
+func TestMemoryClone(t *testing.T) {
+	m := NewMemory()
+	m.WriteBytes(0x1000, []byte{1, 2, 3})
+	c := m.Clone()
+	c.Store8(0x1000, 99)
+	if m.Load8(0x1000) != 1 {
+		t.Error("clone aliases original")
+	}
+	if c.Load8(0x1001) != 2 {
+		t.Error("clone missing data")
+	}
+}

@@ -1,0 +1,156 @@
+// Package ref implements a functional (instruction-at-a-time) LEV64
+// interpreter. It is the architectural reference model: the out-of-order core
+// in internal/cpu must produce exactly the same final state and console
+// output for every program, which the cosimulation tests enforce.
+package ref
+
+import (
+	"fmt"
+	"strconv"
+
+	"levioso/internal/isa"
+	"levioso/internal/mem"
+)
+
+// Result summarizes a completed functional run.
+type Result struct {
+	ExitCode uint64 // rs1 value of the HALT instruction
+	Output   string // bytes written via PUTC/PUTI
+	Insts    uint64 // dynamic instruction count (including the HALT)
+	Regs     [isa.NumRegs]uint64
+}
+
+// Limits bounds a run.
+type Limits struct {
+	MaxInsts uint64 // 0 means DefaultMaxInsts
+}
+
+// DefaultMaxInsts bounds runaway programs in tests.
+const DefaultMaxInsts = 200_000_000
+
+// Machine is a functional LEV64 machine with sparse page-backed memory.
+type Machine struct {
+	Prog   *isa.Program
+	PC     uint64
+	Regs   [isa.NumRegs]uint64
+	Mem    *mem.Memory
+	Cycles uint64 // synthetic counter advanced by 1 per instruction; feeds RDCYCLE
+	out    []byte
+	halted bool
+	exit   uint64
+	insts  uint64
+}
+
+// New creates a machine with prog loaded and the standard register state
+// (sp=StackTop, gp=DataBase, pc=entry).
+func New(prog *isa.Program) *Machine {
+	m := &Machine{Prog: prog, PC: prog.Entry, Mem: mem.NewMemory()}
+	m.Regs[isa.RegSP] = isa.StackTop
+	m.Regs[isa.RegGP] = isa.DataBase
+	m.Mem.WriteBytes(isa.DataBase, prog.Data)
+	return m
+}
+
+// Run executes prog to completion (HALT) and returns the result.
+func Run(prog *isa.Program, lim Limits) (Result, error) {
+	m := New(prog)
+	max := lim.MaxInsts
+	if max == 0 {
+		max = DefaultMaxInsts
+	}
+	for !m.halted {
+		if m.insts >= max {
+			return Result{}, fmt.Errorf("ref: instruction limit %d exceeded at pc=%#x", max, m.PC)
+		}
+		if err := m.Step(); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{ExitCode: m.exit, Output: string(m.out), Insts: m.insts, Regs: m.Regs}, nil
+}
+
+// Halted reports whether the machine has executed HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// ExitCode returns the HALT operand (valid after Halted).
+func (m *Machine) ExitCode() uint64 { return m.exit }
+
+// Output returns console output so far.
+func (m *Machine) Output() string { return string(m.out) }
+
+// Insts returns the dynamic instruction count so far.
+func (m *Machine) Insts() uint64 { return m.insts }
+
+// Step executes a single instruction.
+func (m *Machine) Step() error {
+	if m.halted {
+		return nil
+	}
+	in, ok := m.Prog.InstAt(m.PC)
+	if !ok {
+		return fmt.Errorf("ref: pc %#x outside text", m.PC)
+	}
+	m.insts++
+	m.Cycles++
+	next := m.PC + isa.InstBytes
+	rs1 := m.Regs[in.Rs1]
+	rs2 := m.Regs[in.Rs2]
+
+	switch cls := in.Op.Class(); cls {
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
+		b := rs2
+		if in.Op.HasImm() {
+			b = uint64(in.Imm)
+		}
+		m.setReg(in.Rd, isa.EvalALU(in.Op, rs1, b))
+	case isa.ClassLoad:
+		addr := rs1 + uint64(in.Imm)
+		raw, err := m.Mem.Read(addr, in.Op.MemBytes())
+		if err != nil {
+			return fmt.Errorf("ref: pc %#x %v: %w", m.PC, in, err)
+		}
+		m.setReg(in.Rd, isa.ExtendLoad(in.Op, raw))
+	case isa.ClassStore:
+		addr := rs1 + uint64(in.Imm)
+		if err := m.Mem.Write(addr, in.Op.MemBytes(), rs2); err != nil {
+			return fmt.Errorf("ref: pc %#x %v: %w", m.PC, in, err)
+		}
+	case isa.ClassBranch:
+		if isa.EvalBranch(in.Op, rs1, rs2) {
+			next = in.BranchTarget(m.PC)
+		}
+	case isa.ClassJump:
+		m.setReg(in.Rd, m.PC+isa.InstBytes)
+		if in.Op == isa.JAL {
+			next = in.BranchTarget(m.PC)
+		} else {
+			next = (rs1 + uint64(in.Imm)) &^ 1
+		}
+	case isa.ClassSystem:
+		switch in.Op {
+		case isa.FENCE:
+			// No architectural effect.
+		case isa.HALT:
+			m.halted = true
+			m.exit = rs1
+		case isa.PUTC:
+			m.out = append(m.out, byte(rs1))
+		case isa.PUTI:
+			m.out = strconv.AppendInt(m.out, int64(rs1), 10)
+		case isa.RDCYCLE:
+			m.setReg(in.Rd, m.Cycles)
+		case isa.CFLUSH:
+			// No architectural effect; microarchitectural only.
+		default:
+			return fmt.Errorf("ref: pc %#x: unimplemented system op %v", m.PC, in.Op)
+		}
+	}
+	m.PC = next
+	return nil
+}
+
+func (m *Machine) setReg(r isa.Reg, v uint64) {
+	if r != isa.RegZero {
+		m.Regs[r] = v
+	}
+}

@@ -1,0 +1,76 @@
+package ref
+
+import (
+	"testing"
+
+	"levioso/internal/isa"
+)
+
+func TestMachineStraightLine(t *testing.T) {
+	p := isa.NewProgram()
+	p.Text = []isa.Inst{
+		{Op: isa.ADDI, Rd: isa.RegA0, Rs1: isa.RegZero, Imm: 5},
+		{Op: isa.ADDI, Rd: isa.RegA1, Rs1: isa.RegA0, Imm: 3},
+		{Op: isa.HALT, Rs1: isa.RegA1},
+	}
+	res, err := Run(p, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 8 || res.Insts != 3 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestMachineInstLimit(t *testing.T) {
+	p := isa.NewProgram()
+	p.Text = []isa.Inst{
+		{Op: isa.JAL, Rd: isa.RegZero, Imm: 0}, // self loop
+	}
+	if _, err := Run(p, Limits{MaxInsts: 100}); err == nil {
+		t.Error("infinite loop did not hit instruction limit")
+	}
+}
+
+func TestMachinePCOutsideText(t *testing.T) {
+	p := isa.NewProgram()
+	p.Text = []isa.Inst{{Op: isa.ADDI}} // falls off the end
+	if _, err := Run(p, Limits{MaxInsts: 10}); err == nil {
+		t.Error("run off text end did not error")
+	}
+}
+
+func TestX0AlwaysZero(t *testing.T) {
+	p := isa.NewProgram()
+	p.Text = []isa.Inst{
+		{Op: isa.ADDI, Rd: isa.RegZero, Rs1: isa.RegZero, Imm: 77},
+		{Op: isa.HALT, Rs1: isa.RegZero},
+	}
+	res, err := Run(p, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 {
+		t.Errorf("x0 = %d after write", res.ExitCode)
+	}
+}
+
+func TestGPAndSPInitialized(t *testing.T) {
+	p := isa.NewProgram()
+	p.Data = []byte{42}
+	p.Text = []isa.Inst{
+		{Op: isa.LBU, Rd: isa.RegA0, Rs1: isa.RegGP, Imm: 0},
+		// Push/pop on the stack.
+		{Op: isa.ADDI, Rd: isa.RegSP, Rs1: isa.RegSP, Imm: -8},
+		{Op: isa.SD, Rs1: isa.RegSP, Rs2: isa.RegA0, Imm: 0},
+		{Op: isa.LD, Rd: isa.RegA1, Rs1: isa.RegSP, Imm: 0},
+		{Op: isa.HALT, Rs1: isa.RegA1},
+	}
+	res, err := Run(p, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", res.ExitCode)
+	}
+}

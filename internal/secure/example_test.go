@@ -1,0 +1,50 @@
+package secure_test
+
+import (
+	"fmt"
+
+	"levioso/internal/cpu"
+	"levioso/internal/lang"
+	"levioso/internal/secure"
+)
+
+// Running the same compiled program under the unprotected core and under
+// Levioso: architectural results are identical; only timing differs.
+func Example() {
+	prog := lang.MustCompile("demo.lc", `
+var data[256];
+func main() {
+	var i;
+	var sum = 0;
+	for (i = 0; i < 256; i = i + 1) { data[i] = i * 3; }
+	for (i = 0; i < 256; i = i + 1) {
+		if (data[i] & 4) { sum = sum + data[i]; }
+	}
+	return sum & 255;
+}`)
+	var exits [2]uint64
+	for i, name := range []string{"unsafe", "levioso"} {
+		c, err := cpu.New(prog, cpu.DefaultConfig(), secure.MustNew(name))
+		if err != nil {
+			panic(err)
+		}
+		res, err := c.Run()
+		if err != nil {
+			panic(err)
+		}
+		exits[i] = res.ExitCode
+	}
+	fmt.Printf("same architectural result: %v\n", exits[0] == exits[1])
+	// Output:
+	// same architectural result: true
+}
+
+// New rejects unknown policy names and lists the valid ones.
+func ExampleNew() {
+	_, err := secure.New("spectre-proof")
+	fmt.Println(err != nil)
+	fmt.Println(secure.Names()[0], secure.Names()[5])
+	// Output:
+	// true
+	// unsafe levioso
+}

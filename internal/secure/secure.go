@@ -1,0 +1,175 @@
+// Package secure implements the secure-speculation policies evaluated in the
+// paper: the unprotected baseline, three hardware-only defense families
+// (fence, delay, invisible — plus the sandbox-only taint tracker for
+// reference), and Levioso itself.
+//
+// All policies share the core's Branch Dependency Table (internal/core): at
+// rename each instruction receives a wait mask over in-flight branch slots,
+// the core clears bits as branches resolve, and the policy's Decide hook
+// blocks ready transmitters whose mask has not drained. The policies differ
+// only in *which* branches end up in the mask:
+//
+//	unsafe     — none: full speculation (insecure baseline).
+//	fence      — every instruction waits for all older branches
+//	             (lfence-after-every-branch semantics).
+//	delay      — transmitters wait for all older branches (comprehensive
+//	             delay-on-speculation; the paper's ~51% baseline class).
+//	invisible  — speculative loads execute without changing cache state and
+//	             become visible when safe (InvisiSpec/GhostMinion class; the
+//	             paper's ~43% baseline class); speculative div/cflush wait.
+//	taint      — dataflow tracking from speculative loads only (STT class;
+//	             sound for the sandbox model, NOT comprehensive — included
+//	             for reference, as in the paper's related-work comparison).
+//	levioso    — transmitters wait only for their *true* dependencies: the
+//	             branches whose annotated control region they sit in, plus
+//	             branches reached through register/memory dataflow.
+//
+// Two additional variants bracket levioso for the ablation study (F5):
+// levioso-ctrl drops the data half (UNSOUND — leaks the ct-data attack;
+// cost-attribution only) and levioso-ghost, an extension beyond the paper,
+// executes truly-dependent loads invisibly instead of stalling them.
+package secure
+
+import (
+	"fmt"
+
+	"levioso/internal/cpu"
+)
+
+// New returns the policy with the given name. Valid names are listed by
+// Names.
+func New(name string) (cpu.Policy, error) {
+	switch name {
+	case "unsafe":
+		return cpu.NopPolicy{}, nil
+	case "fence":
+		return &fencePolicy{}, nil
+	case "delay":
+		return &delayPolicy{}, nil
+	case "invisible":
+		return &invisiblePolicy{}, nil
+	case "taint":
+		return newTracking("taint", false, true), nil
+	case "levioso":
+		return newTracking("levioso", true, true), nil
+	case "levioso-ctrl":
+		// Ablation (experiment F5): control dependencies only, no dataflow
+		// propagation. NOT sound against data-dependent leaks; measures what
+		// the data half of the annotation costs.
+		return newTracking("levioso-ctrl", true, false), nil
+	case "levioso-ghost":
+		// Extension beyond the paper: truly-dependent loads execute
+		// invisibly (InvisiSpec-style) instead of stalling, keeping both
+		// comprehensive coverage and Levioso's precision. Divider and flush
+		// transmitters still wait for their true dependencies.
+		return newTracking("levioso-ghost", true, true), nil
+	default:
+		return nil, fmt.Errorf("secure: unknown policy %q (have %v)", name, Names())
+	}
+}
+
+// MustNew is New for known-valid names; it panics on error.
+func MustNew(name string) cpu.Policy {
+	p, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names lists all policy names, baseline first.
+func Names() []string {
+	return []string{"unsafe", "fence", "delay", "invisible", "taint", "levioso", "levioso-ctrl", "levioso-ghost"}
+}
+
+// EvalNames lists the policies in the headline evaluation (experiment F1),
+// in presentation order.
+func EvalNames() []string {
+	return []string{"unsafe", "fence", "delay", "invisible", "levioso"}
+}
+
+// ------------------------------------------------------------------ fence --
+
+// fencePolicy: no instruction younger than an unresolved branch executes.
+type fencePolicy struct {
+	c *cpu.Core
+}
+
+func (p *fencePolicy) Name() string          { return "fence" }
+func (p *fencePolicy) Attach(c *cpu.Core)    { p.c = c }
+func (p *fencePolicy) Reset()                {}
+func (p *fencePolicy) OnSlotResolved(int)    {}
+func (p *fencePolicy) OnSquash(*cpu.DynInst) {}
+
+func (p *fencePolicy) OnRename(d *cpu.DynInst) {
+	d.WaitMask = p.c.BT.Unresolved()
+}
+
+func (p *fencePolicy) Decide(d *cpu.DynInst) cpu.Decision {
+	if d.WaitMask != 0 {
+		return cpu.Wait
+	}
+	return cpu.Proceed
+}
+
+func (p *fencePolicy) OnForward(_, _ *cpu.DynInst) {}
+
+// ------------------------------------------------------------------ delay --
+
+// delayPolicy: transmitters wait for all older unresolved branches.
+type delayPolicy struct {
+	c *cpu.Core
+}
+
+func (p *delayPolicy) Name() string          { return "delay" }
+func (p *delayPolicy) Attach(c *cpu.Core)    { p.c = c }
+func (p *delayPolicy) Reset()                {}
+func (p *delayPolicy) OnSlotResolved(int)    {}
+func (p *delayPolicy) OnSquash(*cpu.DynInst) {}
+
+func (p *delayPolicy) OnRename(d *cpu.DynInst) {
+	if d.Inst.Op.IsTransmitter() {
+		d.WaitMask = p.c.BT.Unresolved()
+	}
+}
+
+func (p *delayPolicy) Decide(d *cpu.DynInst) cpu.Decision {
+	if d.WaitMask != 0 {
+		return cpu.Wait
+	}
+	return cpu.Proceed
+}
+
+func (p *delayPolicy) OnForward(_, _ *cpu.DynInst) {}
+
+// -------------------------------------------------------------- invisible --
+
+// invisiblePolicy: speculative loads run invisibly (no cache state change,
+// exposure deferred to commit); speculative div/cflush wait as in delay.
+type invisiblePolicy struct {
+	c *cpu.Core
+}
+
+func (p *invisiblePolicy) Name() string          { return "invisible" }
+func (p *invisiblePolicy) Attach(c *cpu.Core)    { p.c = c }
+func (p *invisiblePolicy) Reset()                {}
+func (p *invisiblePolicy) OnSlotResolved(int)    {}
+func (p *invisiblePolicy) OnSquash(*cpu.DynInst) {}
+
+func (p *invisiblePolicy) OnRename(d *cpu.DynInst) {
+	if d.Inst.Op.IsTransmitter() {
+		d.WaitMask = p.c.BT.Unresolved()
+	}
+}
+
+func (p *invisiblePolicy) Decide(d *cpu.DynInst) cpu.Decision {
+	if d.WaitMask == 0 {
+		return cpu.Proceed
+	}
+	if d.IsLoad() {
+		return cpu.ProceedInvisible
+	}
+	return cpu.Wait // divider occupancy and flushes cannot be hidden
+}
+
+func (p *invisiblePolicy) OnForward(_, _ *cpu.DynInst) {}

@@ -1,0 +1,261 @@
+package secure
+
+import (
+	"testing"
+
+	"levioso/internal/asm"
+	"levioso/internal/core"
+	"levioso/internal/cpu"
+	"levioso/internal/isa"
+	"levioso/internal/ref"
+)
+
+// A branchy, load-heavy kernel with hard-to-predict branches: the kind of
+// code where the policies separate.
+const kernelSrc = `
+main:
+	la s0, arr
+	li s1, 0        # i
+	li s2, 256      # n
+	li s3, 0        # sum
+	li s4, 2654435761
+fill:
+	mul t0, s1, s4
+	srli t0, t0, 7
+	slli t1, s1, 3
+	add t1, t1, s0
+	sd t0, 0(t1)
+	addi s1, s1, 1
+	blt s1, s2, fill
+	li s1, 0
+loop:
+	slli t1, s1, 3
+	add t1, t1, s0
+	ld t0, 0(t1)     # load under the loop branch's shadow
+	andi t2, t0, 1
+	beqz t2, even    # data-dependent, mispredicts often
+	add s3, s3, t0
+	j next
+even:
+	sub s3, s3, t0
+next:
+	addi s1, s1, 1
+	blt s1, s2, loop
+	halt s3
+	.data
+arr:	.space 2048
+`
+
+func compileKernel(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	prog, err := asm.Assemble("k.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Annotate(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func runPolicy(t *testing.T, prog *isa.Program, name string) cpu.Result {
+	t.Helper()
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 20_000_000
+	c, err := cpu.New(prog, cfg, MustNew(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("policy %s: %v", name, err)
+	}
+	// Architectural equivalence against the reference model.
+	want, err := ref.Run(prog, ref.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != want.ExitCode || res.Output != want.Output {
+		t.Errorf("policy %s: exit/output %d/%q, want %d/%q",
+			name, res.ExitCode, res.Output, want.ExitCode, want.Output)
+	}
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if got := c.ArchReg(r); got != want.Regs[r] {
+			t.Errorf("policy %s: reg %s = %#x, want %#x", name, r, got, want.Regs[r])
+		}
+	}
+	return res
+}
+
+func TestAllPoliciesPreserveSemantics(t *testing.T) {
+	prog := compileKernel(t, kernelSrc)
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			runPolicy(t, prog, name)
+		})
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	prog := compileKernel(t, kernelSrc)
+	cycles := map[string]uint64{}
+	for _, name := range Names() {
+		cycles[name] = runPolicy(t, prog, name).Stats.Cycles
+	}
+	t.Logf("cycles: %v", cycles)
+	if cycles["unsafe"] > cycles["levioso"] {
+		t.Errorf("levioso (%d) faster than unsafe (%d)", cycles["levioso"], cycles["unsafe"])
+	}
+	if cycles["levioso"] > cycles["delay"] {
+		t.Errorf("levioso (%d) slower than delay (%d)", cycles["levioso"], cycles["delay"])
+	}
+	if cycles["delay"] > cycles["fence"] {
+		t.Errorf("delay (%d) slower than fence (%d)", cycles["delay"], cycles["fence"])
+	}
+	// Levioso must recover a real fraction of the delay overhead.
+	delayOv := float64(cycles["delay"]-cycles["unsafe"]) / float64(cycles["unsafe"])
+	levOv := float64(cycles["levioso"]-cycles["unsafe"]) / float64(cycles["unsafe"])
+	if delayOv > 0.02 && levOv > 0.9*delayOv {
+		t.Errorf("levioso overhead %.3f not meaningfully below delay %.3f", levOv, delayOv)
+	}
+}
+
+func TestUnsafeNeverRestricts(t *testing.T) {
+	prog := compileKernel(t, kernelSrc)
+	res := runPolicy(t, prog, "unsafe")
+	if res.Stats.RestrictedTransmitters != 0 || res.Stats.PolicyWaitEvents != 0 {
+		t.Errorf("unsafe restricted: %+v", res.Stats)
+	}
+}
+
+func TestLeviosoRestrictsFewerThanDelay(t *testing.T) {
+	prog := compileKernel(t, kernelSrc)
+	lev := runPolicy(t, prog, "levioso").Stats
+	del := runPolicy(t, prog, "delay").Stats
+	if lev.RestrictedTransmitters >= del.RestrictedTransmitters {
+		t.Errorf("levioso restricted %d, delay %d: compiler info bought nothing",
+			lev.RestrictedTransmitters, del.RestrictedTransmitters)
+	}
+}
+
+func TestInvisibleLoadsAreCounted(t *testing.T) {
+	prog := compileKernel(t, kernelSrc)
+	res := runPolicy(t, prog, "invisible")
+	if res.Stats.InvisibleLoads == 0 {
+		t.Error("invisible policy executed no invisible loads")
+	}
+}
+
+func TestUnknownPolicy(t *testing.T) {
+	if _, err := New("bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// Control-independent loads must not be restricted by Levioso.
+// The load of b[0] below is after the branch's reconvergence point and uses
+// only pre-branch values, so Levioso lets it run while delay blocks it.
+func TestLeviosoFreesControlIndependentLoad(t *testing.T) {
+	src := `
+main:
+	la s0, a
+	la s1, b
+	li s2, 0
+	li s3, 0
+	li s4, 200
+	li s5, 2654435761
+loop:
+	mul t0, s2, s5
+	srli t0, t0, 9
+	andi t0, t0, 1
+	ld s6, 0(s0)       # slow-ish producer for the branch
+	beq t0, s6, taken  # unpredictable, resolves late
+	addi s3, s3, 1
+taken:
+	ld t1, 0(s1)       # reconvergence: control- and data-independent
+	add s3, s3, t1
+	addi s2, s2, 1
+	blt s2, s4, loop
+	halt s3
+	.data
+a:	.quad 2
+b:	.quad 5
+`
+	prog := compileKernel(t, src)
+	lev := runPolicy(t, prog, "levioso").Stats
+	del := runPolicy(t, prog, "delay").Stats
+	if lev.Cycles >= del.Cycles {
+		t.Errorf("levioso %d cycles >= delay %d on control-independent loads",
+			lev.Cycles, del.Cycles)
+	}
+}
+
+// A value produced inside a branch region and consumed by a later transmitter
+// must keep the transmitter restricted under Levioso (data dependence).
+func TestLeviosoTracksDataDependence(t *testing.T) {
+	src := `
+main:
+	la s0, a
+	li s1, 0
+	li s2, 100
+	li s5, 2654435761
+loop:
+	mul t0, s1, s5
+	srli t0, t0, 11
+	andi t0, t0, 7
+	beqz t0, zero_
+	li t1, 8         # written in region
+	j join
+zero_:
+	li t1, 0         # written in region
+join:
+	add t2, s0, t1   # data-dependent on the branch
+	ld t3, 0(t2)     # transmitter: must wait for the branch under levioso
+	add s3, s3, t3
+	addi s1, s1, 1
+	blt s1, s2, loop
+	halt s3
+	.data
+a:	.quad 11, 22
+`
+	prog := compileKernel(t, src)
+	lev := runPolicy(t, prog, "levioso").Stats
+	if lev.RestrictedTransmitters == 0 {
+		t.Error("levioso did not restrict a data-dependent transmitter")
+	}
+	// levioso-ctrl (ablation, unsound) should restrict fewer.
+	ctrl := runPolicy(t, prog, "levioso-ctrl").Stats
+	if ctrl.RestrictedTransmitters >= lev.RestrictedTransmitters {
+		t.Errorf("ctrl-only restricted %d >= full %d: data tracking had no effect",
+			ctrl.RestrictedTransmitters, lev.RestrictedTransmitters)
+	}
+}
+
+func TestNamesStable(t *testing.T) {
+	names := Names()
+	if names[0] != "unsafe" || names[len(names)-1] != "levioso-ghost" {
+		t.Errorf("names = %v", names)
+	}
+	for _, n := range names {
+		if MustNew(n).Name() != n {
+			t.Errorf("policy %q reports name %q", n, MustNew(n).Name())
+		}
+	}
+	for _, n := range EvalNames() {
+		MustNew(n)
+	}
+}
+
+// The levioso-ghost extension (truly-dependent loads run invisibly instead
+// of stalling) must preserve semantics, block every attack, and cost no more
+// than plain levioso.
+func TestLeviosoGhostExtension(t *testing.T) {
+	prog := compileKernel(t, kernelSrc)
+	ghost := runPolicy(t, prog, "levioso-ghost").Stats
+	lev := runPolicy(t, prog, "levioso").Stats
+	t.Logf("levioso %d cycles, levioso-ghost %d cycles", lev.Cycles, ghost.Cycles)
+	if ghost.Cycles > lev.Cycles+lev.Cycles/20 {
+		t.Errorf("ghost (%d) should not be meaningfully slower than levioso (%d)",
+			ghost.Cycles, lev.Cycles)
+	}
+}

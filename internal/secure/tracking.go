@@ -1,0 +1,122 @@
+package secure
+
+import (
+	"levioso/internal/core"
+	"levioso/internal/cpu"
+)
+
+// trackingPolicy implements the dependency-tracking policies over the Branch
+// Dependency Table and the per-physical-register mask file:
+//
+//   - levioso:      ctrl=true,  data=true   (true control + data dependencies)
+//   - levioso-ctrl: ctrl=true,  data=false  (ablation: control only)
+//   - taint:        ctrl=false, data=true   (STT-class: dataflow from
+//     speculative loads only; sandbox threat model)
+//
+// Mask discipline: OnRename snapshots the control component (open regions for
+// Levioso, nothing for taint) into WaitMask; the core clears WaitMask bits as
+// branches resolve. The full dependency mask — control | source-register
+// masks — is evaluated at issue time, when source masks are final (a source's
+// mask can only change before its value becomes ready, and Decide runs only
+// once operands are ready). On Proceed the instruction's destination mask is
+// published for its consumers.
+type trackingPolicy struct {
+	name       string
+	useCtrl    bool
+	useData    bool
+	loadsTaint bool // taint: load results depend on all branches they ran under
+	// ghostLoads: instead of stalling a truly-dependent load, execute it
+	// invisibly (no cache state change, exposure+validation when safe) —
+	// the levioso-ghost extension combining the paper's precision with
+	// invisible execution. Divider/flush transmitters still wait.
+	ghostLoads bool
+
+	c   *cpu.Core
+	dep *core.DepState
+}
+
+func newTracking(name string, ctrl, data bool) *trackingPolicy {
+	return &trackingPolicy{
+		name:       name,
+		useCtrl:    ctrl,
+		useData:    data,
+		loadsTaint: name == "taint",
+		ghostLoads: name == "levioso-ghost",
+	}
+}
+
+func (p *trackingPolicy) Name() string { return p.name }
+
+func (p *trackingPolicy) Attach(c *cpu.Core) {
+	p.c = c
+	p.dep = core.NewDepState(c.Config().NumPhysRegs)
+}
+
+func (p *trackingPolicy) Reset() {
+	if p.dep != nil {
+		p.dep.Reset()
+	}
+}
+
+func (p *trackingPolicy) OnRename(d *cpu.DynInst) {
+	if p.useCtrl {
+		d.WaitMask = p.c.BT.OpenMask()
+	}
+	if p.loadsTaint && d.IsLoad() {
+		// The load's result is speculative under every branch in flight at
+		// its rename; the core clears these bits as branches resolve, so by
+		// issue time DataMask holds exactly the still-unresolved set.
+		d.DataMask = p.c.BT.Unresolved()
+	}
+}
+
+func (p *trackingPolicy) Decide(d *cpu.DynInst) cpu.Decision {
+	m := d.WaitMask
+	if p.useData {
+		if d.Src1 >= 0 {
+			m |= p.dep.Get(d.Src1)
+		}
+		if d.Src2 >= 0 {
+			m |= p.dep.Get(d.Src2)
+		}
+	}
+	decision := cpu.Proceed
+	if d.Inst.Op.IsTransmitter() && m != 0 {
+		if p.ghostLoads && d.IsLoad() {
+			decision = cpu.ProceedInvisible
+		} else {
+			return cpu.Wait
+		}
+	}
+	if p.useData {
+		out := m
+		if p.loadsTaint && d.IsLoad() {
+			out |= d.DataMask
+		}
+		d.DataMask = out
+		if d.Dst >= 0 {
+			p.dep.Set(d.Dst, out)
+		}
+	}
+	return decision
+}
+
+// OnForward propagates the forwarding store's value dependencies into the
+// load's result: consumers of the load issue strictly after the load
+// completes, so publishing here is early enough.
+func (p *trackingPolicy) OnForward(load, store *cpu.DynInst) {
+	if !p.useData {
+		return
+	}
+	m := load.DataMask | store.DataMask
+	load.DataMask = m
+	if load.Dst >= 0 {
+		p.dep.Set(load.Dst, m)
+	}
+}
+
+func (p *trackingPolicy) OnSlotResolved(slot int) {
+	p.dep.ClearSlot(slot)
+}
+
+func (p *trackingPolicy) OnSquash(*cpu.DynInst) {}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-9 {
+		t.Errorf("GeoMean(1,4) = %f", g)
+	}
+	if g := GeoMean([]float64{2, 2, 2}); math.Abs(g-2) > 1e-9 {
+		t.Errorf("GeoMean(2,2,2) = %f", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %f", g)
+	}
+	// Zero entries are clamped, not fatal.
+	if g := GeoMean([]float64{0, 1}); g <= 0 {
+		t.Errorf("GeoMean with zero = %f", g)
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-6 && x < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-12 {
+		t.Errorf("Mean = %f", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %f", m)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.234); got != "23.4%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if b := Bar(5, 10, 10); b != "#####" {
+		t.Errorf("Bar = %q", b)
+	}
+	if b := Bar(0.001, 10, 10); b != "#" {
+		t.Errorf("tiny Bar = %q (nonzero values get at least one mark)", b)
+	}
+	if b := Bar(20, 10, 10); b != "##########" {
+		t.Errorf("clamped Bar = %q", b)
+	}
+	if b := Bar(0, 10, 10); b != "" {
+		t.Errorf("zero Bar = %q", b)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.Add("alpha", "1")
+	tab.Add("b", "22")
+	out := tab.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: "value" column right-aligned.
+	if !strings.HasSuffix(lines[3], "    1") && !strings.Contains(lines[3], " 1") {
+		t.Errorf("row = %q", lines[3])
+	}
+	// Short rows are padded.
+	tab.Add("only-one-cell")
+	if !strings.Contains(tab.String(), "only-one-cell") {
+		t.Error("short row dropped")
+	}
+}

@@ -1,0 +1,535 @@
+package workloads
+
+// The twelve-kernel suite. Comments on each state the SPEC CPU2017 behaviour
+// class the kernel stands in for and the microarchitectural behaviour that
+// matters for secure-speculation overhead.
+
+// All returns the full suite in canonical order.
+func All() []Workload {
+	return []Workload{
+		pchase, qsort, bsearch, hashjoin, strmatch, matmul,
+		stencil, ctmix, treesearch, rle, fsm, bfs,
+	}
+}
+
+// pchase: serial pointer chasing with value-dependent branches — the mcf
+// class. Branches depend on loaded values, so they resolve late and keep a
+// long speculation shadow over the following (control-independent) loads:
+// the pattern Levioso exists to free.
+var pchase = Workload{
+	Name:  "pchase",
+	Class: "mcf-like (latency-bound pointer chase)",
+	Desc:  "permutation-ring chase; loaded values feed branches",
+	test:  3000, ref: 40000,
+	src: `
+var next[32768];
+var val[32768];
+
+func main() {
+	var n = 32768;
+	var i;
+	for (i = 0; i < n; i = i + 1) {
+		next[i] = (i + 12713) & 32767;     // ring permutation (12713 odd)
+		val[i] = (i * 2654435761) >> 5;
+	}
+	var p = 0;
+	var acc = 0;
+	var steps = %N%;
+	for (i = 0; i < steps; i = i + 1) {
+		p = next[p];                        // serial dependent load
+		var v = val[p];
+		if (v & 64) {                       // value-dependent, late-resolving
+			acc = acc + v;
+		} else {
+			acc = acc - 1;
+		}
+	}
+	print(acc & 65535);
+	return acc & 255;
+}`,
+}
+
+// qsort: recursive quicksort on pseudo-random keys — the sorting/branchy
+// integer class (deepsjeng/xz flavour). Partition comparisons are
+// data-dependent and mispredict heavily.
+var qsort = Workload{
+	Name:  "qsort",
+	Class: "sort/branchy integer (xz-like)",
+	Desc:  "recursive quicksort of LCG keys",
+	test:  256, ref: 2048,
+	src: `
+var a[2048];
+
+func swap(i, j) {
+	var t = a[i];
+	a[i] = a[j];
+	a[j] = t;
+	return 0;
+}
+
+func part(lo, hi) {
+	var pivot = a[hi];
+	var i = lo - 1;
+	var j;
+	for (j = lo; j < hi; j = j + 1) {
+		if (a[j] <= pivot) {
+			i = i + 1;
+			swap(i, j);
+		}
+	}
+	swap(i + 1, hi);
+	return i + 1;
+}
+
+func qs(lo, hi) {
+	if (lo >= hi) { return 0; }
+	var p = part(lo, hi);
+	qs(lo, p - 1);
+	qs(p + 1, hi);
+	return 0;
+}
+
+func main() {
+	var n = %N%;
+	var s = 88172645463325252;
+	var i;
+	for (i = 0; i < n; i = i + 1) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		a[i] = (s >> 33) & 1048575;
+	}
+	qs(0, n - 1);
+	var bad = 0;
+	for (i = 1; i < n; i = i + 1) {
+		if (a[i - 1] > a[i]) { bad = bad + 1; }
+	}
+	print(bad);
+	print(a[n / 2]);
+	return bad;
+}`,
+}
+
+// bsearch: repeated binary search — compare branches are essentially random
+// AND every subsequent load truly depends on the branch outcome. This is the
+// adversarial case for Levioso (true dependencies everywhere), keeping the
+// suite honest.
+var bsearch = Workload{
+	Name:  "bsearch",
+	Class: "search/index lookup (omnetpp-like)",
+	Desc:  "binary search; every load truly depends on prior branches",
+	test:  400, ref: 6000,
+	src: `
+var a[65536];
+
+func find(key) {
+	var lo = 0;
+	var hi = 65535;
+	while (lo < hi) {
+		var mid = (lo + hi) >> 1;
+		if (a[mid] < key) { lo = mid + 1; }
+		else { hi = mid; }
+	}
+	return lo;
+}
+
+func main() {
+	var i;
+	for (i = 0; i < 65536; i = i + 1) { a[i] = i * 7; }
+	var s = 12345;
+	var acc = 0;
+	var q = %N%;
+	for (i = 0; i < q; i = i + 1) {
+		s = s * 1103515245 + 12345;
+		var key = (s >> 16) & 524287;
+		acc = acc + find(key);
+	}
+	print(acc & 1048575);
+	return acc & 255;
+}`,
+}
+
+// hashjoin: hash build + probe with linear probing — the data-base/gcc class
+// (hash-heavy, moderately predictable branches, scattered loads).
+var hashjoin = Workload{
+	Name:  "hashjoin",
+	Class: "hash/database join (gcc-like)",
+	Desc:  "linear-probing hash build then probe",
+	test:  500, ref: 9000,
+	src: `
+var keys[32768];
+var vals[32768];
+
+func hash(k) { return ((k * 2654435761) >> 9) & 32767; }
+
+func insert(k, v) {
+	var h = hash(k);
+	while (keys[h] != 0) { h = (h + 1) & 32767; }
+	keys[h] = k;
+	vals[h] = v;
+	return h;
+}
+
+func probe(k) {
+	var h = hash(k);
+	while (keys[h] != 0) {
+		if (keys[h] == k) { return vals[h]; }
+		h = (h + 1) & 32767;
+	}
+	return 0 - 1;
+}
+
+func main() {
+	var n = %N%;
+	var i;
+	var s = 7;
+	for (i = 0; i < n; i = i + 1) {
+		s = s * 1103515245 + 12345;
+		insert(((s >> 13) & 262143) + 1, i);
+	}
+	var hits = 0;
+	var acc = 0;
+	s = 7;
+	for (i = 0; i < 2 * n; i = i + 1) {
+		s = s * 22695477 + 1;
+		var r = probe(((s >> 13) & 262143) + 1);
+		if (r >= 0) { hits = hits + 1; acc = acc + r; }
+	}
+	print(hits);
+	print(acc & 65535);
+	return hits & 255;
+}`,
+}
+
+// strmatch: naive substring search over a small-alphabet text — the
+// text-processing class (xalancbmk/perlbench flavour): short inner loops,
+// early-exit comparisons.
+var strmatch = Workload{
+	Name:  "strmatch",
+	Class: "string/text processing (xalancbmk-like)",
+	Desc:  "naive pattern search, early-exit inner loop",
+	test:  2000, ref: 24000,
+	src: `
+var text[32768];
+var pat[8];
+
+func main() {
+	var n = %N%;
+	var m = 6;
+	var i;
+	var s = 99;
+	for (i = 0; i < n; i = i + 1) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		text[i] = (s >> 59) & 3;          // 4-letter alphabet
+	}
+	for (i = 0; i < m; i = i + 1) { pat[i] = (i * 3) & 3; }
+	var found = 0;
+	for (i = 0; i + m <= n; i = i + 1) {
+		var j = 0;
+		while (j < m && text[i + j] == pat[j]) { j = j + 1; }
+		if (j == m) { found = found + 1; }
+	}
+	print(found);
+	return found & 255;
+}`,
+}
+
+// matmul: dense matrix multiply — the compute-bound, perfectly-predictable
+// class (x264/nab flavour). All defenses should be near-free here except the
+// fence baseline.
+var matmul = Workload{
+	Name:  "matmul",
+	Class: "dense compute (x264-like)",
+	Desc:  "NxN integer matrix multiply",
+	test:  12, ref: 28,
+	src: `
+var A[1024];
+var B[1024];
+var C[1024];
+
+func main() {
+	var n = %N%;
+	var i;
+	var j;
+	var k;
+	for (i = 0; i < n * n; i = i + 1) {
+		A[i] = (i * 17) & 255;
+		B[i] = (i * 29) & 255;
+	}
+	for (i = 0; i < n; i = i + 1) {
+		for (j = 0; j < n; j = j + 1) {
+			var sum = 0;
+			for (k = 0; k < n; k = k + 1) {
+				sum = sum + A[i * n + k] * B[k * n + j];
+			}
+			C[i * n + j] = sum;
+		}
+	}
+	var acc = 0;
+	for (i = 0; i < n * n; i = i + 1) { acc = acc + C[i]; }
+	print(acc);
+	return acc & 255;
+}`,
+}
+
+// stencil: streaming 3-point stencil — the memory-streaming class
+// (lbm/fotonik flavour): long predictable loops, high MLP.
+var stencil = Workload{
+	Name:  "stencil",
+	Class: "memory streaming (lbm-like)",
+	Desc:  "1-D 3-point stencil sweeps",
+	test:  1, ref: 12,
+	src: `
+var u[32768];
+
+func main() {
+	var n = 32768;
+	var passes = %N%;
+	var i;
+	var p;
+	for (i = 0; i < n; i = i + 1) { u[i] = (i * 31) & 1023; }
+	for (p = 0; p < passes; p = p + 1) {
+		for (i = 1; i < n - 1; i = i + 1) {
+			u[i] = (u[i - 1] + u[i] + u[i + 1]) >> 1;
+		}
+	}
+	var acc = 0;
+	for (i = 0; i < n; i = i + 1) { acc = acc + u[i]; }
+	print(acc & 1048575);
+	return acc & 255;
+}`,
+}
+
+// ctmix: a constant-time mixing kernel (ChaCha-flavoured ARX rounds) — the
+// crypto/constant-time class the paper's non-speculative-secret threat model
+// cares about: no secret-dependent branches at all.
+var ctmix = Workload{
+	Name:  "ctmix",
+	Class: "constant-time crypto (ARX rounds)",
+	Desc:  "branch-free add-rotate-xor mixing over a state array",
+	test:  60, ref: 700,
+	src: `
+var st[16];
+
+func rotl(x, r) {
+	return ((x << r) | ((x >> (64 - r)) & ((1 << r) - 1)));
+}
+
+func main() {
+	var rounds = %N%;
+	var i;
+	var r;
+	for (i = 0; i < 16; i = i + 1) { st[i] = i * 1111111 + 7; }
+	for (r = 0; r < rounds; r = r + 1) {
+		for (i = 0; i < 4; i = i + 1) {
+			var a = st[i];
+			var b = st[i + 4];
+			var c = st[i + 8];
+			var d = st[i + 12];
+			a = a + b; d = rotl(d ^ a, 16);
+			c = c + d; b = rotl(b ^ c, 12);
+			a = a + b; d = rotl(d ^ a, 8);
+			c = c + d; b = rotl(b ^ c, 7);
+			st[i] = a;
+			st[i + 4] = b;
+			st[i + 8] = c;
+			st[i + 12] = d;
+		}
+	}
+	var acc = 0;
+	for (i = 0; i < 16; i = i + 1) { acc = acc ^ st[i]; }
+	print(acc & 1048575);
+	return acc & 255;
+}`,
+}
+
+// treesearch: binary search tree insert/lookup via index arrays — the
+// game-tree/pointer class (deepsjeng-like): dependent loads chained through
+// unpredictable comparisons.
+var treesearch = Workload{
+	Name:  "treesearch",
+	Class: "tree search (deepsjeng-like)",
+	Desc:  "BST build + lookups through index arrays",
+	test:  300, ref: 5000,
+	src: `
+var key[16384];
+var left[16384];
+var right[16384];
+var nnodes = 1;
+
+func insert(k) {
+	var cur = 0;
+	while (1) {
+		if (k < key[cur]) {
+			if (left[cur] == 0) { break; }
+			cur = left[cur];
+		} else {
+			if (right[cur] == 0) { break; }
+			cur = right[cur];
+		}
+	}
+	var idx = nnodes;
+	nnodes = nnodes + 1;
+	key[idx] = k;
+	if (k < key[cur]) { left[cur] = idx; } else { right[cur] = idx; }
+	return idx;
+}
+
+func lookup(k) {
+	var cur = 0;
+	var depth = 0;
+	while (cur != 0 || depth == 0) {
+		depth = depth + 1;
+		if (key[cur] == k) { return depth; }
+		if (k < key[cur]) { cur = left[cur]; } else { cur = right[cur]; }
+		if (cur == 0) { return 0 - depth; }
+	}
+	return 0;
+}
+
+func main() {
+	var n = %N%;
+	key[0] = 500000;
+	var s = 31;
+	var i;
+	for (i = 0; i < n; i = i + 1) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		insert((s >> 33) & 1048575);
+	}
+	var acc = 0;
+	s = 31;
+	for (i = 0; i < 2 * n; i = i + 1) {
+		s = s * 22695477 + 1;
+		acc = acc + lookup((s >> 13) & 1048575);
+	}
+	print(acc & 1048575);
+	return acc & 255;
+}`,
+}
+
+// rle: run-length encoding of bursty data — the compression class
+// (xz-like): run-boundary branches with data-dependent run lengths.
+var rle = Workload{
+	Name:  "rle",
+	Class: "compression (xz-like)",
+	Desc:  "run-length encode bursty pseudo-random data",
+	test:  3000, ref: 40000,
+	src: `
+var data[65536];
+var out[65536];
+
+func main() {
+	var n = %N%;
+	var i = 0;
+	var s = 5;
+	// Bursty input: runs of length 1..16.
+	var pos = 0;
+	while (pos < n) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		var runlen = ((s >> 40) & 15) + 1;
+		var sym = (s >> 59) & 7;
+		var j;
+		for (j = 0; j < runlen && pos < n; j = j + 1) {
+			data[pos] = sym;
+			pos = pos + 1;
+		}
+	}
+	var o = 0;
+	i = 0;
+	while (i < n) {
+		var sym = data[i];
+		var cnt = 1;
+		while (i + cnt < n && data[i + cnt] == sym) { cnt = cnt + 1; }
+		out[o] = sym;
+		out[o + 1] = cnt;
+		o = o + 2;
+		i = i + cnt;
+	}
+	print(o);
+	return o & 255;
+}`,
+}
+
+// fsm: a table-driven finite state machine over pseudo-random input — the
+// interpreter/lexer class (perlbench-like): every iteration's load address
+// depends on the previous state (true data dependence through loads).
+var fsm = Workload{
+	Name:  "fsm",
+	Class: "interpreter/FSM (perlbench-like)",
+	Desc:  "table-driven DFA; state chained through loads",
+	test:  4000, ref: 60000,
+	src: `
+var trans[256];
+var counts[32];
+
+func main() {
+	var nstates = 32;
+	var nsyms = 8;
+	var i;
+	for (i = 0; i < 256; i = i + 1) {
+		trans[i] = (i * 2654435761 >> 11) & 31;
+	}
+	var state = 0;
+	var s = 17;
+	var n = %N%;
+	for (i = 0; i < n; i = i + 1) {
+		s = s * 1103515245 + 12345;
+		var sym = (s >> 16) & 7;
+		state = trans[state * 8 + sym];
+		counts[state] = counts[state] + 1;
+	}
+	var acc = 0;
+	for (i = 0; i < nstates; i = i + 1) { acc = acc + counts[i] * i; }
+	print(acc);
+	return acc & 255;
+}`,
+}
+
+// bfs: breadth-first search over a synthetic graph — the graph-analytics
+// class (irregular gathers, visited-set branches).
+var bfs = Workload{
+	Name:  "bfs",
+	Class: "graph traversal (irregular gathers)",
+	Desc:  "BFS over a ring+chords graph with an explicit queue",
+	test:  600, ref: 16384,
+	src: `
+var adj[65536];
+var visited[16384];
+var queue[16384];
+
+func main() {
+	var n = %N%;
+	var deg = 4;
+	var i;
+	var j;
+	for (i = 0; i < n; i = i + 1) {
+		adj[i * 4]     = (i + 1) % n;
+		adj[i * 4 + 1] = (i + n - 1) % n;
+		adj[i * 4 + 2] = (i * 2654435761 >> 7) % n;
+		adj[i * 4 + 3] = (i * 40503 >> 3) % n;
+	}
+	var head = 0;
+	var tail = 0;
+	queue[tail] = 0;
+	tail = tail + 1;
+	visited[0] = 1;
+	var reached = 1;
+	var sumdist = 0;
+	while (head < tail) {
+		var u = queue[head];
+		head = head + 1;
+		var d = visited[u];
+		for (j = 0; j < deg; j = j + 1) {
+			var v = adj[u * 4 + j];
+			if (visited[v] == 0) {
+				visited[v] = d + 1;
+				queue[tail] = v;
+				tail = tail + 1;
+				reached = reached + 1;
+				sumdist = sumdist + d;
+			}
+		}
+	}
+	print(reached);
+	print(sumdist & 1048575);
+	return reached & 255;
+}`,
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"testing"
+
+	"levioso/internal/cfg"
+	"levioso/internal/cpu"
+	"levioso/internal/isa"
+	"levioso/internal/ref"
+	"levioso/internal/secure"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(DefaultSynthConfig(7))
+	b := Synthesize(DefaultSynthConfig(7))
+	if a.src != b.src {
+		t.Error("same seed produced different programs")
+	}
+	c := Synthesize(DefaultSynthConfig(8))
+	if a.src == c.src {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+// Fuzz-style cosimulation: dozens of generated programs must run identically
+// on the reference interpreter and the out-of-order core, under the baseline
+// and under Levioso. This is the broadest correctness net in the repository.
+func TestSynthCosimFuzz(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		cfg := DefaultSynthConfig(uint64(seed))
+		cfg.OuterIters = 150
+		// Vary the generator's character across seeds.
+		cfg.BranchEntropy = float64(seed%5) / 4
+		cfg.MaxDepth = 2 + seed%3
+		cfg.Funcs = seed % 4
+		w := Synthesize(cfg)
+		prog, err := w.Build(SizeTest)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, w.src)
+		}
+		want, err := ref.Run(prog, ref.Limits{MaxInsts: 30_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: ref: %v", seed, err)
+		}
+		for _, pol := range []string{"unsafe", "levioso"} {
+			ccfg := cpu.DefaultConfig()
+			ccfg.MaxCycles = 200_000_000
+			c, err := cpu.New(prog, ccfg, secure.MustNew(pol))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Run()
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, pol, err)
+			}
+			if got.ExitCode != want.ExitCode || got.Output != want.Output {
+				t.Errorf("seed %d %s: got %d/%q want %d/%q",
+					seed, pol, got.ExitCode, got.Output, want.ExitCode, want.Output)
+			}
+			for r := isa.Reg(1); r < isa.NumRegs; r++ {
+				if c.ArchReg(r) != want.Regs[r] {
+					t.Errorf("seed %d %s: reg %s mismatch", seed, pol, r)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestSynthEntropyAffectsMispredicts(t *testing.T) {
+	mispredictRate := func(entropy float64) float64 {
+		cfg := DefaultSynthConfig(99)
+		cfg.BranchEntropy = entropy
+		cfg.OuterIters = 600
+		prog := Synthesize(cfg).MustBuild(SizeTest)
+		c, err := cpu.New(prog, cpu.DefaultConfig(), cpu.NopPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.MispredictRate()
+	}
+	lo := mispredictRate(0)
+	hi := mispredictRate(1)
+	t.Logf("mispredict rate: entropy 0 -> %.3f, entropy 1 -> %.3f", lo, hi)
+	if hi <= lo {
+		t.Errorf("entropy knob has no effect: %.3f vs %.3f", lo, hi)
+	}
+}
+
+// Annotation invariants over generated programs: every real reconvergence
+// point must post-dominate its branch, be reachable from both arms, and lie
+// outside the branch's control-dependent region.
+func TestSynthAnnotationProperties(t *testing.T) {
+	for seed := 0; seed < 10; seed++ {
+		cfgS := DefaultSynthConfig(uint64(seed))
+		w := Synthesize(cfgS)
+		prog := w.MustBuild(SizeTest)
+		g, err := cfg.Build(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range g.Functions() {
+			pdom := f.PostDominators()
+			for _, bi := range f.AnalyzeBranches() {
+				if bi.ReconvPC == 0 {
+					continue
+				}
+				brBlock := g.BlockOf(bi.InstIndex).ID
+				ri, ok := prog.InstIndex(bi.ReconvPC)
+				if !ok {
+					t.Fatalf("seed %d: reconv %#x outside text", seed, bi.ReconvPC)
+				}
+				rBlock := g.BlockOf(ri).ID
+				if !pdom.Dominates(rBlock, brBlock) {
+					t.Errorf("seed %d: reconv block %d does not post-dominate branch block %d",
+						seed, rBlock, brBlock)
+				}
+				for _, reg := range bi.Region {
+					if reg == rBlock {
+						t.Errorf("seed %d: region contains its reconvergence block", seed)
+					}
+				}
+				// The hint table must agree with the analysis.
+				h := prog.Hints[bi.PC]
+				if h.ReconvPC != bi.ReconvPC {
+					t.Errorf("seed %d: hint %#x != analysis %#x", seed, h.ReconvPC, bi.ReconvPC)
+				}
+				if h.WriteSet != bi.WriteSet {
+					t.Errorf("seed %d: hint writeset %s != analysis %s", seed, h.WriteSet, bi.WriteSet)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package workloads provides the benchmark suite used for every performance
+// experiment. SPEC CPU2017 (used by the paper) is proprietary, so the suite
+// substitutes twelve kernels — written in LevC and compiled through the same
+// pipeline the Levioso pass runs on — that span the behaviour space that
+// drives secure-speculation overheads: branch misprediction rate, memory-
+// level parallelism under unresolved branches, dependent-load chains, and
+// constant-time code. Each workload names the SPEC behaviour class it stands
+// in for.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"levioso/internal/isa"
+	"levioso/internal/lang"
+)
+
+// Size selects the workload input scale.
+type Size int
+
+const (
+	// SizeTest keeps runs small enough for unit tests (tens of thousands of
+	// dynamic instructions).
+	SizeTest Size = iota
+	// SizeRef is the evaluation scale used by the benchmark harness
+	// (hundreds of thousands of dynamic instructions per workload).
+	SizeRef
+)
+
+// Workload is one benchmark kernel. The LevC source contains a single %N%
+// scale marker substituted at build time.
+type Workload struct {
+	Name  string
+	Class string // the SPEC CPU2017 behaviour class this stands in for
+	Desc  string
+	src   string
+	test  int // %N% at SizeTest
+	ref   int // %N% at SizeRef
+}
+
+// Build compiles the workload at the given size into an annotated program.
+func (w Workload) Build(size Size) (*isa.Program, error) {
+	n := w.ref
+	if size == SizeTest {
+		n = w.test
+	}
+	src := strings.ReplaceAll(w.src, "%N%", fmt.Sprint(n))
+	prog, err := lang.Compile(w.Name+".lc", src)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
+	}
+	return prog, nil
+}
+
+// MustBuild is Build for the embedded suite; it panics on error.
+func (w Workload) MustBuild(size Size) *isa.Program {
+	p, err := w.Build(size)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Source returns the workload's LevC source at the given size (for listings
+// and the compiler-statistics experiment).
+func (w Workload) Source(size Size) string {
+	n := w.ref
+	if size == SizeTest {
+		n = w.test
+	}
+	return strings.ReplaceAll(w.src, "%N%", fmt.Sprint(n))
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Names lists the suite in canonical order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, w := range all {
+		out[i] = w.Name
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package workloads
+
+import (
+	"testing"
+
+	"levioso/internal/cpu"
+	"levioso/internal/isa"
+	"levioso/internal/ref"
+	"levioso/internal/secure"
+)
+
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Class == "" || w.Desc == "" {
+			t.Errorf("workload %q missing metadata", w.Name)
+		}
+	}
+	if len(All()) != 12 {
+		t.Errorf("suite has %d workloads, want 12", len(All()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("pchase"); !ok {
+		t.Error("pchase not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("bogus workload found")
+	}
+	if len(Names()) != len(All()) {
+		t.Error("Names/All mismatch")
+	}
+}
+
+// Every workload must build, validate, and produce identical architectural
+// results on the reference interpreter and the out-of-order core.
+func TestSuiteCosim(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := w.Build(SizeTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Run(prog, ref.Limits{MaxInsts: 10_000_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d insts, exit %d, output %q", w.Name, want.Insts, want.ExitCode, want.Output)
+			if want.Insts < 5_000 {
+				t.Errorf("test size too small: %d insts", want.Insts)
+			}
+			if want.Insts > 2_000_000 {
+				t.Errorf("test size too large: %d insts", want.Insts)
+			}
+			cfg := cpu.DefaultConfig()
+			cfg.MaxCycles = 50_000_000
+			c, err := cpu.New(prog, cfg, cpu.NopPolicy{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ExitCode != want.ExitCode || got.Output != want.Output {
+				t.Errorf("core %d/%q, ref %d/%q", got.ExitCode, got.Output, want.ExitCode, want.Output)
+			}
+			for r := isa.Reg(1); r < isa.NumRegs; r++ {
+				if c.ArchReg(r) != want.Regs[r] {
+					t.Errorf("reg %s mismatch", r)
+				}
+			}
+		})
+	}
+}
+
+// Every workload must also be correct under the Levioso policy (full-stack:
+// compiled code + annotations + dependency tracking).
+func TestSuiteUnderLevioso(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.MustBuild(SizeTest)
+			want, err := ref.Run(prog, ref.Limits{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := cpu.DefaultConfig()
+			cfg.MaxCycles = 100_000_000
+			c, err := cpu.New(prog, cfg, secure.MustNew("levioso"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ExitCode != want.ExitCode || got.Output != want.Output {
+				t.Errorf("levioso %d/%q, ref %d/%q", got.ExitCode, got.Output, want.ExitCode, want.Output)
+			}
+		})
+	}
+}
+
+func TestRefLargerThanTest(t *testing.T) {
+	for _, w := range All() {
+		if w.ref <= w.test {
+			t.Errorf("%s: ref scale %d <= test scale %d", w.Name, w.ref, w.test)
+		}
+	}
+}
+
+func TestSourceScaling(t *testing.T) {
+	w, _ := ByName("matmul")
+	if w.Source(SizeTest) == w.Source(SizeRef) {
+		t.Error("source does not change with size")
+	}
+}
+
+func TestAnnotationsPresent(t *testing.T) {
+	for _, w := range All() {
+		prog := w.MustBuild(SizeTest)
+		if len(prog.Hints) == 0 {
+			t.Errorf("%s: no branch annotations", w.Name)
+		}
+	}
+}
