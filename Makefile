@@ -1,0 +1,34 @@
+# Levioso simulator build/test entry points. The repo is stdlib-only Go, so
+# these are thin wrappers the CI and the verify flow share.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the whole suite under the race detector — the concurrent sweep
+# supervisor and the shared-program immutability guarantee are checked here.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# ci is the gate: vet, build, and the full suite under -race.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+clean:
+	$(GO) clean ./...

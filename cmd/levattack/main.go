@@ -9,14 +9,33 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"strings"
 
 	"levioso/internal/attack"
 	"levioso/internal/secure"
+	"levioso/internal/simerr"
 )
+
+// runMatrix recovers a panic anywhere in the attack harness into a typed
+// simerr.ErrPanic, so a broken policy reports a classified failure instead
+// of a bare stack trace.
+func runMatrix(policies []string) (outs []attack.Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &simerr.RunError{
+				Kind:   simerr.KindPanic,
+				Detail: fmt.Sprint(r),
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	return attack.Run(policies, nil)
+}
 
 func main() {
 	policy := flag.String("policy", "", "run a single policy (default: all)")
@@ -26,8 +45,16 @@ func main() {
 	if *policy != "" {
 		policies = strings.Split(*policy, ",")
 	}
-	outcomes, err := attack.Run(policies, nil)
+	outcomes, err := runMatrix(policies)
 	if err != nil {
+		var re *simerr.RunError
+		if errors.As(err, &re) {
+			fmt.Fprintf(os.Stderr, "levattack: attack run failed: kind=%s transient=%v\n",
+				re.Kind, re.Transient())
+			if re.Stack != "" {
+				fmt.Fprintln(os.Stderr, re.Stack)
+			}
+		}
 		fmt.Fprintln(os.Stderr, "levattack:", err)
 		os.Exit(1)
 	}

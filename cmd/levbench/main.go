@@ -7,6 +7,15 @@
 //	levbench -exp overhead        # one experiment (T1/F1/... by id)
 //	levbench -size test           # faster, smaller inputs
 //	levbench -list                # list experiment ids
+//	levbench -journal runs.jsonl  # record completed cells; re-run resumes
+//	levbench -retries 2 -run-timeout 10m
+//
+// Robustness: the sweep supervisor degrades instead of aborting. A cell that
+// fails (watchdog, divergence, panic, deadline) renders as "n/a" in its
+// table; after all experiments a failure table is printed to stderr and
+// levbench exits non-zero, so completed work is never lost to one bad run.
+// With -journal, completed cells are recorded as they finish and a re-run of
+// the same invocation resumes without re-simulating them.
 package main
 
 import (
@@ -22,6 +31,9 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (default: all)")
 	sizeName := flag.String("size", "ref", "workload scale: test or ref")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	journalPath := flag.String("journal", "", "JSON-lines run journal for checkpoint/resume")
+	retries := flag.Int("retries", 0, "retries per cell after a transient failure")
+	runTimeout := flag.Duration("run-timeout", 0, "wall-clock bound per run attempt (0 = none)")
 	flag.Parse()
 
 	if *list {
@@ -40,17 +52,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "levbench: unknown size %q (test|ref)\n", *sizeName)
 		os.Exit(2)
 	}
-	if *exp == "" {
-		if err := harness.RunAll(os.Stdout, size); err != nil {
+	opt := harness.NewRunOpts(size)
+	opt.Retries = *retries
+	opt.RunTimeout = *runTimeout
+	if *journalPath != "" {
+		j, err := harness.OpenJournal(*journalPath)
+		if err != nil {
 			fatal(err)
 		}
-		return
+		defer j.Close()
+		if n := j.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "levbench: journal %s: resuming past %d completed cells\n",
+				*journalPath, n)
+		}
+		opt.Journal = j
 	}
-	out, err := harness.RunExperiment(*exp, size)
-	if err != nil {
-		fatal(err)
+
+	if *exp == "" {
+		if err := harness.RunAll(os.Stdout, opt); err != nil {
+			fatal(err)
+		}
+	} else {
+		out, err := harness.RunExperiment(*exp, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
 	}
-	fmt.Println(out)
+	if fs := opt.Failures(); len(fs) > 0 {
+		fmt.Fprintf(os.Stderr, "levbench: %d cell(s) failed; report is degraded (n/a entries)\n", len(fs))
+		fmt.Fprintln(os.Stderr, harness.RenderFailures(fs))
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

@@ -4,20 +4,30 @@
 // Usage:
 //
 //	levsim [-policy levioso] [-rob 192] [-stats] [-ref] prog.bin
+//	levsim -deadline 30s -journal runs.jsonl prog.bin
 //
 // With -ref the program runs on the functional reference model instead
-// (useful for checking architectural behaviour).
+// (useful for checking architectural behaviour). -deadline bounds the run's
+// wall-clock time (a hung simulation exits with a typed deadline error
+// instead of spinning forever); -journal records the completed run in a
+// JSON-lines journal and skips the simulation entirely if the same
+// (program, policy) pair is already recorded there.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"levioso/internal/cpu"
+	"levioso/internal/harness"
 	"levioso/internal/isa"
 	"levioso/internal/ref"
 	"levioso/internal/secure"
+	"levioso/internal/simerr"
 )
 
 func main() {
@@ -27,6 +37,8 @@ func main() {
 	showStats := flag.Bool("stats", false, "print detailed statistics")
 	useRef := flag.Bool("ref", false, "run on the functional reference model instead")
 	trace := flag.Bool("trace", false, "write a per-commit pipeline trace to stderr (slow)")
+	deadline := flag.Duration("deadline", 0, "wall-clock bound on the simulation (0 = none)")
+	journalPath := flag.String("journal", "", "record the run in this JSON-lines journal; skip if already recorded")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: levsim [-policy P] [-rob N] [-stats] [-ref] prog.bin")
@@ -60,12 +72,37 @@ func main() {
 			cfg.NumPhysRegs = 32 + *rob + 64
 		}
 	}
+	wname := filepath.Base(flag.Arg(0))
+	var journal *harness.Journal
+	if *journalPath != "" {
+		journal, err = harness.OpenJournal(*journalPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+		if rec, ok := journal.Lookup("levsim", wname, *policy); ok {
+			fmt.Fprintf(os.Stderr, "levsim: journal hit for (%s, %s): exit=%d cycles=%d (not re-run)\n",
+				wname, *policy, rec.ExitCode, rec.Stats.Cycles)
+			os.Exit(int(rec.ExitCode) & 0x7f)
+		}
+	}
 	c, err := cpu.New(prog, cfg, secure.MustNew(*policy))
 	if err != nil {
 		fatal(err)
 	}
-	res, err := c.Run()
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	res, err := c.RunContext(ctx)
 	if err != nil {
+		var re *simerr.RunError
+		if errors.As(err, &re) {
+			fmt.Fprintf(os.Stderr, "levsim: run failed: kind=%s transient=%v\n",
+				re.Kind, re.Transient())
+		}
 		fatal(err)
 	}
 	fmt.Print(res.Output)
@@ -73,6 +110,12 @@ func main() {
 		*policy, res.ExitCode, res.Stats.Cycles, res.Stats.Committed, res.Stats.IPC())
 	if *showStats {
 		fmt.Fprintln(os.Stderr, res.Stats)
+	}
+	if journal != nil {
+		rec := harness.Run{Workload: wname, Policy: *policy, Stats: res.Stats, ExitCode: res.ExitCode}
+		if err := journal.Record("levsim", rec); err != nil {
+			fmt.Fprintln(os.Stderr, "levsim: journal write failed:", err)
+		}
 	}
 	os.Exit(int(res.ExitCode) & 0x7f)
 }

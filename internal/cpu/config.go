@@ -76,6 +76,18 @@ type Config struct {
 	// cycle, sequence number, pc, disassembly, and key pipeline events
 	// (mispredicts, policy waits, invisible execution). Slow; for debugging.
 	Trace io.Writer
+
+	// WrapMem and WrapPred, when non-nil, interpose on the memory system and
+	// branch predictor at core construction (internal/faultinject uses these
+	// to inject stuck responses, delayed fills and mispredict storms). The
+	// wrapper must forward everything it does not alter.
+	WrapMem  func(MemSystem) MemSystem
+	WrapPred func(BranchPredictor) BranchPredictor
+	// CommitStall, when non-nil, is consulted once per cycle before the
+	// commit stage runs; returning true freezes commit for that cycle (an
+	// injected fault). A stall held longer than WatchdogCycles trips the
+	// watchdog, which is exactly what fault-injection tests use it for.
+	CommitStall func(cycle uint64) bool
 }
 
 // DefaultConfig returns the baseline core used throughout the evaluation

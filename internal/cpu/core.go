@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 	"levioso/internal/core"
 	"levioso/internal/isa"
 	"levioso/internal/mem"
+	"levioso/internal/simerr"
 )
 
 // Result summarizes a completed run.
@@ -24,9 +26,9 @@ type Core struct {
 	policy Policy
 
 	BT   *core.BranchTable
-	Hier *mem.Hierarchy
+	Hier MemSystem
 	Phys *mem.Memory
-	Pred *Predictor
+	Pred BranchPredictor
 
 	// Physical register file.
 	regVal   []uint64
@@ -79,14 +81,22 @@ func New(prog *isa.Program, cfg Config, pol Policy) (*Core, error) {
 	if err != nil {
 		return nil, err
 	}
+	var ms MemSystem = hier
+	if cfg.WrapMem != nil {
+		ms = cfg.WrapMem(ms)
+	}
+	var pred BranchPredictor = NewPredictor(cfg.Predictor)
+	if cfg.WrapPred != nil {
+		pred = cfg.WrapPred(pred)
+	}
 	c := &Core{
 		cfg:    cfg,
 		prog:   prog,
 		policy: pol,
 		BT:     core.NewBranchTable(prog),
-		Hier:   hier,
+		Hier:   ms,
 		Phys:   phys,
-		Pred:   NewPredictor(cfg.Predictor),
+		Pred:   pred,
 	}
 	c.regVal = make([]uint64, cfg.NumPhysRegs)
 	c.regReady = make([]bool, cfg.NumPhysRegs)
@@ -135,13 +145,45 @@ func (c *Core) Run() (Result, error) {
 	return c.result(), nil
 }
 
+// RunContext simulates until HALT commits, a limit trips, or ctx is done.
+// Cancellation is cooperative — checked every few thousand cycles so the
+// hot loop stays select-free — and surfaces as simerr.ErrDeadline, which the
+// sweep supervisor classifies transient (a wall-clock budget, not a model
+// property).
+func (c *Core) RunContext(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Power-of-two mask so the check costs one AND per cycle. At the
+	// simulator's throughput this bounds cancellation latency well under a
+	// millisecond.
+	const checkMask = 1<<13 - 1
+	for !c.halted {
+		if err := c.Step(); err != nil {
+			return Result{}, err
+		}
+		if c.cycle&checkMask == 0 {
+			select {
+			case <-ctx.Done():
+				return Result{}, &simerr.RunError{
+					Kind: simerr.KindDeadline, Cycle: c.cycle, PC: c.fetchPC,
+					Err: ctx.Err(),
+				}
+			default:
+			}
+		}
+	}
+	return c.result(), nil
+}
+
 func (c *Core) result() Result {
-	c.stats.L1IHits = c.Hier.L1I.Stats.Hits
-	c.stats.L1IMisses = c.Hier.L1I.Stats.Misses
-	c.stats.L1DHits = c.Hier.L1D.Stats.Hits
-	c.stats.L1DMisses = c.Hier.L1D.Stats.Misses
-	c.stats.L2Hits = c.Hier.L2.Stats.Hits
-	c.stats.L2Misses = c.Hier.L2.Stats.Misses
+	hs := c.Hier.Stats()
+	c.stats.L1IHits = hs.L1I.Hits
+	c.stats.L1IMisses = hs.L1I.Misses
+	c.stats.L1DHits = hs.L1D.Hits
+	c.stats.L1DMisses = hs.L1D.Misses
+	c.stats.L2Hits = hs.L2.Hits
+	c.stats.L2Misses = hs.L2.Misses
 	c.stats.BDTAllocStalls = c.BT.AllocFailures
 	c.stats.Cycles = c.cycle
 	return Result{ExitCode: c.exitCode, Output: string(c.out), Stats: c.stats}
@@ -158,26 +200,47 @@ func (c *Core) Step() error {
 	}
 	c.cycle++
 	if c.cfg.MaxCycles > 0 && c.cycle > c.cfg.MaxCycles {
-		return fmt.Errorf("cpu: cycle limit %d exceeded at pc=%#x", c.cfg.MaxCycles, c.fetchPC)
+		return &simerr.RunError{
+			Kind: simerr.KindCycleLimit, Cycle: c.cycle, PC: c.fetchPC,
+			Detail: fmt.Sprintf("cycle limit %d exceeded", c.cfg.MaxCycles),
+		}
 	}
 	if c.cfg.MaxInsts > 0 && c.stats.Committed > c.cfg.MaxInsts {
-		return fmt.Errorf("cpu: instruction limit %d exceeded", c.cfg.MaxInsts)
+		return &simerr.RunError{
+			Kind: simerr.KindInstLimit, Cycle: c.cycle, PC: c.fetchPC,
+			Detail: fmt.Sprintf("instruction limit %d exceeded", c.cfg.MaxInsts),
+		}
 	}
 	wd := c.cfg.WatchdogCycles
 	if wd == 0 {
 		wd = 100_000
 	}
 	if c.cycle-c.lastCommitCycle > wd {
-		return fmt.Errorf("cpu: watchdog: no commit for %d cycles at cycle %d (%s)", wd, c.cycle, c.deadlockInfo())
+		return &simerr.RunError{
+			Kind: simerr.KindWatchdog, Cycle: c.cycle, PC: c.fetchPC,
+			Detail: fmt.Sprintf("no commit for %d cycles (%s)", wd, c.deadlockInfo()),
+		}
 	}
-	if err := c.commit(); err != nil {
-		return err
+	if c.cfg.CommitStall == nil || !c.cfg.CommitStall(c.cycle) {
+		if err := c.commit(); err != nil {
+			return err
+		}
 	}
 	c.complete()
 	c.issue()
 	c.rename()
 	c.fetch()
 	return nil
+}
+
+// memFault builds the typed error for a committed access outside simulated
+// memory (an architectural fault in the guest program, not a model bug).
+func (c *Core) memFault(d *DynInst, what string, cause error) error {
+	return &simerr.RunError{
+		Kind: simerr.KindMemFault, Cycle: c.cycle, PC: d.PC,
+		Detail: fmt.Sprintf("%s: %v addr=%#x committed", what, d.Inst, d.Addr),
+		Err:    cause,
+	}
 }
 
 func (c *Core) deadlockInfo() string {
@@ -200,17 +263,17 @@ func (c *Core) commit() error {
 		switch {
 		case d.IsStore():
 			if d.MemErr {
-				return fmt.Errorf("cpu: pc %#x %v: store to invalid address %#x committed", d.PC, d.Inst, d.Addr)
+				return c.memFault(d, "store to invalid address", nil)
 			}
 			if err := c.Phys.Write(d.Addr, op.MemBytes(), d.Result); err != nil {
-				return fmt.Errorf("cpu: pc %#x %v: %w", d.PC, d.Inst, err)
+				return c.memFault(d, "store failed", err)
 			}
 			c.Hier.FillVisible(d.Addr)
 			c.sqHead++
 			c.stats.Stores++
 		case d.IsLoad():
 			if d.MemErr {
-				return fmt.Errorf("cpu: pc %#x %v: load from invalid address %#x committed", d.PC, d.Inst, d.Addr)
+				return c.memFault(d, "load from invalid address", nil)
 			}
 			if d.Invisible && d.FwdFrom == nil {
 				// Deferred exposure of an invisible load: the line becomes

@@ -1,0 +1,55 @@
+package cpu
+
+import "levioso/internal/mem"
+
+// MemSystem is the cache-hierarchy service the core consumes. *mem.Hierarchy
+// is the canonical implementation; fault injectors and instrumentation wrap
+// it (Config.WrapMem) to interpose on latencies and fills without the core
+// noticing.
+type MemSystem interface {
+	// FetchLatency performs an instruction fetch at addr: returns the access
+	// latency and fills the I-side caches.
+	FetchLatency(addr uint64) int
+	// LoadLatency performs a visible data access at addr.
+	LoadLatency(addr uint64) int
+	// InvisibleLoadLatency computes the latency a load would incur right now
+	// without changing any cache state.
+	InvisibleLoadLatency(addr uint64) int
+	// FillVisible makes addr's line resident in the D-side hierarchy without
+	// charging latency.
+	FillVisible(addr uint64)
+	// Flush evicts addr's line from the D-side hierarchy.
+	Flush(addr uint64)
+	// ProbeD reports whether addr is resident in L1D without perturbation.
+	ProbeD(addr uint64) bool
+	// Stats snapshots the per-level hit/miss counters.
+	Stats() mem.HierStats
+}
+
+// BranchPredictor is the front-end prediction service the core consumes.
+// *Predictor is the canonical implementation; wrappers (Config.WrapPred)
+// interpose to inject mispredict storms or record prediction streams.
+type BranchPredictor interface {
+	// PredictBranch predicts a conditional branch's direction and returns the
+	// PHT index for the commit-time update.
+	PredictBranch(pc uint64) (taken bool, phtIdx int)
+	// UpdateBranch trains the direction predictor at commit time.
+	UpdateBranch(phtIdx int, taken bool)
+	// PredictIndirect predicts a JALR target; ok is false on a BTB miss.
+	PredictIndirect(pc uint64) (uint64, bool)
+	// UpdateIndirect trains the BTB at commit time.
+	UpdateIndirect(pc, target uint64)
+	// PushRAS records a return address at a call.
+	PushRAS(addr uint64)
+	// PopRAS predicts a return target.
+	PopRAS() uint64
+	// Checkpoint captures speculative state at a control instruction.
+	Checkpoint() PredCheckpoint
+	// Recover restores a checkpoint and re-applies the actual outcome.
+	Recover(cp PredCheckpoint, isCond, actualTaken bool)
+}
+
+var (
+	_ MemSystem       = (*mem.Hierarchy)(nil)
+	_ BranchPredictor = (*Predictor)(nil)
+)

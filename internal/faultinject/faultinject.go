@@ -1,0 +1,206 @@
+// Package faultinject injects deterministic, seeded faults into a simulated
+// core by wrapping the services it consumes — the memory hierarchy and the
+// branch predictor (cpu.Config.WrapMem / WrapPred) — and by hooking the
+// commit stage (cpu.Config.CommitStall). It exists to prove, in tests, that
+// the core's safety nets (watchdog, cycle limit) and the sweep supervisor's
+// classification and retry logic actually fire: a commit stall or stuck
+// cache response must surface as simerr.ErrWatchdog, a planned panic as a
+// recovered simerr.ErrPanic, and a mispredict storm must only cost cycles.
+//
+// Faults are windows over simulated cycles, so a given (plan, program,
+// configuration) triple reproduces exactly; the only randomness is a seeded
+// PRNG used by probabilistic faults.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"levioso/internal/cpu"
+)
+
+// Kind selects a fault mechanism.
+type Kind int
+
+const (
+	// StuckLoad makes data loads of matching lines effectively never
+	// complete: the response latency becomes astronomically large, the load
+	// at the window head cannot retire, and the core's watchdog fires.
+	StuckLoad Kind = iota
+	// DelayFill adds Extra cycles to every data-load access in the window —
+	// a degraded, not broken, memory system. Runs complete with more cycles.
+	DelayFill
+	// MispredictStorm flips each conditional-branch direction prediction
+	// with probability Prob (seeded PRNG), forcing wrong-path execution and
+	// recovery storms.
+	MispredictStorm
+	// CommitStall freezes the commit stage for the window. A window longer
+	// than the watchdog threshold deadlocks the run; a shorter one only
+	// costs cycles.
+	CommitStall
+	// Panic panics the simulation goroutine when the window opens, for
+	// supervisor panic-recovery tests.
+	Panic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StuckLoad:
+		return "stuck-load"
+	case DelayFill:
+		return "delay-fill"
+	case MispredictStorm:
+		return "mispredict-storm"
+	case CommitStall:
+		return "commit-stall"
+	case Panic:
+		return "panic"
+	default:
+		return "invalid"
+	}
+}
+
+// lineShift aliases the 64-byte line size used by every default cache level;
+// StuckLoad matches at line granularity so a faulted address traps the
+// neighbouring accesses a real stuck fill would.
+const lineShift = 6
+
+// stuckLatency is far beyond any watchdog threshold while staying safely
+// clear of uint64 cycle arithmetic overflow.
+const stuckLatency = 1 << 40
+
+// Fault is one injected fault, armed over a window of simulated cycles.
+type Fault struct {
+	Kind  Kind
+	Start uint64 // first cycle the fault is armed
+	End   uint64 // first cycle it is disarmed; 0 means forever
+
+	Addr  uint64  // StuckLoad: match this line only; 0 matches every load
+	Extra int     // DelayFill: added cycles per access
+	Prob  float64 // MispredictStorm: per-prediction flip probability
+
+	// FirstAttempts arms the fault only on the first N attempts of a
+	// supervised run (0 = every attempt) — the knob for transient faults
+	// that a retry should clear.
+	FirstAttempts int
+}
+
+// Plan is a reproducible set of faults for one run.
+type Plan struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// Injector applies one Plan to one core attempt. It is stateful (cycle
+// tracking, PRNG) and must not be shared across cores or attempts; build a
+// fresh one per attempt with New.
+type Injector struct {
+	faults []Fault
+	rng    *rand.Rand
+	cycle  uint64
+}
+
+// New builds an injector for one run attempt (1-based), dropping faults
+// whose FirstAttempts window has passed.
+func New(plan Plan, attempt int) *Injector {
+	in := &Injector{rng: rand.New(rand.NewSource(plan.Seed))}
+	for _, f := range plan.Faults {
+		if f.FirstAttempts == 0 || attempt <= f.FirstAttempts {
+			in.faults = append(in.faults, f)
+		}
+	}
+	return in
+}
+
+// Attach wires the injector into a core configuration. The CommitStall hook
+// doubles as the injector's cycle clock: the core consults it first thing
+// every cycle, before any wrapped memory or predictor call of that cycle.
+func (in *Injector) Attach(cfg *cpu.Config) {
+	cfg.WrapMem = in.wrapMem
+	cfg.WrapPred = in.wrapPred
+	cfg.CommitStall = in.commitStall
+}
+
+func (in *Injector) active(f Fault) bool {
+	return in.cycle >= f.Start && (f.End == 0 || in.cycle < f.End)
+}
+
+func (in *Injector) commitStall(cycle uint64) bool {
+	in.cycle = cycle
+	stalled := false
+	for _, f := range in.faults {
+		if !in.active(f) {
+			continue
+		}
+		switch f.Kind {
+		case CommitStall:
+			stalled = true
+		case Panic:
+			panic(fmt.Sprintf("faultinject: planned panic at cycle %d", cycle))
+		}
+	}
+	return stalled
+}
+
+func (in *Injector) loadLatency(addr uint64, lat int) int {
+	for _, f := range in.faults {
+		if !in.active(f) {
+			continue
+		}
+		switch f.Kind {
+		case StuckLoad:
+			if f.Addr == 0 || f.Addr>>lineShift == addr>>lineShift {
+				return stuckLatency
+			}
+		case DelayFill:
+			lat += f.Extra
+		}
+	}
+	return lat
+}
+
+func (in *Injector) flipPrediction() bool {
+	for _, f := range in.faults {
+		if in.active(f) && f.Kind == MispredictStorm && in.rng.Float64() < f.Prob {
+			return true
+		}
+	}
+	return false
+}
+
+// memSystem interposes on data-load latencies; everything else forwards to
+// the embedded real hierarchy.
+type memSystem struct {
+	cpu.MemSystem
+	in *Injector
+}
+
+func (in *Injector) wrapMem(ms cpu.MemSystem) cpu.MemSystem {
+	return &memSystem{MemSystem: ms, in: in}
+}
+
+func (m *memSystem) LoadLatency(addr uint64) int {
+	return m.in.loadLatency(addr, m.MemSystem.LoadLatency(addr))
+}
+
+func (m *memSystem) InvisibleLoadLatency(addr uint64) int {
+	return m.in.loadLatency(addr, m.MemSystem.InvisibleLoadLatency(addr))
+}
+
+// predictor interposes on conditional direction predictions.
+type predictor struct {
+	cpu.BranchPredictor
+	in *Injector
+}
+
+func (in *Injector) wrapPred(p cpu.BranchPredictor) cpu.BranchPredictor {
+	return &predictor{BranchPredictor: p, in: in}
+}
+
+func (p *predictor) PredictBranch(pc uint64) (bool, int) {
+	taken, idx := p.BranchPredictor.PredictBranch(pc)
+	if p.in.flipPrediction() {
+		taken = !taken
+	}
+	return taken, idx
+}

@@ -1,0 +1,189 @@
+package faultinject_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"levioso/internal/asm"
+	"levioso/internal/cpu"
+	"levioso/internal/faultinject"
+	"levioso/internal/simerr"
+)
+
+// loopSrc runs a load-bearing loop long enough for mid-run fault windows to
+// land inside it.
+const loopSrc = `
+main:
+	li t0, 2000
+	li t1, 0
+loop:
+	ld t2, 0(gp)
+	add t1, t1, t2
+	addi t0, t0, -1
+	bnez t0, loop
+	halt t1
+`
+
+func run(t *testing.T, plan *faultinject.Plan, mutate func(*cpu.Config)) (cpu.Result, error) {
+	t.Helper()
+	prog := asm.MustAssemble("fi.s", loopSrc)
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 5_000_000
+	cfg.WatchdogCycles = 2_000
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	if plan != nil {
+		faultinject.New(*plan, 1).Attach(&cfg)
+	}
+	c, err := cpu.New(prog, cfg, cpu.NopPolicy{})
+	if err != nil {
+		t.Fatalf("new core: %v", err)
+	}
+	return c.Run()
+}
+
+func TestCommitStallTripsWatchdog(t *testing.T) {
+	_, err := run(t, &faultinject.Plan{
+		Faults: []faultinject.Fault{{Kind: faultinject.CommitStall, Start: 100}},
+	}, nil)
+	if !errors.Is(err, simerr.ErrWatchdog) {
+		t.Fatalf("want ErrWatchdog, got %v", err)
+	}
+	var re *simerr.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("no RunError in chain: %v", err)
+	}
+	if re.Transient() {
+		t.Error("watchdog classified transient")
+	}
+	if !strings.Contains(re.Detail, "head seq=") && !strings.Contains(re.Detail, "window empty") {
+		t.Errorf("watchdog detail lacks deadlock info: %q", re.Detail)
+	}
+}
+
+func TestBoundedCommitStallOnlyCostsCycles(t *testing.T) {
+	clean, err := run(t, nil, nil)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	stalled, err := run(t, &faultinject.Plan{
+		Faults: []faultinject.Fault{{Kind: faultinject.CommitStall, Start: 100, End: 1100}},
+	}, nil)
+	if err != nil {
+		t.Fatalf("bounded stall should complete: %v", err)
+	}
+	if stalled.ExitCode != clean.ExitCode {
+		t.Errorf("exit diverged under bounded stall: %d != %d", stalled.ExitCode, clean.ExitCode)
+	}
+	// The ROB keeps filling during the stall, so commit recovers part of the
+	// 1000-cycle window afterwards; most of it must still show up.
+	if stalled.Stats.Cycles < clean.Stats.Cycles+500 {
+		t.Errorf("stall cost not visible: %d vs %d cycles", stalled.Stats.Cycles, clean.Stats.Cycles)
+	}
+}
+
+func TestStuckLoadTripsWatchdog(t *testing.T) {
+	_, err := run(t, &faultinject.Plan{
+		Faults: []faultinject.Fault{{Kind: faultinject.StuckLoad, Start: 200}},
+	}, nil)
+	if !errors.Is(err, simerr.ErrWatchdog) {
+		t.Fatalf("want ErrWatchdog from stuck load, got %v", err)
+	}
+}
+
+func TestDelayFillSlowsButCompletes(t *testing.T) {
+	clean, err := run(t, nil, nil)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	slow, err := run(t, &faultinject.Plan{
+		Faults: []faultinject.Fault{{Kind: faultinject.DelayFill, Extra: 50}},
+	}, nil)
+	if err != nil {
+		t.Fatalf("delayed run: %v", err)
+	}
+	if slow.ExitCode != clean.ExitCode {
+		t.Errorf("exit diverged under delay: %d != %d", slow.ExitCode, clean.ExitCode)
+	}
+	if slow.Stats.Cycles <= clean.Stats.Cycles {
+		t.Errorf("delay fill had no cost: %d vs %d cycles", slow.Stats.Cycles, clean.Stats.Cycles)
+	}
+}
+
+func TestMispredictStormForcesRecoveries(t *testing.T) {
+	clean, err := run(t, nil, nil)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	storm, err := run(t, &faultinject.Plan{
+		Seed:   42,
+		Faults: []faultinject.Fault{{Kind: faultinject.MispredictStorm, Prob: 0.5}},
+	}, nil)
+	if err != nil {
+		t.Fatalf("storm run: %v", err)
+	}
+	if storm.ExitCode != clean.ExitCode {
+		t.Errorf("exit diverged under storm: %d != %d", storm.ExitCode, clean.ExitCode)
+	}
+	if storm.Stats.CondMispredicts <= clean.Stats.CondMispredicts {
+		t.Errorf("storm did not raise mispredicts: %d vs %d",
+			storm.Stats.CondMispredicts, clean.Stats.CondMispredicts)
+	}
+	if storm.Stats.Cycles <= clean.Stats.Cycles {
+		t.Errorf("storm had no cycle cost: %d vs %d", storm.Stats.Cycles, clean.Stats.Cycles)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	plan := &faultinject.Plan{
+		Seed:   7,
+		Faults: []faultinject.Fault{{Kind: faultinject.MispredictStorm, Prob: 0.3}},
+	}
+	a, err := run(t, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(t, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("same seed, different stats:\n%v\nvs\n%v", a.Stats, b.Stats)
+	}
+}
+
+func TestFirstAttemptsDisarmsOnRetry(t *testing.T) {
+	plan := faultinject.Plan{
+		Faults: []faultinject.Fault{{Kind: faultinject.CommitStall, Start: 1, FirstAttempts: 1}},
+	}
+	prog := asm.MustAssemble("fi.s", loopSrc)
+	for attempt, wantFail := range map[int]bool{1: true, 2: false} {
+		cfg := cpu.DefaultConfig()
+		cfg.WatchdogCycles = 1_000
+		faultinject.New(plan, attempt).Attach(&cfg)
+		c, err := cpu.New(prog, cfg, cpu.NopPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.Run()
+		if wantFail && !errors.Is(err, simerr.ErrWatchdog) {
+			t.Errorf("attempt %d: want watchdog, got %v", attempt, err)
+		}
+		if !wantFail && err != nil {
+			t.Errorf("attempt %d: fault should be disarmed, got %v", attempt, err)
+		}
+	}
+}
+
+func TestPlannedPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("planned panic did not fire")
+		}
+	}()
+	_, _ = run(t, &faultinject.Plan{
+		Faults: []faultinject.Fault{{Kind: faultinject.Panic, Start: 500}},
+	}, nil)
+}

@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"time"
 
 	"levioso/internal/attack"
 	"levioso/internal/core"
@@ -13,6 +16,50 @@ import (
 	"levioso/internal/stats"
 	"levioso/internal/workloads"
 )
+
+// RunOpts carries the sweep-level robustness knobs shared by every
+// experiment — scale, retry policy, per-run deadline, journal — and collects
+// the failed cells so callers can render a degraded report plus a failure
+// table instead of losing all completed work to one bad run.
+type RunOpts struct {
+	Size       workloads.Size
+	Retries    int           // transient-failure retries per cell
+	RunTimeout time.Duration // wall-clock bound per attempt; 0 = none
+	Journal    *Journal      // optional resume journal
+
+	mu       sync.Mutex
+	failures []Failure
+}
+
+// NewRunOpts returns options for the given scale with no retries, no
+// deadline and no journal — the strict profile the tests and benchmarks use.
+func NewRunOpts(size workloads.Size) *RunOpts { return &RunOpts{Size: size} }
+
+// Failures returns every failed cell collected so far, in sweep order.
+func (o *RunOpts) Failures() []Failure {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Failure(nil), o.failures...)
+}
+
+// sweep supervises spec under the options, collects its failures, and
+// returns the completed runs. tag namespaces the journal entries.
+func (o *RunOpts) sweep(spec Spec, tag string) ([]Run, error) {
+	spec.Tag = tag
+	spec.Retries = o.Retries
+	spec.RunTimeout = o.RunTimeout
+	spec.Journal = o.Journal
+	res, err := Supervise(context.Background(), spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Failures) > 0 {
+		o.mu.Lock()
+		o.failures = append(o.failures, res.Failures...)
+		o.mu.Unlock()
+	}
+	return res.Runs, nil
+}
 
 // Experiment IDs (see DESIGN.md's experiment index).
 const (
@@ -37,42 +84,50 @@ func ExperimentIDs() []string {
 }
 
 // RunExperiment runs one experiment by ID and returns its rendered report.
-func RunExperiment(id string, size workloads.Size) (string, error) {
+// Failed sweep cells degrade the report (rows render "n/a") and are
+// collected on opt; check opt.Failures() after the call.
+func RunExperiment(id string, opt *RunOpts) (string, error) {
 	switch id {
 	case ExpConfigID:
 		return ExpConfig(cpu.DefaultConfig()), nil
 	case ExpCharactID:
-		return ExpCharacterization(size)
+		return ExpCharacterization(opt)
 	case ExpOverheadID:
-		return ExpOverhead(size)
+		return ExpOverhead(opt)
 	case ExpRestrictedID:
-		return ExpRestricted(size)
+		return ExpRestricted(opt)
 	case ExpROBID:
-		return ExpROBSweep(size, []int{64, 96, 128, 192, 256, 384})
+		return ExpROBSweep(opt, []int{64, 96, 128, 192, 256, 384})
 	case ExpMispredictID:
-		return ExpMispredict(size, []float64{0, 0.02, 0.05, 0.10, 0.20})
+		return ExpMispredict(opt, []float64{0, 0.02, 0.05, 0.10, 0.20})
 	case ExpSecurityID:
 		return ExpSecurity()
 	case ExpAblationID:
-		return ExpAblation(size)
+		return ExpAblation(opt)
 	case ExpBDTID:
-		return ExpBDTSweep(size, []int{4, 8, 16, 32, 64})
+		return ExpBDTSweep(opt, []int{4, 8, 16, 32, 64})
 	case ExpCompilerID:
-		return ExpCompiler(size)
+		return ExpCompiler(opt.Size)
 	default:
 		return "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
 }
 
-// RunAll runs every experiment, streaming reports to w.
-func RunAll(w io.Writer, size workloads.Size) error {
+// RunAll runs every experiment, streaming reports to w. Partial failures
+// degrade the affected tables and accumulate on opt; a failure table is
+// appended after any experiment that lost cells.
+func RunAll(w io.Writer, opt *RunOpts) error {
 	for _, id := range ExperimentIDs() {
 		fmt.Fprintf(w, "==> experiment %s\n", id)
-		rep, err := RunExperiment(id, size)
+		before := len(opt.Failures())
+		rep, err := RunExperiment(id, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, rep)
+		if fs := opt.Failures(); len(fs) > before {
+			fmt.Fprintln(w, RenderFailures(fs[before:]))
+		}
 	}
 	return nil
 }
@@ -109,11 +164,11 @@ func cacheLine(c mem.CacheConfig) string {
 
 // ExpCharacterization renders T1b: per-workload behaviour on the unprotected
 // core — the numbers that explain the per-workload overhead texture in F1.
-func ExpCharacterization(size workloads.Size) (string, error) {
+func ExpCharacterization(opt *RunOpts) (string, error) {
 	spec := DefaultSpec()
-	spec.Size = size
+	spec.Size = opt.Size
 	spec.Policies = []string{"unsafe"}
-	runs, err := Sweep(spec)
+	runs, err := opt.sweep(spec, ExpCharactID)
 	if err != nil {
 		return "", err
 	}
@@ -137,10 +192,10 @@ func ExpCharacterization(size workloads.Size) (string, error) {
 
 // ExpOverhead renders F1 (the headline figure): per-workload and geomean
 // execution-time overhead of each defense relative to the unprotected core.
-func ExpOverhead(size workloads.Size) (string, error) {
+func ExpOverhead(opt *RunOpts) (string, error) {
 	spec := DefaultSpec()
-	spec.Size = size
-	runs, err := Sweep(spec)
+	spec.Size = opt.Size
+	runs, err := opt.sweep(spec, ExpOverheadID)
 	if err != nil {
 		return "", err
 	}
@@ -154,8 +209,12 @@ func renderOverhead(title string, ix *Index, policies []string) string {
 	for _, w := range ix.Workloads {
 		row := []string{w}
 		for _, p := range policies[1:] {
-			ov, _ := ix.Overhead(w, p, policies[0])
-			row = append(row, stats.Pct(ov))
+			// Failed cells degrade to "n/a" instead of discarding the table.
+			if ov, ok := ix.Overhead(w, p, policies[0]); ok {
+				row = append(row, stats.Pct(ov))
+			} else {
+				row = append(row, "n/a")
+			}
 		}
 		t.Add(row...)
 	}
@@ -186,11 +245,11 @@ func renderOverhead(title string, ix *Index, policies []string) string {
 // ExpRestricted renders F2: the fraction of dynamic transmitters each policy
 // actually delayed, against the fraction a conservative scheme must delay
 // (transmitters issued under at least one unresolved branch).
-func ExpRestricted(size workloads.Size) (string, error) {
+func ExpRestricted(opt *RunOpts) (string, error) {
 	spec := DefaultSpec()
-	spec.Size = size
+	spec.Size = opt.Size
 	spec.Policies = []string{"unsafe", "delay", "levioso"}
-	runs, err := Sweep(spec)
+	runs, err := opt.sweep(spec, ExpRestrictedID)
 	if err != nil {
 		return "", err
 	}
@@ -200,9 +259,13 @@ func ExpRestricted(size workloads.Size) (string, error) {
 		"workload", "speculative@issue(unsafe)", "delay-restricted", "levioso-restricted", "bdt-stalls")
 	var spec_, del, lev []float64
 	for _, w := range ix.Workloads {
-		u, _ := ix.Stats(w, "unsafe")
-		d, _ := ix.Stats(w, "delay")
-		l, _ := ix.Stats(w, "levioso")
+		u, ok1 := ix.Stats(w, "unsafe")
+		d, ok2 := ix.Stats(w, "delay")
+		l, ok3 := ix.Stats(w, "levioso")
+		if !ok1 || !ok2 || !ok3 {
+			t.Add(w, "n/a", "n/a", "n/a", "n/a")
+			continue
+		}
 		spec_ = append(spec_, u.SpecFrac())
 		del = append(del, d.RestrictedFrac())
 		lev = append(lev, l.RestrictedFrac())
@@ -234,7 +297,7 @@ func SensitivityWorkloads() []workloads.Workload {
 // ExpROBSweep renders F3: geomean overhead of each policy as the window
 // (ROB) scales — bigger windows widen the speculation shadow, growing the
 // gap between conservative schemes and Levioso.
-func ExpROBSweep(size workloads.Size, robs []int) (string, error) {
+func ExpROBSweep(opt *RunOpts, robs []int) (string, error) {
 	policies := secure.EvalNames()
 	t := stats.NewTable("F3: geomean overhead vs ROB size (6-workload subset)",
 		append([]string{"ROB"}, policies[1:]...)...)
@@ -247,9 +310,9 @@ func ExpROBSweep(size workloads.Size, robs []int) (string, error) {
 		cfg.NumPhysRegs = 32 + rob + 76
 		spec := Spec{
 			Workloads: SensitivityWorkloads(), Policies: policies,
-			Size: size, Config: cfg, Verify: false,
+			Size: opt.Size, Config: cfg, Verify: false,
 		}
-		runs, err := Sweep(spec)
+		runs, err := opt.sweep(spec, fmt.Sprintf("rob=%d", rob))
 		if err != nil {
 			return "", err
 		}
@@ -266,7 +329,7 @@ func ExpROBSweep(size workloads.Size, robs []int) (string, error) {
 // ExpMispredict renders F4: geomean overhead as predictor quality degrades
 // (forced extra misprediction rate). Worse prediction means more and longer
 // speculation shadows: all defenses get more expensive, Levioso least.
-func ExpMispredict(size workloads.Size, rates []float64) (string, error) {
+func ExpMispredict(opt *RunOpts, rates []float64) (string, error) {
 	policies := secure.EvalNames()
 	t := stats.NewTable("F4: geomean overhead vs forced extra mispredict rate (6-workload subset)",
 		append([]string{"rate"}, policies[1:]...)...)
@@ -275,9 +338,9 @@ func ExpMispredict(size workloads.Size, rates []float64) (string, error) {
 		cfg.Predictor.ForceMispredictRate = rate
 		spec := Spec{
 			Workloads: SensitivityWorkloads(), Policies: policies,
-			Size: size, Config: cfg, Verify: false,
+			Size: opt.Size, Config: cfg, Verify: false,
 		}
-		runs, err := Sweep(spec)
+		runs, err := opt.sweep(spec, fmt.Sprintf("mispredict=%g", rate))
 		if err != nil {
 			return "", err
 		}
@@ -328,11 +391,11 @@ func ExpSecurity() (string, error) {
 // ExpAblation renders F5: Levioso component ablation — control-only
 // annotations (unsound, cheaper) vs the full control+data design, plus the
 // taint baseline for calibration.
-func ExpAblation(size workloads.Size) (string, error) {
+func ExpAblation(opt *RunOpts) (string, error) {
 	spec := DefaultSpec()
-	spec.Size = size
+	spec.Size = opt.Size
 	spec.Policies = []string{"unsafe", "taint", "levioso-ctrl", "levioso", "levioso-ghost"}
-	runs, err := Sweep(spec)
+	runs, err := opt.sweep(spec, ExpAblationID)
 	if err != nil {
 		return "", err
 	}
@@ -344,7 +407,7 @@ func ExpAblation(size workloads.Size) (string, error) {
 // ExpBDTSweep renders F6: Levioso overhead and rename stalls as the Branch
 // Dependency Table shrinks — the hardware-cost knob. The table is sized so
 // capacity stalls are rare at 64 entries; this sweep shows where the knee is.
-func ExpBDTSweep(size workloads.Size, sizes []int) (string, error) {
+func ExpBDTSweep(opt *RunOpts, sizes []int) (string, error) {
 	t := stats.NewTable("F6: levioso geomean overhead vs Branch Dependency Table size (6-workload subset)",
 		"BDT entries", "levioso overhead", "alloc stalls")
 	for _, n := range sizes {
@@ -353,9 +416,9 @@ func ExpBDTSweep(size workloads.Size, sizes []int) (string, error) {
 		spec := Spec{
 			Workloads: SensitivityWorkloads(),
 			Policies:  []string{"unsafe", "levioso"},
-			Size:      size, Config: cfg, Verify: false,
+			Size:      opt.Size, Config: cfg, Verify: false,
 		}
-		runs, err := Sweep(spec)
+		runs, err := opt.sweep(spec, fmt.Sprintf("bdt=%d", n))
 		if err != nil {
 			return "", err
 		}

@@ -5,12 +5,11 @@
 package harness
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
+	"time"
 
 	"levioso/internal/cpu"
-	"levioso/internal/ref"
+	"levioso/internal/faultinject"
 	"levioso/internal/secure"
 	"levioso/internal/stats"
 	"levioso/internal/workloads"
@@ -33,6 +32,32 @@ type Spec struct {
 	// Verify cross-checks every run against the reference interpreter
 	// (exit code and console output) and fails on divergence.
 	Verify bool
+
+	// Tag namespaces this sweep's cells in the run journal, so parameter
+	// sweeps that reuse (workload, policy) keys under different core
+	// configurations (e.g. "rob=128" vs "rob=256") do not collide.
+	Tag string
+	// Retries is how many times the supervisor re-runs a cell after a
+	// transient failure (deadline, panic); permanent failures — watchdog,
+	// cycle limit, divergence — never retry. 0 means one attempt only.
+	Retries int
+	// RetryBackoff is the base of the capped exponential backoff between
+	// attempts (default 10ms, doubling per attempt, capped at 64x base).
+	RetryBackoff time.Duration
+	// RunTimeout bounds each attempt's wall-clock time; 0 = unbounded.
+	// Expiry surfaces as simerr.ErrDeadline, classified transient.
+	RunTimeout time.Duration
+	// Journal, when non-nil, records each completed cell and lets an
+	// interrupted sweep resume without re-executing them.
+	Journal *Journal
+	// Faults, when non-nil, returns the fault plan to inject into a cell's
+	// core (nil = run clean). Used by robustness tests to prove the
+	// watchdog, limits and classification fire.
+	Faults func(workload, policy string) *faultinject.Plan
+
+	// testOnRun observes every executed attempt (test instrumentation; the
+	// journal-resume tests count re-executions through it).
+	testOnRun func(workload, policy string, attempt int)
 }
 
 // DefaultSpec sweeps the full suite over the headline policies at reference
@@ -53,66 +78,25 @@ func defaultRunConfig() cpu.Config {
 	return cfg
 }
 
-// Sweep runs every (workload, policy) pair, in parallel across workloads.
-// Results are ordered workload-major, matching Spec order.
+// Sweep is the strict form of Supervise: it runs every (workload, policy)
+// pair in parallel and aborts on the first failed cell. Results are ordered
+// workload-major, matching Spec order.
+//
+// One program build is shared by all concurrent runs of a workload. This is
+// safe because a built *isa.Program is immutable during simulation: cpu.New
+// copies prog.Data into the core's own physical memory, the branch table
+// only reads the Hints map, and nothing writes Text or Symbols after the
+// compiler returns (TestSweepSharedProgramImmutable pins this down, and the
+// race detector watches every concurrent sweep in the test suite).
 func Sweep(spec Spec) ([]Run, error) {
-	type cell struct {
-		run Run
-		err error
+	res, err := Supervise(nil, spec)
+	if err != nil {
+		return nil, err
 	}
-	n := len(spec.Workloads) * len(spec.Policies)
-	cells := make([]cell, n)
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
-	for wi, w := range spec.Workloads {
-		prog, err := w.Build(spec.Size)
-		if err != nil {
-			return nil, err
-		}
-		var want ref.Result
-		if spec.Verify {
-			want, err = ref.Run(prog, ref.Limits{})
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s: reference run: %w", w.Name, err)
-			}
-		}
-		for pi, pol := range spec.Policies {
-			wg.Add(1)
-			go func(idx int, wname, pol string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				// Each run gets its own program build to keep per-run state
-				// (memory image, hint tables) independent.
-				c, err := cpu.New(prog, spec.Config, secure.MustNew(pol))
-				if err != nil {
-					cells[idx] = cell{err: err}
-					return
-				}
-				res, err := c.Run()
-				if err != nil {
-					cells[idx] = cell{err: fmt.Errorf("harness: %s/%s: %w", wname, pol, err)}
-					return
-				}
-				if spec.Verify && (res.ExitCode != want.ExitCode || res.Output != want.Output) {
-					cells[idx] = cell{err: fmt.Errorf(
-						"harness: %s/%s: architectural divergence: got exit %d output %q, want %d %q",
-						wname, pol, res.ExitCode, res.Output, want.ExitCode, want.Output)}
-					return
-				}
-				cells[idx] = cell{run: Run{Workload: wname, Policy: pol, Stats: res.Stats, ExitCode: res.ExitCode}}
-			}(wi*len(spec.Policies)+pi, w.Name, pol)
-		}
+	if len(res.Failures) > 0 {
+		return nil, res.Failures[0].Err
 	}
-	wg.Wait()
-	out := make([]Run, 0, n)
-	for _, c := range cells {
-		if c.err != nil {
-			return nil, c.err
-		}
-		out = append(out, c.run)
-	}
-	return out, nil
+	return res.Runs, nil
 }
 
 func maxParallel() int {

@@ -56,7 +56,7 @@ func TestExpCompilerRenders(t *testing.T) {
 }
 
 func TestRunExperimentUnknown(t *testing.T) {
-	if _, err := RunExperiment("bogus", workloads.SizeTest); err == nil {
+	if _, err := RunExperiment("bogus", NewRunOpts(workloads.SizeTest)); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

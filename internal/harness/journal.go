@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"levioso/internal/cpu"
+)
+
+// Journal is an append-only JSON-lines record of completed sweep cells. Each
+// line is one journalEntry; a sweep that was interrupted (crash, ^C, power
+// loss) reopens the same file and resumes, skipping every cell already
+// recorded. Entries are keyed (tag, workload, policy): the tag namespaces
+// the sweeps inside one experiment run (e.g. "overhead" vs "rob=128"), so
+// one journal file can carry a whole levbench invocation.
+//
+// The journal deliberately stores the run's statistics, not just its
+// identity, so resumed cells rebuild their reports without re-simulating.
+// A torn trailing line (the write the crash interrupted) is skipped on
+// load rather than poisoning the resume.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	seen map[journalKey]Run
+}
+
+type journalKey struct{ tag, workload, policy string }
+
+type journalEntry struct {
+	Tag      string    `json:"tag,omitempty"`
+	Workload string    `json:"workload"`
+	Policy   string    `json:"policy"`
+	ExitCode uint64    `json:"exit"`
+	Stats    cpu.Stats `json:"stats"`
+}
+
+// OpenJournal opens (creating if absent) the run journal at path and loads
+// every completed cell recorded by earlier invocations.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: open journal: %w", err)
+	}
+	j := &Journal{f: f, seen: make(map[journalKey]Run)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue // torn or foreign line: ignore, the cell just re-runs
+		}
+		j.seen[journalKey{e.Tag, e.Workload, e.Policy}] = Run{
+			Workload: e.Workload, Policy: e.Policy,
+			Stats: e.Stats, ExitCode: e.ExitCode,
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: read journal: %w", err)
+	}
+	// Heal a torn tail: if the crash left an unterminated line, append a
+	// newline so the next Record starts on a fresh line instead of merging
+	// into the garbage (which would lose that entry on the following load).
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, st.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("harness: heal journal tail: %w", err)
+			}
+		}
+	}
+	return j, nil
+}
+
+// Lookup returns the recorded run for a cell, if any.
+func (j *Journal) Lookup(tag, workload, policy string) (Run, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.seen[journalKey{tag, workload, policy}]
+	return r, ok
+}
+
+// Record appends one completed cell and remembers it for Lookup. Safe for
+// concurrent use by the sweep goroutines; each entry is a single write so
+// an interruption can tear at most the final line.
+func (j *Journal) Record(tag string, r Run) error {
+	b, err := json.Marshal(journalEntry{
+		Tag: tag, Workload: r.Workload, Policy: r.Policy,
+		ExitCode: r.ExitCode, Stats: r.Stats,
+	})
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	j.seen[journalKey{tag, r.Workload, r.Policy}] = r
+	return nil
+}
+
+// Len returns the number of recorded cells.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.seen)
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"levioso/internal/cpu"
+	"levioso/internal/faultinject"
+	"levioso/internal/isa"
+	"levioso/internal/ref"
+	"levioso/internal/secure"
+	"levioso/internal/simerr"
+	"levioso/internal/stats"
+)
+
+// Failure is one (workload, policy) cell the supervisor could not complete.
+type Failure struct {
+	Workload string
+	Policy   string
+	Attempts int
+	Err      error // a *simerr.RunError carrying the classification
+}
+
+// SweepResult is the partial outcome of a supervised sweep: every cell that
+// completed, every cell that failed, and how many were restored from the
+// journal instead of re-executed. Runs keeps workload-major Spec order with
+// failed cells skipped, so NewIndex works directly on it.
+type SweepResult struct {
+	Runs     []Run
+	Failures []Failure
+	Resumed  int
+}
+
+// cell is one (workload, policy) slot of the sweep.
+type cell struct {
+	run      Run
+	err      error
+	attempts int
+	done     bool
+}
+
+// Supervise runs every (workload, policy) pair, in parallel across cells,
+// and degrades instead of aborting: a per-run panic is recovered into
+// simerr.ErrPanic, each attempt is bounded by Spec.RunTimeout, transient
+// failures are retried with capped exponential backoff, and one bad cell
+// becomes a Failure entry while every other cell still returns its Run.
+// With Spec.Journal set, completed cells are recorded as they finish and an
+// interrupted sweep resumes without re-executing them.
+//
+// The returned error is reserved for sweep-level problems (a cancelled
+// context, a journal write failure); per-cell errors are in Failures.
+func Supervise(ctx context.Context, spec Spec) (*SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	np := len(spec.Policies)
+	cells := make([]cell, len(spec.Workloads)*np)
+
+	resumed := 0
+	if spec.Journal != nil {
+		for wi, w := range spec.Workloads {
+			for pi, pol := range spec.Policies {
+				if run, ok := spec.Journal.Lookup(spec.Tag, w.Name, pol); ok {
+					cells[wi*np+pi] = cell{run: run, done: true}
+					resumed++
+				}
+			}
+		}
+	}
+
+	var journalErr error
+	var journalMu sync.Mutex
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for wi, w := range spec.Workloads {
+		pending := false
+		for pi := range spec.Policies {
+			if !cells[wi*np+pi].done {
+				pending = true
+			}
+		}
+		if !pending {
+			continue // fully resumed: skip the build too
+		}
+		prog, err := w.Build(spec.Size)
+		if err != nil {
+			failWorkload(cells[wi*np:wi*np+np], spec, w.Name, &simerr.RunError{
+				Kind: simerr.KindBuild, Detail: "workload build failed", Err: err,
+			})
+			continue
+		}
+		var want ref.Result
+		if spec.Verify {
+			want, err = ref.Run(prog, ref.Limits{})
+			if err != nil {
+				failWorkload(cells[wi*np:wi*np+np], spec, w.Name, &simerr.RunError{
+					Kind: simerr.KindBuild, Detail: "reference run failed", Err: err,
+				})
+				continue
+			}
+		}
+		for pi, pol := range spec.Policies {
+			idx := wi*np + pi
+			if cells[idx].done {
+				continue
+			}
+			wg.Add(1)
+			go func(idx int, wname, pol string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				run, attempts, err := superviseCell(ctx, spec, prog, want, wname, pol)
+				if err != nil {
+					cells[idx] = cell{err: err, attempts: attempts}
+					return
+				}
+				cells[idx] = cell{run: run, attempts: attempts, done: true}
+				if spec.Journal != nil {
+					if jerr := spec.Journal.Record(spec.Tag, run); jerr != nil {
+						journalMu.Lock()
+						if journalErr == nil {
+							journalErr = jerr
+						}
+						journalMu.Unlock()
+					}
+				}
+			}(idx, w.Name, pol)
+		}
+	}
+	wg.Wait()
+	if journalErr != nil {
+		return nil, fmt.Errorf("harness: journal: %w", journalErr)
+	}
+
+	res := &SweepResult{Resumed: resumed}
+	for i, c := range cells {
+		if c.err != nil {
+			res.Failures = append(res.Failures, Failure{
+				Workload: spec.Workloads[i/np].Name,
+				Policy:   spec.Policies[i%np],
+				Attempts: c.attempts,
+				Err:      c.err,
+			})
+			continue
+		}
+		res.Runs = append(res.Runs, c.run)
+	}
+	return res, nil
+}
+
+// failWorkload marks every policy cell of one workload failed with the same
+// pre-simulation cause (build or reference-run failure).
+func failWorkload(cells []cell, spec Spec, wname string, cause *simerr.RunError) {
+	for pi, pol := range spec.Policies {
+		if cells[pi].done {
+			continue
+		}
+		cells[pi] = cell{err: simerr.WithRun(cause, wname, pol, 1), attempts: 1}
+	}
+}
+
+// superviseCell drives one cell through the attempt loop: run, classify,
+// and retry transient failures with capped exponential backoff.
+func superviseCell(ctx context.Context, spec Spec, prog *isa.Program, want ref.Result, wname, pol string) (Run, int, error) {
+	backoff := spec.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	var lastErr error
+	attempt := 1
+	for ; ; attempt++ {
+		if spec.testOnRun != nil {
+			spec.testOnRun(wname, pol, attempt)
+		}
+		run, err := runCell(ctx, spec, prog, want, wname, pol, attempt)
+		if err == nil {
+			return run, attempt, nil
+		}
+		lastErr = simerr.WithRun(err, wname, pol, attempt)
+		if !simerr.Transient(lastErr) || attempt > spec.Retries {
+			break
+		}
+		d := backoff << (attempt - 1)
+		if lim := backoff << 6; d > lim {
+			d = lim
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return Run{}, attempt, lastErr
+		}
+	}
+	return Run{}, attempt, lastErr
+}
+
+// runCell executes one attempt of one cell: build the core (with any
+// injected faults), run it under the per-run deadline, and cross-check the
+// reference result. Panics anywhere inside — the core, a policy, an
+// injected fault — are recovered into simerr.ErrPanic so one bad cell
+// cannot take down the whole sweep.
+func runCell(ctx context.Context, spec Spec, prog *isa.Program, want ref.Result, wname, pol string, attempt int) (run Run, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &simerr.RunError{
+				Kind:   simerr.KindPanic,
+				Detail: fmt.Sprint(r),
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	cfg := spec.Config
+	if spec.Faults != nil {
+		if plan := spec.Faults(wname, pol); plan != nil {
+			faultinject.New(*plan, attempt).Attach(&cfg)
+		}
+	}
+	c, err := cpu.New(prog, cfg, secure.MustNew(pol))
+	if err != nil {
+		return Run{}, &simerr.RunError{Kind: simerr.KindBuild, Detail: "core construction failed", Err: err}
+	}
+	runCtx := ctx
+	if spec.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, spec.RunTimeout)
+		defer cancel()
+	}
+	res, err := c.RunContext(runCtx)
+	if err != nil {
+		return Run{}, err
+	}
+	if spec.Verify && (res.ExitCode != want.ExitCode || res.Output != want.Output) {
+		return Run{}, &simerr.RunError{
+			Kind: simerr.KindDivergence,
+			Detail: fmt.Sprintf("got exit %d output %q, want %d %q",
+				res.ExitCode, res.Output, want.ExitCode, want.Output),
+		}
+	}
+	return Run{Workload: wname, Policy: pol, Stats: res.Stats, ExitCode: res.ExitCode}, nil
+}
+
+// RenderFailures formats a failure table for reports (empty string when
+// there is nothing to report).
+func RenderFailures(fs []Failure) string {
+	if len(fs) == 0 {
+		return ""
+	}
+	t := stats.NewTable("failed cells", "workload", "policy", "kind", "attempts", "error")
+	for _, f := range fs {
+		msg := f.Err.Error()
+		if len(msg) > 90 {
+			msg = msg[:87] + "..."
+		}
+		t.Add(f.Workload, f.Policy, simerr.KindOf(f.Err).String(), fmt.Sprint(f.Attempts), msg)
+	}
+	return t.String()
+}

@@ -127,3 +127,15 @@ func (h *Hierarchy) Flush(addr uint64) {
 // ProbeD reports whether addr is resident in L1D (attack scorer helper;
 // no state perturbation).
 func (h *Hierarchy) ProbeD(addr uint64) bool { return h.L1D.Probe(addr) }
+
+// HierStats snapshots the per-level access counters.
+type HierStats struct {
+	L1I, L1D, L2 CacheStats
+}
+
+// Stats returns the current per-level counters. Interposing wrappers (fault
+// injection, instrumentation) forward this so the core's statistics stay
+// attributable to the real caches.
+func (h *Hierarchy) Stats() HierStats {
+	return HierStats{L1I: h.L1I.Stats, L1D: h.L1D.Stats, L2: h.L2.Stats}
+}

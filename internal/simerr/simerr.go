@@ -1,0 +1,211 @@
+// Package simerr defines the typed failure taxonomy for simulation runs.
+// Every way a run can fail — the core's watchdog, the cycle/instruction
+// limits, architectural divergence against the reference model, a recovered
+// panic, a wall-clock deadline — maps to one Kind with a matching sentinel
+// error, and the concrete *RunError carries the run context (workload,
+// policy, attempt, simulated cycle) the sweep supervisor needs to report and
+// classify it. Kinds are classified transient (worth retrying: the failure
+// can depend on wall-clock scheduling or non-deterministic process state) or
+// permanent (deterministic for a given program and configuration).
+//
+// Callers match failures with errors.Is against the sentinels:
+//
+//	if errors.Is(err, simerr.ErrWatchdog) { ... }
+//
+// and recover the full context with errors.As into *RunError.
+package simerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a simulation failure.
+type Kind int
+
+const (
+	// KindUnknown is any failure the taxonomy does not cover.
+	KindUnknown Kind = iota
+	// KindWatchdog is the core's no-commit-progress watchdog: a scheduling
+	// deadlock in the model (or an injected commit stall / stuck response).
+	KindWatchdog
+	// KindCycleLimit is Config.MaxCycles exhaustion.
+	KindCycleLimit
+	// KindInstLimit is Config.MaxInsts exhaustion.
+	KindInstLimit
+	// KindDivergence is an architectural mismatch against the reference
+	// interpreter (exit code or console output).
+	KindDivergence
+	// KindPanic is a panic recovered from a run goroutine.
+	KindPanic
+	// KindDeadline is a per-run wall-clock deadline (context) expiring.
+	KindDeadline
+	// KindMemFault is a committed access outside simulated memory.
+	KindMemFault
+	// KindBuild is a failure before simulation started: workload compilation,
+	// reference pre-run, or core construction.
+	KindBuild
+)
+
+// Sentinel errors, one per Kind. errors.Is(err, ErrX) matches any *RunError
+// of the corresponding kind anywhere in err's chain.
+var (
+	ErrWatchdog   = errors.New("simerr: watchdog (no commit progress)")
+	ErrCycleLimit = errors.New("simerr: cycle limit exceeded")
+	ErrInstLimit  = errors.New("simerr: instruction limit exceeded")
+	ErrDivergence = errors.New("simerr: architectural divergence")
+	ErrPanic      = errors.New("simerr: panic during simulation")
+	ErrDeadline   = errors.New("simerr: run deadline exceeded")
+	ErrMemFault   = errors.New("simerr: memory fault")
+	ErrBuild      = errors.New("simerr: build failed")
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWatchdog:
+		return "watchdog"
+	case KindCycleLimit:
+		return "cycle-limit"
+	case KindInstLimit:
+		return "inst-limit"
+	case KindDivergence:
+		return "divergence"
+	case KindPanic:
+		return "panic"
+	case KindDeadline:
+		return "deadline"
+	case KindMemFault:
+		return "mem-fault"
+	case KindBuild:
+		return "build"
+	default:
+		return "unknown"
+	}
+}
+
+// sentinel returns the package sentinel for k (nil for KindUnknown).
+func (k Kind) sentinel() error {
+	switch k {
+	case KindWatchdog:
+		return ErrWatchdog
+	case KindCycleLimit:
+		return ErrCycleLimit
+	case KindInstLimit:
+		return ErrInstLimit
+	case KindDivergence:
+		return ErrDivergence
+	case KindPanic:
+		return ErrPanic
+	case KindDeadline:
+		return ErrDeadline
+	case KindMemFault:
+		return ErrMemFault
+	case KindBuild:
+		return ErrBuild
+	default:
+		return nil
+	}
+}
+
+// Transient reports whether failures of this kind are worth retrying. The
+// simulator is deterministic, so watchdog, limit, divergence and memory
+// faults reproduce on every attempt; only wall-clock deadlines (machine
+// load) and panics (which may stem from non-deterministic process state)
+// are classified transient.
+func (k Kind) Transient() bool {
+	return k == KindDeadline || k == KindPanic
+}
+
+// RunError is a classified simulation failure carrying run context. The
+// zero-value fields are simply omitted from Error(); Kind alone is enough
+// for classification.
+type RunError struct {
+	Kind     Kind
+	Workload string // sweep cell, when known
+	Policy   string
+	Attempt  int    // 1-based supervisor attempt, when supervised
+	Cycle    uint64 // simulated cycle at failure, when the core got that far
+	PC       uint64 // fetch PC at failure, when meaningful
+	Detail   string // human-readable specifics (deadlock info, diff, ...)
+	Stack    string // captured goroutine stack, for KindPanic
+	Err      error  // underlying cause, if any
+}
+
+// New builds a RunError of kind k with a formatted detail string.
+func New(k Kind, format string, args ...any) *RunError {
+	return &RunError{Kind: k, Detail: fmt.Sprintf(format, args...)}
+}
+
+func (e *RunError) Error() string {
+	var b strings.Builder
+	b.WriteString("simerr: ")
+	if e.Workload != "" || e.Policy != "" {
+		fmt.Fprintf(&b, "%s/%s: ", e.Workload, e.Policy)
+	}
+	if e.Attempt > 1 {
+		fmt.Fprintf(&b, "attempt %d: ", e.Attempt)
+	}
+	b.WriteString(e.Kind.String())
+	if e.Cycle > 0 {
+		fmt.Fprintf(&b, " at cycle %d", e.Cycle)
+	}
+	if e.PC > 0 {
+		fmt.Fprintf(&b, " pc=%#x", e.PC)
+	}
+	if e.Detail != "" {
+		b.WriteString(": ")
+		b.WriteString(e.Detail)
+	}
+	if e.Err != nil {
+		b.WriteString(": ")
+		b.WriteString(e.Err.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As chains.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Is matches the sentinel of e's kind, so errors.Is(err, ErrWatchdog) works
+// regardless of what cause e wraps.
+func (e *RunError) Is(target error) bool { return target == e.Kind.sentinel() }
+
+// Transient reports whether this failure is worth retrying.
+func (e *RunError) Transient() bool { return e.Kind.Transient() }
+
+// KindOf extracts the failure kind from anywhere in err's chain
+// (KindUnknown if err carries no RunError).
+func KindOf(err error) Kind {
+	var re *RunError
+	if errors.As(err, &re) {
+		return re.Kind
+	}
+	return KindUnknown
+}
+
+// Transient reports whether err is classified transient (retryable).
+// Errors outside the taxonomy are permanent.
+func Transient(err error) bool {
+	var re *RunError
+	if errors.As(err, &re) {
+		return re.Transient()
+	}
+	return false
+}
+
+// WithRun annotates err with sweep-cell context, normalizing foreign errors
+// into the taxonomy as KindUnknown. The original RunError is not mutated
+// (cells may share cached errors across goroutines).
+func WithRun(err error, workload, policy string, attempt int) *RunError {
+	var re *RunError
+	if errors.As(err, &re) {
+		cp := *re
+		cp.Workload, cp.Policy, cp.Attempt = workload, policy, attempt
+		return &cp
+	}
+	return &RunError{
+		Kind: KindUnknown, Workload: workload, Policy: policy,
+		Attempt: attempt, Err: err,
+	}
+}

@@ -1,0 +1,98 @@
+package simerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSentinelMatching(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want error
+	}{
+		{KindWatchdog, ErrWatchdog},
+		{KindCycleLimit, ErrCycleLimit},
+		{KindInstLimit, ErrInstLimit},
+		{KindDivergence, ErrDivergence},
+		{KindPanic, ErrPanic},
+		{KindDeadline, ErrDeadline},
+		{KindMemFault, ErrMemFault},
+		{KindBuild, ErrBuild},
+	}
+	for _, c := range cases {
+		err := New(c.kind, "boom")
+		if !errors.Is(err, c.want) {
+			t.Errorf("kind %v: errors.Is against its sentinel failed", c.kind)
+		}
+		for _, other := range cases {
+			if other.kind != c.kind && errors.Is(err, other.want) {
+				t.Errorf("kind %v matched foreign sentinel %v", c.kind, other.kind)
+			}
+		}
+		// Matching survives fmt wrapping.
+		if !errors.Is(fmt.Errorf("outer: %w", err), c.want) {
+			t.Errorf("kind %v: sentinel match lost through wrapping", c.kind)
+		}
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	for _, k := range []Kind{KindDeadline, KindPanic} {
+		if !k.Transient() {
+			t.Errorf("%v should be transient", k)
+		}
+	}
+	for _, k := range []Kind{KindWatchdog, KindCycleLimit, KindInstLimit,
+		KindDivergence, KindMemFault, KindBuild, KindUnknown} {
+		if k.Transient() {
+			t.Errorf("%v should be permanent", k)
+		}
+	}
+	if Transient(errors.New("plain")) {
+		t.Error("foreign error classified transient")
+	}
+	if !Transient(New(KindDeadline, "slow")) {
+		t.Error("deadline RunError not transient through helper")
+	}
+}
+
+func TestWithRunAnnotation(t *testing.T) {
+	orig := New(KindWatchdog, "head stuck")
+	orig.Cycle = 1234
+	ann := WithRun(fmt.Errorf("wrapped: %w", orig), "qsort", "levioso", 2)
+	if ann.Workload != "qsort" || ann.Policy != "levioso" || ann.Attempt != 2 {
+		t.Errorf("context not applied: %+v", ann)
+	}
+	if ann.Cycle != 1234 || ann.Kind != KindWatchdog {
+		t.Errorf("original context lost: %+v", ann)
+	}
+	if orig.Workload != "" {
+		t.Error("WithRun mutated the original error")
+	}
+	if !errors.Is(ann, ErrWatchdog) {
+		t.Error("annotated error lost sentinel identity")
+	}
+
+	foreign := WithRun(errors.New("disk on fire"), "w", "p", 1)
+	if foreign.Kind != KindUnknown || !errors.Is(foreign, foreign.Err) {
+		t.Errorf("foreign error not normalized: %+v", foreign)
+	}
+}
+
+func TestKindOfAndError(t *testing.T) {
+	err := WithRun(New(KindDivergence, "exit 1 != 0"), "fsm", "fence", 1)
+	if KindOf(err) != KindDivergence {
+		t.Errorf("KindOf = %v", KindOf(err))
+	}
+	if KindOf(errors.New("x")) != KindUnknown {
+		t.Error("foreign KindOf != unknown")
+	}
+	msg := err.Error()
+	for _, want := range []string{"fsm/fence", "divergence", "exit 1 != 0"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q missing %q", msg, want)
+		}
+	}
+}
