@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci clean
+.PHONY: all build vet test race bench golden ci clean
 
 all: build
 
@@ -21,14 +21,32 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the full benchmark suite and writes the simulator hot-loop
+# metrics (sim cycles/sec, allocs per committed instruction, ns per simulated
+# cycle) to BENCH_cpu.json for before/after comparisons.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) test -bench=. -benchmem -run=^$$ -benchjson BENCH_cpu.json .
 
-# ci is the gate: vet, build, and the full suite under -race.
+# golden re-runs the workload-characterization experiment at reference scale
+# and diffs it byte-for-byte against the checked-in levbench_ref_output.txt.
+# The charact table carries exact cycle/IPC/mispredict/miss counts for every
+# workload, so any change to the simulator's timing model shows up here.
+golden:
+	$(GO) run ./cmd/levbench -exp charact -size ref > .golden_charact.out
+	awk '/^==> experiment charact$$/{f=1;next} /^==> experiment /{f=0} f' \
+		levbench_ref_output.txt | diff - .golden_charact.out
+	rm -f .golden_charact.out
+	@echo "golden charact sweep: byte-identical"
+
+# ci is the gate: vet, build, the full suite under -race, a short benchmark
+# pass (catches bench-only compile/regression breakage), and the golden
+# timing-model diff.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -bench=BenchmarkHotLoop -benchtime=1x -run=^$$ .
+	$(MAKE) golden
 
 clean:
 	$(GO) clean ./...

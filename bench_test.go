@@ -10,7 +10,12 @@ package levioso
 // at full reference scale.
 
 import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"levioso/internal/attack"
 	"levioso/internal/core"
@@ -208,6 +213,134 @@ func BenchmarkSimThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(insts*uint64(b.N))/b.Elapsed().Seconds(), "sim-insts/s")
 		})
+	}
+}
+
+// benchJSONPath, when set, makes BenchmarkHotLoop write its measurements to
+// the named file in the BENCH_cpu.json format documented in EXPERIMENTS.md.
+// `make bench` passes -benchjson=BENCH_cpu.json; the file is the trajectory
+// point future perf PRs are compared against.
+var benchJSONPath = flag.String("benchjson", "", "write BenchmarkHotLoop results to this JSON file")
+
+// hotLoopEntry is one (workload, policy) measurement in BENCH_cpu.json.
+type hotLoopEntry struct {
+	Workload      string  `json:"workload"`
+	Policy        string  `json:"policy"`
+	Size          string  `json:"size"`
+	SimCycles     uint64  `json:"sim_cycles"`
+	SimInsts      uint64  `json:"sim_insts"`
+	WallNs        int64   `json:"wall_ns"`
+	CyclesPerSec  float64 `json:"sim_cycles_per_sec"`
+	InstsPerSec   float64 `json:"sim_insts_per_sec"`
+	NsPerCycle    float64 `json:"ns_per_sim_cycle"`
+	AllocsPerInst float64 `json:"allocs_per_committed_inst"`
+	BytesPerInst  float64 `json:"bytes_per_committed_inst"`
+}
+
+type hotLoopReport struct {
+	GeneratedBy  string         `json:"generated_by"`
+	GoVersion    string         `json:"go_version"`
+	MeanCPS      float64        `json:"suite_mean_sim_cycles_per_sec"`
+	MeanAllocs   float64        `json:"suite_mean_allocs_per_committed_inst"`
+	Measurements []hotLoopEntry `json:"measurements"`
+}
+
+// measureHotLoop runs one (workload, policy) cell once and returns its
+// steady-state measurement. Core construction is excluded from both the
+// timing and the allocation accounting: the metric is the cost of simulating
+// a cycle, not of building a core.
+func measureHotLoop(b *testing.B, w workloads.Workload, size workloads.Size, pol string) hotLoopEntry {
+	b.Helper()
+	prog := w.MustBuild(size)
+	c, err := cpu.New(prog, cpu.DefaultConfig(), secure.MustNew(pol))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := c.Run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizeName := "test"
+	if size == workloads.SizeRef {
+		sizeName = "ref"
+	}
+	e := hotLoopEntry{
+		Workload:  w.Name,
+		Policy:    pol,
+		Size:      sizeName,
+		SimCycles: res.Stats.Cycles,
+		SimInsts:  res.Stats.Committed,
+		WallNs:    wall.Nanoseconds(),
+	}
+	sec := wall.Seconds()
+	if sec > 0 {
+		e.CyclesPerSec = float64(res.Stats.Cycles) / sec
+		e.InstsPerSec = float64(res.Stats.Committed) / sec
+	}
+	if res.Stats.Cycles > 0 {
+		e.NsPerCycle = float64(wall.Nanoseconds()) / float64(res.Stats.Cycles)
+	}
+	if res.Stats.Committed > 0 {
+		e.AllocsPerInst = float64(after.Mallocs-before.Mallocs) / float64(res.Stats.Committed)
+		e.BytesPerInst = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Stats.Committed)
+	}
+	return e
+}
+
+// BenchmarkHotLoop measures the simulator's raw hot-loop performance over the
+// twelve-kernel suite (the "medium" scale: every kernel at test inputs) under
+// the unprotected and the Levioso cores, reporting simulated cycles per
+// wall-clock second, nanoseconds per simulated cycle, and heap allocations
+// per committed instruction. With -benchjson=FILE the last iteration's
+// measurements are written as BENCH_cpu.json (see EXPERIMENTS.md).
+func BenchmarkHotLoop(b *testing.B) {
+	var report hotLoopReport
+	for _, pol := range []string{"unsafe", "levioso"} {
+		pol := pol
+		b.Run(pol, func(b *testing.B) {
+			var entries []hotLoopEntry
+			for i := 0; i < b.N; i++ {
+				entries = entries[:0]
+				for _, w := range workloads.All() {
+					entries = append(entries, measureHotLoop(b, w, workloads.SizeTest, pol))
+				}
+			}
+			var cps, allocs float64
+			for _, e := range entries {
+				cps += e.CyclesPerSec
+				allocs += e.AllocsPerInst
+			}
+			n := float64(len(entries))
+			b.ReportMetric(cps/n, "sim-cycles/s")
+			b.ReportMetric(allocs/n, "allocs/inst")
+			report.Measurements = append(report.Measurements, entries...)
+		})
+	}
+	if *benchJSONPath != "" {
+		report.GeneratedBy = "go test -bench=HotLoop -benchjson (make bench)"
+		report.GoVersion = runtime.Version()
+		var cps, allocs float64
+		for _, e := range report.Measurements {
+			cps += e.CyclesPerSec
+			allocs += e.AllocsPerInst
+		}
+		if n := float64(len(report.Measurements)); n > 0 {
+			report.MeanCPS = cps / n
+			report.MeanAllocs = allocs / n
+		}
+		out, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*benchJSONPath, out, 0o644); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

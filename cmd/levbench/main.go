@@ -24,24 +24,36 @@ import (
 	"os"
 
 	"levioso/internal/harness"
+	"levioso/internal/prof"
 	"levioso/internal/workloads"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the real main; funneling every exit through its return value lets
+// the deferred profile flush (-cpuprofile/-memprofile) always happen.
+func run() int {
 	exp := flag.String("exp", "", "experiment id (default: all)")
 	sizeName := flag.String("size", "ref", "workload scale: test or ref")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	journalPath := flag.String("journal", "", "JSON-lines run journal for checkpoint/resume")
 	retries := flag.Int("retries", 0, "retries per cell after a transient failure")
 	runTimeout := flag.Duration("run-timeout", 0, "wall-clock bound per run attempt (0 = none)")
+	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
 		for _, id := range harness.ExperimentIDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
+	if err := profiles.Start(); err != nil {
+		return fail(err)
+	}
+	defer profiles.Stop()
 	var size workloads.Size
 	switch *sizeName {
 	case "test":
@@ -50,7 +62,7 @@ func main() {
 		size = workloads.SizeRef
 	default:
 		fmt.Fprintf(os.Stderr, "levbench: unknown size %q (test|ref)\n", *sizeName)
-		os.Exit(2)
+		return 2
 	}
 	opt := harness.NewRunOpts(size)
 	opt.Retries = *retries
@@ -58,7 +70,7 @@ func main() {
 	if *journalPath != "" {
 		j, err := harness.OpenJournal(*journalPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer j.Close()
 		if n := j.Len(); n > 0 {
@@ -70,23 +82,24 @@ func main() {
 
 	if *exp == "" {
 		if err := harness.RunAll(os.Stdout, opt); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	} else {
 		out, err := harness.RunExperiment(*exp, opt)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println(out)
 	}
 	if fs := opt.Failures(); len(fs) > 0 {
 		fmt.Fprintf(os.Stderr, "levbench: %d cell(s) failed; report is degraded (n/a entries)\n", len(fs))
 		fmt.Fprintln(os.Stderr, harness.RenderFailures(fs))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "levbench:", err)
-	os.Exit(1)
+	return 1
 }

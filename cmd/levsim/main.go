@@ -25,12 +25,19 @@ import (
 	"levioso/internal/cpu"
 	"levioso/internal/harness"
 	"levioso/internal/isa"
+	"levioso/internal/prof"
 	"levioso/internal/ref"
 	"levioso/internal/secure"
 	"levioso/internal/simerr"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the real main; funneling every exit through its return value lets
+// the deferred profile flush (-cpuprofile/-memprofile) always happen.
+func run() int {
 	policy := flag.String("policy", "unsafe", fmt.Sprintf("secure-speculation policy %v", secure.Names()))
 	rob := flag.Int("rob", 0, "override ROB size")
 	maxCycles := flag.Uint64("max-cycles", 1_000_000_000, "cycle limit")
@@ -39,27 +46,32 @@ func main() {
 	trace := flag.Bool("trace", false, "write a per-commit pipeline trace to stderr (slow)")
 	deadline := flag.Duration("deadline", 0, "wall-clock bound on the simulation (0 = none)")
 	journalPath := flag.String("journal", "", "record the run in this JSON-lines journal; skip if already recorded")
+	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: levsim [-policy P] [-rob N] [-stats] [-ref] prog.bin")
-		os.Exit(2)
+		return 2
 	}
+	if err := profiles.Start(); err != nil {
+		return fail(err)
+	}
+	defer profiles.Stop()
 	img, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	prog := new(isa.Program)
 	if err := prog.UnmarshalBinary(img); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *useRef {
 		res, err := ref.Run(prog, ref.Limits{})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Print(res.Output)
 		fmt.Fprintf(os.Stderr, "levsim(ref): exit=%d insts=%d\n", res.ExitCode, res.Insts)
-		os.Exit(int(res.ExitCode) & 0x7f)
+		return int(res.ExitCode) & 0x7f
 	}
 	cfg := cpu.DefaultConfig()
 	cfg.MaxCycles = *maxCycles
@@ -77,18 +89,18 @@ func main() {
 	if *journalPath != "" {
 		journal, err = harness.OpenJournal(*journalPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer journal.Close()
 		if rec, ok := journal.Lookup("levsim", wname, *policy); ok {
 			fmt.Fprintf(os.Stderr, "levsim: journal hit for (%s, %s): exit=%d cycles=%d (not re-run)\n",
 				wname, *policy, rec.ExitCode, rec.Stats.Cycles)
-			os.Exit(int(rec.ExitCode) & 0x7f)
+			return int(rec.ExitCode) & 0x7f
 		}
 	}
 	c, err := cpu.New(prog, cfg, secure.MustNew(*policy))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	ctx := context.Background()
 	if *deadline > 0 {
@@ -103,7 +115,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "levsim: run failed: kind=%s transient=%v\n",
 				re.Kind, re.Transient())
 		}
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Print(res.Output)
 	fmt.Fprintf(os.Stderr, "levsim: policy=%s exit=%d cycles=%d insts=%d ipc=%.3f\n",
@@ -117,10 +129,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "levsim: journal write failed:", err)
 		}
 	}
-	os.Exit(int(res.ExitCode) & 0x7f)
+	return int(res.ExitCode) & 0x7f
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "levsim:", err)
-	os.Exit(1)
+	return 1
 }

@@ -63,8 +63,13 @@ type Config struct {
 	MaxCycles uint64
 	MaxInsts  uint64
 	// WatchdogCycles aborts the run if no instruction commits for this many
-	// cycles (a scheduling deadlock in the model); 0 uses a default.
-	WatchdogCycles uint64
+	// cycles (a scheduling deadlock in the model). 0 uses the default of
+	// 100,000 cycles — the zero value of a Config must stay protected, so
+	// "off" needs an explicit sentinel: -1 disables the watchdog entirely
+	// (for runs that legitimately stall commit longer than any threshold,
+	// e.g. adversarial fault-injection studies). Other negative values are
+	// rejected by Validate.
+	WatchdogCycles int64
 
 	// BDTEntries caps the number of in-flight tracked branches (at most
 	// core.NumSlots, which is also the default when 0). Smaller tables are
@@ -153,6 +158,9 @@ func (c Config) Validate() error {
 	}
 	if c.BDTEntries < 0 || c.BDTEntries > core.NumSlots {
 		return fmt.Errorf("cpu: BDTEntries %d outside 0..%d", c.BDTEntries, core.NumSlots)
+	}
+	if c.WatchdogCycles < -1 {
+		return fmt.Errorf("cpu: WatchdogCycles %d invalid (0 = default, -1 = disabled)", c.WatchdogCycles)
 	}
 	// Physical registers must cover the architectural state plus the ROB.
 	if c.NumPhysRegs < 32+c.ROBSize {

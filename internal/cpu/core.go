@@ -25,6 +25,10 @@ type Core struct {
 	prog   *isa.Program
 	policy Policy
 
+	// meta is the decoded-instruction cache: one entry per static
+	// instruction, indexed by text position (see meta.go).
+	meta []instMeta
+
 	BT   *core.BranchTable
 	Hier MemSystem
 	Phys *mem.Memory
@@ -48,6 +52,20 @@ type Core struct {
 	sqHead  int
 
 	fetchBuf []*DynInst
+	fbHead   int
+
+	// Completion wheel (see wheel.go): executing instructions bucketed by
+	// DoneCycle, so the complete stage touches only the instructions
+	// finishing this cycle instead of scanning the window.
+	wheel  [wheelSize][]wheelEntry
+	dueBuf []*DynInst
+
+	// Free pools (see pool.go): recycled DynInst/Checkpoint objects so the
+	// steady-state fetch path performs no heap allocation.
+	instPool    []*DynInst
+	checkPool   []*Checkpoint
+	instAllocd  int
+	checkAllocd int
 
 	fetchPC         uint64
 	fetchStallUntil uint64
@@ -57,6 +75,7 @@ type Core struct {
 	fenceSeqs []uint64 // in-flight FENCE/HALT sequence numbers, program order
 
 	divBusyUntil uint64
+	divBusySeq   uint64 // Seq of the divide occupying the divider (0 = none)
 
 	cycle uint64
 	seq   uint64
@@ -93,6 +112,7 @@ func New(prog *isa.Program, cfg Config, pol Policy) (*Core, error) {
 		cfg:    cfg,
 		prog:   prog,
 		policy: pol,
+		meta:   buildMeta(prog),
 		BT:     core.NewBranchTable(prog),
 		Hier:   ms,
 		Phys:   phys,
@@ -177,6 +197,14 @@ func (c *Core) RunContext(ctx context.Context) (Result, error) {
 }
 
 func (c *Core) result() Result {
+	c.syncStats()
+	return Result{ExitCode: c.exitCode, Output: string(c.out), Stats: c.stats}
+}
+
+// syncStats folds the service-owned counters (cache hierarchy, branch table)
+// into c.stats. Everything else in Stats is maintained incrementally by the
+// pipeline stages.
+func (c *Core) syncStats() {
 	hs := c.Hier.Stats()
 	c.stats.L1IHits = hs.L1I.Hits
 	c.stats.L1IMisses = hs.L1I.Misses
@@ -186,12 +214,16 @@ func (c *Core) result() Result {
 	c.stats.L2Misses = hs.L2.Misses
 	c.stats.BDTAllocStalls = c.BT.AllocFailures
 	c.stats.Cycles = c.cycle
-	return Result{ExitCode: c.exitCode, Output: string(c.out), Stats: c.stats}
 }
 
 // Stats returns the statistics accumulated so far (cache counters are synced
-// on read).
-func (c *Core) Stats() Stats { return c.result().Stats }
+// on read). Unlike result it does not snapshot the console output, so live
+// observers — supervisor failure reports, periodic metrics — can poll it
+// without copying the run's output buffer every call.
+func (c *Core) Stats() Stats {
+	c.syncStats()
+	return c.stats
+}
 
 // Step advances the core by one cycle.
 func (c *Core) Step() error {
@@ -215,7 +247,7 @@ func (c *Core) Step() error {
 	if wd == 0 {
 		wd = 100_000
 	}
-	if c.cycle-c.lastCommitCycle > wd {
+	if wd > 0 && c.cycle-c.lastCommitCycle > uint64(wd) {
 		return &simerr.RunError{
 			Kind: simerr.KindWatchdog, Cycle: c.cycle, PC: c.fetchPC,
 			Detail: fmt.Sprintf("no commit for %d cycles (%s)", wd, c.deadlockInfo()),
@@ -259,19 +291,20 @@ func (c *Core) commit() error {
 		if d.State != StateDone {
 			return nil
 		}
-		op := d.Inst.Op
+		m := d.m
+		op := m.inst.Op
 		switch {
-		case d.IsStore():
+		case m.flags&mStore != 0:
 			if d.MemErr {
 				return c.memFault(d, "store to invalid address", nil)
 			}
-			if err := c.Phys.Write(d.Addr, op.MemBytes(), d.Result); err != nil {
+			if err := c.Phys.Write(d.Addr, int(m.memBytes), d.Result); err != nil {
 				return c.memFault(d, "store failed", err)
 			}
 			c.Hier.FillVisible(d.Addr)
 			c.sqHead++
 			c.stats.Stores++
-		case d.IsLoad():
+		case m.flags&mLoad != 0:
 			if d.MemErr {
 				return c.memFault(d, "load from invalid address", nil)
 			}
@@ -347,6 +380,10 @@ func (c *Core) commit() error {
 		c.robHead++
 		c.stats.Committed++
 		c.lastCommitCycle = c.cycle
+		// Retired: recycle the object. The dead ROB prefix is never read, and
+		// the only surviving references (a younger load's FwdFrom) are
+		// identity-only.
+		c.freeInst(d)
 		if c.halted {
 			break
 		}
@@ -397,19 +434,22 @@ func (c *Core) compact() {
 		c.sq = append(c.sq[:0], c.sq[c.sqHead:]...)
 		c.sqHead = 0
 	}
+	if c.fbHead > 4*c.cfg.FetchBufSize {
+		c.fetchBuf = append(c.fetchBuf[:0], c.fetchBuf[c.fbHead:]...)
+		c.fbHead = 0
+	}
 }
 
 // -------------------------------------------------------------- complete --
 
 // complete handles instructions whose execution finishes this cycle:
 // writeback, branch resolution, and misprediction recovery (oldest first).
+// It is event-driven: the completion wheel hands back exactly the
+// instructions whose DoneCycle is now, already in program order, so the cost
+// is O(completions this cycle) instead of O(window).
 func (c *Core) complete() {
 	var recover *DynInst
-	for i := c.robHead; i < len(c.rob); i++ {
-		d := c.rob[i]
-		if d.State != StateExecuting || d.DoneCycle != c.cycle {
-			continue
-		}
+	for _, d := range c.dueNow() {
 		d.State = StateDone
 		if d.Dst >= 0 {
 			c.regVal[d.Dst] = d.Result
@@ -417,7 +457,7 @@ func (c *Core) complete() {
 		}
 		if d.BrSlot >= 0 {
 			if d.Mispredict && recover == nil {
-				recover = d // oldest mispredict this cycle (rob order)
+				recover = d // oldest mispredict this cycle (program order)
 			} else if !d.Mispredict {
 				c.resolveSlot(d)
 			}
@@ -429,7 +469,11 @@ func (c *Core) complete() {
 }
 
 // resolveSlot retires a correctly-speculated control instruction's BDT slot
-// and clears its bit from every in-flight dependency mask.
+// and clears its bit from every in-flight dependency mask. The checkpoint is
+// dead once the slot resolves (recovery can no longer target this
+// instruction), so it is recycled here; recoverFrom therefore restores
+// rename/predictor state before resolving the mispredicted instruction's own
+// slot.
 func (c *Core) resolveSlot(d *DynInst) {
 	slot := d.BrSlot
 	d.BrSlot = -1
@@ -440,12 +484,18 @@ func (c *Core) resolveSlot(d *DynInst) {
 		e.WaitMask = e.WaitMask.Without(slot)
 		e.DataMask = e.DataMask.Without(slot)
 	}
+	if d.Check != nil {
+		c.freeCheck(d.Check)
+		d.Check = nil
+	}
 }
 
 // recoverFrom squashes everything younger than the mispredicted control
 // instruction d and redirects fetch to the resolved target.
 func (c *Core) recoverFrom(d *DynInst) {
-	// Squash younger window contents, youngest first.
+	// Squash younger window contents, youngest first. The objects cannot be
+	// recycled yet: the issue/load/store queues still reference them.
+	nsq := 0
 	for i := len(c.rob) - 1; i > c.robHead; i-- {
 		e := c.rob[i]
 		if e.Seq <= d.Seq {
@@ -458,20 +508,39 @@ func (c *Core) recoverFrom(d *DynInst) {
 		}
 		c.rob = c.rob[:i]
 		c.stats.Squashed++
+		nsq++
+	}
+	// A wrong-path divide occupying the divider is squashed with everything
+	// else: a real core drops the operation when its station is flushed.
+	// Without this, a squashed DIV's operand-dependent latency would block
+	// correct-path divides after recovery.
+	if c.divBusySeq > d.Seq {
+		c.divBusyUntil = 0
+		c.divBusySeq = 0
 	}
 	// Remove squashed entries from the side queues.
 	c.iq = filterLive(c.iq)
-	c.lq = trimYounger(c.lq, d.Seq)
-	c.sq = trimYounger(c.sq, d.Seq)
+	c.lq = trimYounger(c.lq, c.lqHead, d.Seq)
+	c.sq = trimYounger(c.sq, c.sqHead, d.Seq)
 	for len(c.fenceSeqs) > 0 && c.fenceSeqs[len(c.fenceSeqs)-1] > d.Seq {
 		c.fenceSeqs = c.fenceSeqs[:len(c.fenceSeqs)-1]
 	}
-	c.fetchBuf = c.fetchBuf[:0]
 
-	// Branch table: free younger slots, restore region state, then resolve
-	// the mispredicted control instruction itself.
+	// Recycle the squashed instructions and the wrong-path fetch buffer.
+	// Every live structure that could read through the pointers has been
+	// filtered above; completion-wheel entries for in-flight squashed
+	// instructions go stale via the generation bump in freeInst.
+	for _, e := range c.rob[len(c.rob) : len(c.rob)+nsq] {
+		c.freeInst(e)
+	}
+	for _, e := range c.fetchBuf[c.fbHead:] {
+		c.freeInst(e)
+	}
+	c.fetchBuf = c.fetchBuf[:0]
+	c.fbHead = 0
+
+	// Branch table: free younger slots and restore region state.
 	c.BT.Squash(d.Seq, d.BrSlot)
-	c.resolveSlot(d)
 
 	// Restore the rename map and predictor state.
 	c.rat = d.Check.RAT
@@ -484,6 +553,10 @@ func (c *Core) recoverFrom(d *DynInst) {
 			c.Pred.PushRAS(d.PC + isa.InstBytes)
 		}
 	}
+
+	// Resolve the mispredicted control instruction's own slot last: this
+	// recycles its checkpoint, which the restores above still read.
+	c.resolveSlot(d)
 
 	c.fetchPC = d.ActualNext
 	c.fetchStallUntil = c.cycle + uint64(c.cfg.RedirectPenalty)
@@ -501,8 +574,11 @@ func filterLive(q []*DynInst) []*DynInst {
 	return out
 }
 
-func trimYounger(q []*DynInst, seq uint64) []*DynInst {
-	for len(q) > 0 && q[len(q)-1].Seq > seq {
+// trimYounger pops queue entries younger than seq. It must stop at the
+// queue's dead prefix (head): committed entries there have been recycled, so
+// their Seq fields belong to unrelated newer instructions.
+func trimYounger(q []*DynInst, head int, seq uint64) []*DynInst {
+	for len(q) > head && q[len(q)-1].Seq > seq {
 		q = q[:len(q)-1]
 	}
 	return q
@@ -536,9 +612,9 @@ func (c *Core) issue() {
 		if len(c.fenceSeqs) > 0 && d.Seq > c.fenceSeqs[0] {
 			continue
 		}
-		op := d.Inst.Op
+		m := d.m
 		// FENCE and HALT execute only from the window head.
-		if (op == isa.FENCE || op == isa.HALT) && !c.isHead(d) {
+		if m.flags&mFenceHalt != 0 && !c.isHead(d) {
 			continue
 		}
 		if !c.srcsReady(d) {
@@ -547,12 +623,12 @@ func (c *Core) issue() {
 		// Memory structural checks first: a load blocked by an unresolved
 		// older store address is a correctness stall, not a policy stall.
 		var fwd *DynInst
-		if d.IsLoad() || d.IsStore() || op == isa.CFLUSH {
+		if m.flags&mMemPort != 0 {
 			if memFree <= 0 {
 				continue
 			}
 			c.computeAddr(d)
-			if d.IsLoad() {
+			if m.flags&mLoad != 0 {
 				ok, src := c.loadMayIssue(d)
 				if !ok {
 					continue
@@ -560,7 +636,7 @@ func (c *Core) issue() {
 				fwd = src
 			}
 		}
-		switch op.Class() {
+		switch m.class {
 		case isa.ClassALU, isa.ClassBranch, isa.ClassJump:
 			if aluFree <= 0 {
 				continue
@@ -574,8 +650,8 @@ func (c *Core) issue() {
 				continue
 			}
 		case isa.ClassSystem:
-			if op == isa.CFLUSH {
-				// uses a memory port, checked above
+			if m.flags&mMemPort != 0 {
+				// CFLUSH uses a memory port, checked above
 			} else if aluFree <= 0 {
 				continue
 			}
@@ -587,17 +663,17 @@ func (c *Core) issue() {
 			c.stats.PolicyWaitEvents++
 			continue
 		}
-		if op.IsTransmitter() && c.BT.Unresolved() != 0 {
+		if m.flags&mTransmitter != 0 && c.BT.Unresolved() != 0 {
 			d.specAtIssue = true
 		}
 		// Fire.
-		switch op.Class() {
+		switch m.class {
 		case isa.ClassALU, isa.ClassBranch, isa.ClassJump:
 			aluFree--
 		case isa.ClassMul:
 			mulFree--
 		case isa.ClassSystem:
-			if op == isa.CFLUSH {
+			if m.flags&mMemPort != 0 {
 				memFree--
 			} else {
 				aluFree--
@@ -642,7 +718,7 @@ func (c *Core) computeAddr(d *DynInst) {
 // store's address must be known; an exact-match store with captured data
 // forwards; any partial overlap stalls the load until the store commits.
 func (c *Core) loadMayIssue(d *DynInst) (bool, *DynInst) {
-	size := uint64(d.Inst.Op.MemBytes())
+	size := uint64(d.m.memBytes)
 	var match *DynInst
 	for i := c.sqHead; i < len(c.sq); i++ {
 		s := c.sq[i]
@@ -652,7 +728,7 @@ func (c *Core) loadMayIssue(d *DynInst) (bool, *DynInst) {
 		if !s.AddrReady {
 			return false, nil
 		}
-		ssize := uint64(s.Inst.Op.MemBytes())
+		ssize := uint64(s.m.memBytes)
 		if s.Addr < d.Addr+size && d.Addr < s.Addr+ssize {
 			if s.Addr == d.Addr && ssize == size && s.State == StateDone {
 				match = s // youngest older exact match wins
@@ -664,17 +740,17 @@ func (c *Core) loadMayIssue(d *DynInst) (bool, *DynInst) {
 	return true, match
 }
 
-// execute computes d's result and schedules completion.
+// execute computes d's result and schedules completion on the wheel.
 func (c *Core) execute(d *DynInst, decision Decision, fwd *DynInst) {
-	op := d.Inst.Op
+	m := d.m
+	op := m.inst.Op
 	v1 := c.srcVal(d.Src1)
 	v2 := c.srcVal(d.Src2)
-	if op.HasImm() && op.Class() != isa.ClassLoad && op.Class() != isa.ClassStore &&
-		op != isa.JALR && op != isa.CFLUSH && !op.IsBranch() && op != isa.JAL {
+	if m.flags&mImmV2 != 0 {
 		v2 = uint64(d.Inst.Imm)
 	}
 	lat := 1
-	switch op.Class() {
+	switch m.class {
 	case isa.ClassALU:
 		d.Result = isa.EvalALU(op, v1, v2)
 	case isa.ClassMul:
@@ -688,27 +764,28 @@ func (c *Core) execute(d *DynInst, decision Decision, fwd *DynInst) {
 			lat += bits.Len64(v1) * c.cfg.DivLatencyRange / 64
 		}
 		c.divBusyUntil = c.cycle + uint64(lat)
+		c.divBusySeq = d.Seq
 	case isa.ClassLoad:
 		lat = c.executeLoad(d, decision, fwd)
 	case isa.ClassStore:
 		d.Result = v2
-		if d.Addr+uint64(op.MemBytes()) > isa.MemLimit ||
-			(op.MemBytes() > 1 && d.Addr%uint64(op.MemBytes()) != 0) {
+		size := uint64(m.memBytes)
+		if d.Addr+size > isa.MemLimit || (size > 1 && d.Addr%size != 0) {
 			d.MemErr = true
 		}
 	case isa.ClassBranch:
 		d.ActualTaken = isa.EvalBranch(op, v1, v2)
 		if d.ActualTaken {
-			d.ActualNext = d.Inst.BranchTarget(d.PC)
+			d.ActualNext = m.target
 		} else {
-			d.ActualNext = d.PC + isa.InstBytes
+			d.ActualNext = m.seqNext
 		}
 		d.Mispredict = d.ActualNext != d.PredNext
 		lat += c.cfg.BranchResolveLatency
 	case isa.ClassJump:
-		d.Result = d.PC + isa.InstBytes
-		if op == isa.JAL {
-			d.ActualNext = d.Inst.BranchTarget(d.PC)
+		d.Result = m.seqNext
+		if m.kind == fkJAL {
+			d.ActualNext = m.target
 		} else {
 			d.ActualNext = (v1 + uint64(d.Inst.Imm)) &^ 1
 			d.Mispredict = d.ActualNext != d.PredNext
@@ -730,11 +807,12 @@ func (c *Core) execute(d *DynInst, decision Decision, fwd *DynInst) {
 	}
 	d.State = StateExecuting
 	d.DoneCycle = c.cycle + uint64(lat)
+	c.schedule(d)
 }
 
 // executeLoad performs the data access and returns its latency.
 func (c *Core) executeLoad(d *DynInst, decision Decision, fwd *DynInst) int {
-	size := d.Inst.Op.MemBytes()
+	size := int(d.m.memBytes)
 	if fwd != nil {
 		mask := ^uint64(0)
 		if size < 8 {
@@ -765,22 +843,22 @@ func (c *Core) executeLoad(d *DynInst, decision Decision, fwd *DynInst) int {
 // ---------------------------------------------------------------- rename --
 
 func (c *Core) rename() {
-	for n := 0; n < c.cfg.RenameWidth && len(c.fetchBuf) > 0; n++ {
-		d := c.fetchBuf[0]
+	for n := 0; n < c.cfg.RenameWidth && c.fbHead < len(c.fetchBuf); n++ {
+		d := c.fetchBuf[c.fbHead]
 		if len(c.rob)-c.robHead >= c.cfg.ROBSize {
 			return
 		}
 		if len(c.iq) >= c.cfg.IQSize {
 			return
 		}
-		op := d.Inst.Op
-		if d.IsLoad() && len(c.lq)-c.lqHead >= c.cfg.LQSize {
+		m := d.m
+		if m.flags&mLoad != 0 && len(c.lq)-c.lqHead >= c.cfg.LQSize {
 			return
 		}
-		if d.IsStore() && len(c.sq)-c.sqHead >= c.cfg.SQSize {
+		if m.flags&mStore != 0 && len(c.sq)-c.sqHead >= c.cfg.SQSize {
 			return
 		}
-		needsSlot := d.IsCondBranch() || op == isa.JALR
+		needsSlot := m.flags&mNeedsSlot != 0
 		bdtCap := c.cfg.BDTEntries
 		if bdtCap == 0 {
 			bdtCap = core.NumSlots
@@ -789,19 +867,19 @@ func (c *Core) rename() {
 			c.BT.AllocFailures++
 			return
 		}
-		hasDst := op.HasRd() && d.Inst.Rd != isa.RegZero
+		hasDst := m.flags&mHasDst != 0
 		if hasDst && len(c.freeList) == 0 {
 			return
 		}
 
-		c.fetchBuf = c.fetchBuf[1:]
+		c.fbHead++
 		c.BT.CloseRegions(d.PC)
 
 		d.Src1, d.Src2, d.Dst, d.OldDst = -1, -1, -1, -1
-		if op.HasRs1() && d.Inst.Rs1 != isa.RegZero {
+		if m.flags&mSrc1 != 0 {
 			d.Src1 = c.rat[d.Inst.Rs1]
 		}
-		if op.HasRs2() && d.Inst.Rs2 != isa.RegZero {
+		if m.flags&mSrc2 != 0 {
 			d.Src2 = c.rat[d.Inst.Rs2]
 		}
 		if hasDst {
@@ -819,24 +897,25 @@ func (c *Core) rename() {
 		if needsSlot {
 			slot, ok := c.BT.Alloc(d.Seq, d.PC)
 			if !ok {
-				// Should not happen: capacity checked above. Treat as stall.
-				c.fetchBuf = append([]*DynInst{d}, c.fetchBuf...)
+				// Should not happen: capacity checked above. Treat as stall:
+				// the buffer slot still holds d, so back the head up.
+				c.fbHead--
 				return
 			}
 			d.BrSlot = slot
 			d.Check.RAT = c.rat
 		}
-		if op == isa.FENCE || op == isa.HALT {
+		if m.flags&mFenceHalt != 0 {
 			c.fenceSeqs = append(c.fenceSeqs, d.Seq)
 		}
 
 		d.State = StateRenamed
 		c.rob = append(c.rob, d)
 		c.iq = append(c.iq, d)
-		if d.IsLoad() {
+		if m.flags&mLoad != 0 {
 			c.lq = append(c.lq, d)
 		}
-		if d.IsStore() {
+		if m.flags&mStore != 0 {
 			c.sq = append(c.sq, d)
 		}
 		c.stats.Renamed++
@@ -849,10 +928,16 @@ func (c *Core) fetch() {
 	if c.fetchHalted || c.cycle < c.fetchStallUntil {
 		return
 	}
+	// Reset the ring once rename has drained it, so steady-state operation
+	// appends into the same backing array instead of growing forever.
+	if c.fbHead > 0 && c.fbHead == len(c.fetchBuf) {
+		c.fetchBuf = c.fetchBuf[:0]
+		c.fbHead = 0
+	}
 	lineBytes := uint64(c.cfg.Hier.L1I.LineBytes)
-	for n := 0; n < c.cfg.FetchWidth && len(c.fetchBuf) < c.cfg.FetchBufSize; n++ {
-		inst, ok := c.prog.InstAt(c.fetchPC)
-		if !ok {
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchBuf)-c.fbHead < c.cfg.FetchBufSize; n++ {
+		m := c.metaAt(c.fetchPC)
+		if m == nil {
 			// Wrong-path fetch ran outside the text segment; stall until a
 			// misprediction recovery redirects us.
 			c.fetchHalted = true
@@ -868,32 +953,36 @@ func (c *Core) fetch() {
 			}
 		}
 		c.seq++
-		d := &DynInst{Seq: c.seq, PC: c.fetchPC, Inst: inst, BrSlot: -1}
-		next := c.fetchPC + isa.InstBytes
-		switch {
-		case inst.Op.IsBranch():
-			d.Check = &Checkpoint{Pred: c.Pred.Checkpoint()}
+		d := c.newDynInst(c.seq, c.fetchPC, m)
+		next := m.seqNext
+		switch m.kind {
+		case fkBranch:
+			// Checkpoint before predicting: PredictBranch speculatively
+			// updates the history the checkpoint must capture.
+			d.Check = c.newCheckpoint()
+			c.Pred.CheckpointInto(&d.Check.Pred)
 			taken, idx := c.Pred.PredictBranch(c.fetchPC)
 			d.PredTaken, d.PhtIdx = taken, idx
 			if taken {
-				next = inst.BranchTarget(c.fetchPC)
+				next = m.target
 			}
-		case inst.Op == isa.JAL:
-			next = inst.BranchTarget(c.fetchPC)
-			if inst.Rd == isa.RegRA {
-				c.Pred.PushRAS(c.fetchPC + isa.InstBytes)
+		case fkJAL:
+			next = m.target
+			if m.flags&mPushRAS != 0 {
+				c.Pred.PushRAS(m.seqNext)
 			}
-		case inst.Op == isa.JALR:
-			d.Check = &Checkpoint{Pred: c.Pred.Checkpoint()}
-			if inst.Rd == isa.RegZero && inst.Rs1 == isa.RegRA {
+		case fkJALR:
+			d.Check = c.newCheckpoint()
+			c.Pred.CheckpointInto(&d.Check.Pred)
+			if m.flags&mRet != 0 {
 				next = c.Pred.PopRAS()
 				d.UsedRAS = true
 			} else {
 				if tgt, hit := c.Pred.PredictIndirect(c.fetchPC); hit {
 					next = tgt
 				}
-				if inst.Rd == isa.RegRA {
-					c.Pred.PushRAS(c.fetchPC + isa.InstBytes)
+				if m.flags&mPushRAS != 0 {
+					c.Pred.PushRAS(m.seqNext)
 				}
 			}
 		}
@@ -901,11 +990,11 @@ func (c *Core) fetch() {
 		c.fetchBuf = append(c.fetchBuf, d)
 		c.stats.Fetched++
 		c.fetchPC = next
-		if inst.Op == isa.HALT {
+		if m.kind == fkHALT {
 			c.fetchHalted = true
 			return
 		}
-		if inst.Op.IsControl() && next != d.PC+isa.InstBytes {
+		if m.flags&mControl != 0 && next != m.seqNext {
 			return // taken-control fetch break
 		}
 	}

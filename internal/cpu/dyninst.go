@@ -60,6 +60,15 @@ type DynInst struct {
 	Squashed    bool
 	specAtIssue bool   // issued while >= 1 older branch was unresolved (stats)
 	exposeUntil uint64 // invisible loads: cycle the commit-time exposure/validation completes
+
+	// m caches the static instruction's precomputed metadata (op class,
+	// operand presence, fetch behaviour); set by the core at fetch. gen is
+	// the recycle generation: bumped each time the object returns to the
+	// core's free pool, so completion-wheel entries referencing a squashed
+	// instruction can be detected as stale. Both survive the reset-on-reuse
+	// (gen explicitly, m by reassignment).
+	m   *instMeta
+	gen uint32
 }
 
 // Checkpoint captures rename and predictor state at a control instruction,

@@ -1,0 +1,147 @@
+package cpu
+
+import "levioso/internal/isa"
+
+// The decoded-instruction metadata cache. The model fetches the same static
+// instructions millions of times; re-deriving operand presence, op class,
+// branch targets and fetch-time behaviour from the Inst encoding on every
+// dynamic instance is pure overhead. New precomputes everything the pipeline
+// stages ask per static instruction into a flat array indexed by text
+// position, so the hot loop's "decode" is one bounds check and an array
+// index. The cache is immutable after construction and derived entirely from
+// the program text, so it cannot change model behaviour — only how fast the
+// model evaluates it.
+
+// fetchKind dispatches the fetch stage's control-flow handling.
+type fetchKind uint8
+
+const (
+	fkPlain  fetchKind = iota // fetch continues sequentially
+	fkBranch                  // conditional branch: predict direction
+	fkJAL                     // direct jump: known target
+	fkJALR                    // indirect jump: RAS or BTB
+	fkHALT                    // stop fetching
+)
+
+// metaFlag packs the per-op predicates the rename/issue/execute/commit
+// stages test per dynamic instruction.
+type metaFlag uint16
+
+const (
+	mLoad        metaFlag = 1 << iota // reads data memory
+	mStore                            // writes data memory
+	mCondBranch                       // conditional branch
+	mControl                          // can redirect fetch
+	mTransmitter                      // transmitter op (load, div, cflush)
+	mNeedsSlot                        // allocates a Branch Dependency Table slot
+	mHasDst                           // writes an architectural register (not x0)
+	mSrc1                             // reads Rs1 (not x0)
+	mSrc2                             // reads Rs2 (not x0)
+	mImmV2                            // execute uses the immediate as operand 2
+	mFenceHalt                        // FENCE/HALT serialization semantics
+	mPushRAS                          // JAL/JALR with rd == ra: push return address
+	mRet                              // JALR x0, ra: predict via the RAS
+	mMemPort                          // needs a memory port at issue (load/store/cflush)
+)
+
+// instMeta is the per-static-instruction cache entry.
+type instMeta struct {
+	inst     isa.Inst
+	class    isa.Class
+	kind     fetchKind
+	flags    metaFlag
+	memBytes uint8
+	target   uint64 // branch/JAL: taken-path target
+	seqNext  uint64 // pc + InstBytes
+}
+
+// buildMeta precomputes the metadata table for prog's text segment.
+func buildMeta(prog *isa.Program) []instMeta {
+	meta := make([]instMeta, len(prog.Text))
+	for i, in := range prog.Text {
+		pc := prog.PCOf(i)
+		op := in.Op
+		m := &meta[i]
+		m.inst = in
+		m.class = op.Class()
+		m.memBytes = uint8(op.MemBytes())
+		m.seqNext = pc + isa.InstBytes
+
+		switch {
+		case op.IsBranch():
+			m.kind = fkBranch
+			m.target = in.BranchTarget(pc)
+		case op == isa.JAL:
+			m.kind = fkJAL
+			m.target = in.BranchTarget(pc)
+		case op == isa.JALR:
+			m.kind = fkJALR
+		case op == isa.HALT:
+			m.kind = fkHALT
+		}
+
+		if op.IsLoad() {
+			m.flags |= mLoad
+		}
+		if op.IsStore() {
+			m.flags |= mStore
+		}
+		if op.IsBranch() {
+			m.flags |= mCondBranch
+		}
+		if op.IsControl() {
+			m.flags |= mControl
+		}
+		if op.IsTransmitter() {
+			m.flags |= mTransmitter
+		}
+		if op.IsBranch() || op == isa.JALR {
+			m.flags |= mNeedsSlot
+		}
+		if op.HasRd() && in.Rd != isa.RegZero {
+			m.flags |= mHasDst
+		}
+		if op.HasRs1() && in.Rs1 != isa.RegZero {
+			m.flags |= mSrc1
+		}
+		if op.HasRs2() && in.Rs2 != isa.RegZero {
+			m.flags |= mSrc2
+		}
+		if op.HasImm() && m.class != isa.ClassLoad && m.class != isa.ClassStore &&
+			op != isa.JALR && op != isa.CFLUSH && !op.IsBranch() && op != isa.JAL {
+			m.flags |= mImmV2
+		}
+		if op == isa.FENCE || op == isa.HALT {
+			m.flags |= mFenceHalt
+		}
+		if op.IsLoad() || op.IsStore() || op == isa.CFLUSH {
+			m.flags |= mMemPort
+		}
+		if op == isa.JAL && in.Rd == isa.RegRA {
+			m.flags |= mPushRAS
+		}
+		if op == isa.JALR {
+			if in.Rd == isa.RegZero && in.Rs1 == isa.RegRA {
+				m.flags |= mRet
+			} else if in.Rd == isa.RegRA {
+				m.flags |= mPushRAS
+			}
+		}
+	}
+	return meta
+}
+
+// metaAt resolves pc to its cache entry; nil if pc is outside the text
+// segment or misaligned (same contract as Program.InstAt — a wrong-path
+// fetch that runs off the program).
+func (c *Core) metaAt(pc uint64) *instMeta {
+	off := pc - isa.TextBase // wraps below TextBase; caught by the len check
+	if off%isa.InstBytes != 0 {
+		return nil
+	}
+	i := off / isa.InstBytes
+	if i >= uint64(len(c.meta)) {
+		return nil
+	}
+	return &c.meta[i]
+}

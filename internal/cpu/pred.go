@@ -154,11 +154,19 @@ func (p *Predictor) PopRAS() uint64 {
 
 // Checkpoint captures speculative state for a control instruction.
 func (p *Predictor) Checkpoint() PredCheckpoint {
-	return PredCheckpoint{
-		History: p.history,
-		RAS:     append([]uint64(nil), p.ras...),
-		RASTop:  p.rasTop,
-	}
+	var cp PredCheckpoint
+	p.CheckpointInto(&cp)
+	return cp
+}
+
+// CheckpointInto captures speculative state into cp, reusing cp's RAS buffer
+// when it has capacity. This is the allocation-free form the core's hot loop
+// uses: checkpoints live in a core-owned pool and their RAS snapshot buffers
+// are recycled with them.
+func (p *Predictor) CheckpointInto(cp *PredCheckpoint) {
+	cp.History = p.history
+	cp.RAS = append(cp.RAS[:0], p.ras...)
+	cp.RASTop = p.rasTop
 }
 
 // Recover restores speculative state from a checkpoint taken at a

@@ -1,0 +1,107 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"levioso/internal/asm"
+	"levioso/internal/core"
+	"levioso/internal/simerr"
+)
+
+// TestSquashedDivReleasesDivider is the regression test for the recovery bug
+// where recoverFrom never reset divBusyUntil: a wrong-path DIV that had
+// grabbed the unpipelined divider kept it busy for its full operand-dependent
+// latency, stalling correct-path divides after the squash.
+//
+// The program takes a branch that gshare (cold PHT) predicts not-taken, so
+// the fall-through DIV issues on the wrong path and occupies the divider for
+// DivLatencyBase cycles before the branch resolves. With the fix, recovery
+// releases the divider and the correct-path DIV runs immediately; without it
+// the run takes > DivLatencyBase cycles.
+func TestSquashedDivReleasesDivider(t *testing.T) {
+	prog := asm.MustAssemble("divsquash.s", `
+main:
+	li t0, 1
+	li t1, 100
+	li t2, 7
+	bne t0, zero, good   # taken; cold gshare predicts not-taken
+	div t3, t1, t2       # wrong path: grabs the divider
+	halt zero
+good:
+	div a0, t1, t2       # correct path: needs the divider
+	halt a0              # 100/7 = 14
+`)
+	if _, err := core.Annotate(prog); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DivLatencyBase = 5000
+	cfg.DivLatencyRange = 0
+	cfg.MaxCycles = 100_000
+	c, err := New(prog, cfg, NopPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.ExitCode != 14 {
+		t.Errorf("exit = %d, want 14", res.ExitCode)
+	}
+	// The correct-path divide itself costs DivLatencyBase cycles; the bug
+	// doubles that by making it first wait out the squashed divide's latency.
+	if res.Stats.Cycles >= uint64(3*cfg.DivLatencyBase/2) {
+		t.Errorf("run took %d cycles; squashed divide is still blocking the divider (fixed cost ~%d, buggy ~%d)",
+			res.Stats.Cycles, cfg.DivLatencyBase, 2*cfg.DivLatencyBase)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Errorf("post-run invariants: %v", err)
+	}
+}
+
+// TestWatchdogDisableSentinel checks the -1 sentinel: a run whose commit
+// legitimately stalls longer than the default watchdog threshold completes
+// with WatchdogCycles = -1, trips the watchdog with the default, and Validate
+// rejects other negative values.
+func TestWatchdogDisableSentinel(t *testing.T) {
+	bad := DefaultConfig()
+	bad.WatchdogCycles = -2
+	if err := bad.Validate(); err == nil {
+		t.Error("WatchdogCycles = -2 passed Validate")
+	}
+
+	prog := asm.MustAssemble("slowdiv.s", `
+main:
+	li t1, 100
+	li t2, 7
+	div a0, t1, t2
+	halt a0
+`)
+	if _, err := core.Annotate(prog); err != nil {
+		t.Fatal(err)
+	}
+	run := func(watchdog int64) (Result, error) {
+		cfg := DefaultConfig()
+		cfg.DivLatencyBase = 150_000 // longer than the 100k default threshold
+		cfg.DivLatencyRange = 0
+		cfg.MaxCycles = 1_000_000
+		cfg.WatchdogCycles = watchdog
+		c, err := New(prog, cfg, NopPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Run()
+	}
+	if _, err := run(0); !errors.Is(err, simerr.ErrWatchdog) {
+		t.Errorf("default watchdog: want ErrWatchdog during the long divide, got %v", err)
+	}
+	res, err := run(-1)
+	if err != nil {
+		t.Fatalf("disabled watchdog: %v", err)
+	}
+	if res.ExitCode != 14 {
+		t.Errorf("exit = %d, want 14", res.ExitCode)
+	}
+}

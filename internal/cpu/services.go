@@ -45,6 +45,10 @@ type BranchPredictor interface {
 	PopRAS() uint64
 	// Checkpoint captures speculative state at a control instruction.
 	Checkpoint() PredCheckpoint
+	// CheckpointInto captures the same state into an existing checkpoint,
+	// reusing its buffers — the allocation-free form the core's fetch stage
+	// calls. Wrappers that embed a BranchPredictor inherit it.
+	CheckpointInto(cp *PredCheckpoint)
 	// Recover restores a checkpoint and re-applies the actual outcome.
 	Recover(cp PredCheckpoint, isCond, actualTaken bool)
 }

@@ -8,6 +8,7 @@ import (
 	"levioso/internal/asm"
 	"levioso/internal/cpu"
 	"levioso/internal/faultinject"
+	"levioso/internal/isa"
 	"levioso/internal/simerr"
 )
 
@@ -186,4 +187,99 @@ func TestPlannedPanic(t *testing.T) {
 	_, _ = run(t, &faultinject.Plan{
 		Faults: []faultinject.Fault{{Kind: faultinject.Panic, Start: 500}},
 	}, nil)
+}
+
+// stormSrc mixes the recovery-sensitive resources — the unpipelined divider,
+// FENCE serialization, calls through the RAS, and store/load traffic — so a
+// mispredict storm exercises every piece of state recoverFrom must restore.
+const stormSrc = `
+main:
+	li s0, 400        # iterations
+	li s1, 0          # accumulator
+	li s2, 7
+loop:
+	andi t0, s0, 3
+	beqz t0, dofence
+	div t1, s0, s2    # operand-dependent divider occupancy
+	add s1, s1, t1
+	j next
+dofence:
+	fence
+	ld t2, 0(gp)
+	add s1, s1, t2
+next:
+	call twist
+	addi s0, s0, -1
+	bnez s0, loop
+	halt s1
+twist:
+	sd s1, 8(gp)
+	ld t3, 8(gp)
+	beq t3, s1, tret
+	addi s1, s1, 1
+tret:
+	ret
+	.data
+val:	.space 16
+`
+
+// TestStormRecoveryStateMatchesClean drives the core under a heavy forced
+// mispredict storm, audits the recovery-sensitive internal state (divider
+// ownership, fence queue, free lists, rename maps, object pools) every few
+// cycles via CheckInvariants, and requires the architected results to match a
+// never-mispredicted reference run: misprediction recovery must be invisible
+// to architecture no matter how often it fires.
+func TestStormRecoveryStateMatchesClean(t *testing.T) {
+	prog := asm.MustAssemble("storm.s", stormSrc)
+	build := func(plan *faultinject.Plan) *cpu.Core {
+		cfg := cpu.DefaultConfig()
+		cfg.MaxCycles = 10_000_000
+		if plan != nil {
+			faultinject.New(*plan, 1).Attach(&cfg)
+		}
+		c, err := cpu.New(prog, cfg, cpu.NopPolicy{})
+		if err != nil {
+			t.Fatalf("new core: %v", err)
+		}
+		return c
+	}
+
+	clean := build(nil)
+	cleanRes, err := clean.Run()
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	storm := build(&faultinject.Plan{
+		Seed:   99,
+		Faults: []faultinject.Fault{{Kind: faultinject.MispredictStorm, Prob: 0.7}},
+	})
+	for !storm.Halted() {
+		if err := storm.Step(); err != nil {
+			t.Fatalf("storm step: %v", err)
+		}
+		if storm.CycleCount()%64 == 0 {
+			if err := storm.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", storm.CycleCount(), err)
+			}
+		}
+	}
+	if err := storm.CheckInvariants(); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+
+	stormStats := storm.Stats()
+	if stormStats.CondMispredicts <= cleanRes.Stats.CondMispredicts {
+		t.Fatalf("storm did not raise mispredicts: %d vs %d",
+			stormStats.CondMispredicts, cleanRes.Stats.CondMispredicts)
+	}
+	if got, want := storm.Output(), cleanRes.Output; got != want {
+		t.Errorf("output diverged under storm: %q != %q", got, want)
+	}
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if storm.ArchReg(r) != clean.ArchReg(r) {
+			t.Errorf("reg %s diverged under storm: %#x != %#x",
+				r, storm.ArchReg(r), clean.ArchReg(r))
+		}
+	}
 }

@@ -1,0 +1,70 @@
+// Package prof wires the standard runtime profiles into the command-line
+// tools. Both levsim and levbench register -cpuprofile/-memprofile through
+// it, so hot-loop work on the simulator can be measured on exactly the
+// workload that motivated it instead of a synthetic benchmark.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered on a flag set.
+type Flags struct {
+	cpuPath *string
+	memPath *string
+	cpuFile *os.File
+}
+
+// Register adds -cpuprofile and -memprofile to fs. Call Start after the flag
+// set is parsed and Stop before the process exits (the tools funnel their
+// exits through one point so the profiles are flushed even on failure).
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		cpuPath: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		memPath: fs.String("memprofile", "", "write an allocation profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling if requested.
+func (p *Flags) Start() error {
+	if *p.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop flushes the CPU profile and writes the allocation profile. Safe to
+// call when no profile was requested, and idempotent.
+func (p *Flags) Stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+	if *p.memPath != "" {
+		f, err := os.Create(*p.memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // settle live-heap numbers before the snapshot
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		f.Close()
+		*p.memPath = "" // idempotence
+	}
+}
