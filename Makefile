@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench golden ci clean
+.PHONY: all build vet test race bench golden gate smoke ci clean
 
 all: build
 
@@ -38,14 +38,32 @@ golden:
 	rm -f .golden_charact.out
 	@echo "golden charact sweep: byte-identical"
 
+# gate enforces the engine layering: every cmd/ main is a thin adapter over
+# internal/engine, so none may wire internal/cpu or internal/secure directly.
+gate:
+	@if grep -rnE '"levioso/internal/(cpu|secure)"' cmd/; then \
+		echo "FAIL: cmd/ must not import internal/cpu or internal/secure (build on internal/engine)"; \
+		exit 1; \
+	fi
+	@echo "import gate: cmd/ builds exclusively on internal/engine"
+
+# smoke drives the levserve daemon end to end under -race: start, POST a
+# simulate request, assert the identical second request is a cache hit, prove
+# a client disconnect cancels an in-flight run without wedging the worker
+# pool, and shut down cleanly.
+smoke:
+	$(GO) test -race -run 'TestServeSmoke|TestServeClientCancel' ./internal/serve
+
 # ci is the gate: vet, build, the full suite under -race, a short benchmark
-# pass (catches bench-only compile/regression breakage), and the golden
-# timing-model diff.
+# pass (catches bench-only compile/regression breakage), the cmd/ import
+# gate, the levserve smoke test, and the golden timing-model diff.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -bench=BenchmarkHotLoop -benchtime=1x -run=^$$ .
+	$(MAKE) gate
+	$(MAKE) smoke
 	$(MAKE) golden
 
 clean:

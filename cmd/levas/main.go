@@ -1,6 +1,7 @@
 // levas assembles LEV64 assembly into a binary image, optionally running the
 // Levioso annotation pass (on by default: hand-written assembly benefits from
-// the same reconvergence analysis as compiled code).
+// the same reconvergence analysis as compiled code). The main is a thin
+// adapter over the engine's Assemble step.
 //
 // Usage:
 //
@@ -11,56 +12,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"levioso/internal/asm"
-	"levioso/internal/core"
+	"levioso/internal/cli"
+	"levioso/internal/engine"
 )
 
 func main() {
-	out := flag.String("o", "", "output path (default: input with .bin suffix)")
-	noAnnotate := flag.Bool("no-annotate", false, "skip the Levioso annotation pass")
-	listing := flag.Bool("l", false, "print a disassembly listing to stdout")
+	os.Exit(run())
+}
+
+func run() int {
+	bf := cli.RegisterBuild(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: levas [-o out.bin] [-no-annotate] [-l] file.s")
-		os.Exit(2)
+		return cli.Usage("levas [-o out.bin] [-no-annotate] [-l] file.s")
 	}
 	in := flag.Arg(0)
 	src, err := os.ReadFile(in)
 	if err != nil {
-		fatal(err)
+		return cli.Fail("levas", err)
 	}
-	prog, err := asm.Assemble(in, string(src))
+	prog, st, err := engine.Assemble(in, string(src), !*bf.NoAnnotate)
 	if err != nil {
-		fatal(err)
+		return cli.Fail("levas", err)
 	}
-	if !*noAnnotate {
-		st, err := core.Annotate(prog)
-		if err != nil {
-			fatal(err)
-		}
+	if st != nil {
 		fmt.Fprintf(os.Stderr, "levas: %d branches, %d annotated, %d conservative\n",
 			st.Branches, st.Annotated, st.Conservative)
 	}
-	if *listing {
-		fmt.Print(asm.Listing(prog))
+	if *bf.Listing {
+		fmt.Print(engine.Listing(prog))
 	}
 	img, err := prog.MarshalBinary()
 	if err != nil {
-		fatal(err)
+		return cli.Fail("levas", err)
 	}
-	dst := *out
-	if dst == "" {
-		dst = strings.TrimSuffix(in, ".s") + ".bin"
+	if err := cli.WriteOut("levas", *bf.Out, cli.DefaultOut(in, ".s", ".bin"), img); err != nil {
+		return cli.Fail("levas", err)
 	}
-	if err := os.WriteFile(dst, img, 0o644); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "levas: wrote %s (%d bytes)\n", dst, len(img))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "levas:", err)
-	os.Exit(1)
+	return 0
 }

@@ -9,7 +9,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,7 +16,8 @@ import (
 	"strings"
 
 	"levioso/internal/attack"
-	"levioso/internal/secure"
+	"levioso/internal/cli"
+	"levioso/internal/engine"
 	"levioso/internal/simerr"
 )
 
@@ -38,25 +38,20 @@ func runMatrix(policies []string) (outs []attack.Outcome, err error) {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	policy := flag.String("policy", "", "run a single policy (default: all)")
 	flag.Parse()
 
-	policies := append(append([]string{}, secure.EvalNames()...), "taint")
+	policies := append(append([]string{}, engine.EvalPolicies()...), "taint")
 	if *policy != "" {
 		policies = strings.Split(*policy, ",")
 	}
 	outcomes, err := runMatrix(policies)
 	if err != nil {
-		var re *simerr.RunError
-		if errors.As(err, &re) {
-			fmt.Fprintf(os.Stderr, "levattack: attack run failed: kind=%s transient=%v\n",
-				re.Kind, re.Transient())
-			if re.Stack != "" {
-				fmt.Fprintln(os.Stderr, re.Stack)
-			}
-		}
-		fmt.Fprintln(os.Stderr, "levattack:", err)
-		os.Exit(1)
+		return cli.Fail("levattack", err)
 	}
 	fmt.Printf("%-12s %-22s %-26s %s\n", "policy", "spectre-v1 (sandbox)", "spectre-ct (non-spec)", "verdict")
 	leaked := false
@@ -79,6 +74,7 @@ func main() {
 			verdict)
 	}
 	if leaked {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

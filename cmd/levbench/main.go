@@ -5,6 +5,7 @@
 //
 //	levbench                      # run everything at reference scale
 //	levbench -exp overhead        # one experiment (T1/F1/... by id)
+//	levbench -exp rob,bdt         # a comma-separated subset, in order
 //	levbench -size test           # faster, smaller inputs
 //	levbench -list                # list experiment ids
 //	levbench -journal runs.jsonl  # record completed cells; re-run resumes
@@ -22,10 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"levioso/internal/cli"
 	"levioso/internal/harness"
 	"levioso/internal/prof"
-	"levioso/internal/workloads"
 )
 
 func main() {
@@ -35,7 +37,7 @@ func main() {
 // run is the real main; funneling every exit through its return value lets
 // the deferred profile flush (-cpuprofile/-memprofile) always happen.
 func run() int {
-	exp := flag.String("exp", "", "experiment id (default: all)")
+	exp := flag.String("exp", "", "experiment id, or a comma-separated list (default: all)")
 	sizeName := flag.String("size", "ref", "workload scale: test or ref")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	journalPath := flag.String("journal", "", "JSON-lines run journal for checkpoint/resume")
@@ -50,18 +52,19 @@ func run() int {
 		}
 		return 0
 	}
+	ids, unknown := parseExpList(*exp)
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "levbench: unknown experiment(s) %s (have %s)\n",
+			strings.Join(unknown, ", "), strings.Join(harness.ExperimentIDs(), ", "))
+		return 2
+	}
 	if err := profiles.Start(); err != nil {
-		return fail(err)
+		return cli.Fail("levbench", err)
 	}
 	defer profiles.Stop()
-	var size workloads.Size
-	switch *sizeName {
-	case "test":
-		size = workloads.SizeTest
-	case "ref":
-		size = workloads.SizeRef
-	default:
-		fmt.Fprintf(os.Stderr, "levbench: unknown size %q (test|ref)\n", *sizeName)
+	size, err := cli.ParseSize(*sizeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "levbench: %v\n", err)
 		return 2
 	}
 	opt := harness.NewRunOpts(size)
@@ -70,7 +73,7 @@ func run() int {
 	if *journalPath != "" {
 		j, err := harness.OpenJournal(*journalPath)
 		if err != nil {
-			return fail(err)
+			return cli.Fail("levbench", err)
 		}
 		defer j.Close()
 		if n := j.Len(); n > 0 {
@@ -80,16 +83,21 @@ func run() int {
 		opt.Journal = j
 	}
 
-	if *exp == "" {
+	if len(ids) == 0 {
 		if err := harness.RunAll(os.Stdout, opt); err != nil {
-			return fail(err)
+			return cli.Fail("levbench", err)
 		}
 	} else {
-		out, err := harness.RunExperiment(*exp, opt)
-		if err != nil {
-			return fail(err)
+		for _, id := range ids {
+			if len(ids) > 1 {
+				fmt.Printf("==> experiment %s\n", id)
+			}
+			out, err := harness.RunExperiment(id, opt)
+			if err != nil {
+				return cli.Fail("levbench", err)
+			}
+			fmt.Println(out)
 		}
-		fmt.Println(out)
 	}
 	if fs := opt.Failures(); len(fs) > 0 {
 		fmt.Fprintf(os.Stderr, "levbench: %d cell(s) failed; report is degraded (n/a entries)\n", len(fs))
@@ -99,7 +107,23 @@ func run() int {
 	return 0
 }
 
-func fail(err error) int {
-	fmt.Fprintln(os.Stderr, "levbench:", err)
-	return 1
+// parseExpList splits a comma-separated experiment list and validates every
+// id, so a typo in any position is reported together with the rest instead
+// of failing on the first after experiments already ran.
+func parseExpList(arg string) (ids, unknown []string) {
+	known := make(map[string]bool)
+	for _, id := range harness.ExperimentIDs() {
+		known[id] = true
+	}
+	for _, id := range strings.Split(arg, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		ids = append(ids, id)
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	return ids, unknown
 }

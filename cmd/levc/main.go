@@ -1,5 +1,6 @@
 // levc compiles LevC source to a LEV64 binary image (or assembly listing),
-// running the Levioso annotation pass.
+// running the Levioso annotation pass. The main is a thin adapter over the
+// engine's Compile step.
 //
 // Usage:
 //
@@ -12,78 +13,54 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"levioso/internal/asm"
-	"levioso/internal/core"
-	"levioso/internal/lang"
+	"levioso/internal/cli"
+	"levioso/internal/engine"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	emitAsm := flag.Bool("S", false, "emit assembly instead of a binary image")
-	out := flag.String("o", "", "output path (default: input with .bin/.s suffix)")
-	noAnnotate := flag.Bool("no-annotate", false, "skip the Levioso annotation pass")
-	listing := flag.Bool("l", false, "print a disassembly listing to stdout")
+	bf := cli.RegisterBuild(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: levc [-S] [-o out] [-no-annotate] [-l] file.lc")
-		os.Exit(2)
+		return cli.Usage("levc [-S] [-o out] [-no-annotate] [-l] file.lc")
 	}
 	in := flag.Arg(0)
 	src, err := os.ReadFile(in)
 	if err != nil {
-		fatal(err)
+		return cli.Fail("levc", err)
 	}
 	if *emitAsm {
-		text, err := lang.CompileToAsm(in, string(src))
+		text, err := engine.EmitAsm(in, string(src))
 		if err != nil {
-			fatal(err)
+			return cli.Fail("levc", err)
 		}
-		writeOut(*out, defaultName(in, ".s"), []byte(text))
-		return
-	}
-	text, err := lang.CompileToAsm(in, string(src))
-	if err != nil {
-		fatal(err)
-	}
-	prog, err := asm.Assemble(in, text)
-	if err != nil {
-		fatal(fmt.Errorf("internal: generated assembly rejected: %w", err))
-	}
-	if !*noAnnotate {
-		st, err := core.Annotate(prog)
-		if err != nil {
-			fatal(err)
+		if err := cli.WriteOut("levc", *bf.Out, cli.DefaultOut(in, ".lc", ".s"), []byte(text)); err != nil {
+			return cli.Fail("levc", err)
 		}
+		return 0
+	}
+	prog, st, err := engine.Compile(in, string(src), !*bf.NoAnnotate)
+	if err != nil {
+		return cli.Fail("levc", err)
+	}
+	if st != nil {
 		fmt.Fprintf(os.Stderr, "levc: %d branches, %d annotated, %d conservative, table %d bytes\n",
 			st.Branches, st.Annotated, st.Conservative, st.TableBytes)
 	}
-	if *listing {
-		fmt.Print(asm.Listing(prog))
+	if *bf.Listing {
+		fmt.Print(engine.Listing(prog))
 	}
 	img, err := prog.MarshalBinary()
 	if err != nil {
-		fatal(err)
+		return cli.Fail("levc", err)
 	}
-	writeOut(*out, defaultName(in, ".bin"), img)
-}
-
-func defaultName(in, suffix string) string {
-	base := strings.TrimSuffix(in, ".lc")
-	return base + suffix
-}
-
-func writeOut(out, def string, data []byte) {
-	if out == "" {
-		out = def
+	if err := cli.WriteOut("levc", *bf.Out, cli.DefaultOut(in, ".lc", ".bin"), img); err != nil {
+		return cli.Fail("levc", err)
 	}
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "levc: wrote %s (%d bytes)\n", out, len(data))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "levc:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,5 +1,6 @@
 // levdump inspects a LEV64 binary image: header, symbols, the Levioso
-// annotation table, and a disassembly listing.
+// annotation table, and a disassembly listing. The main is a thin adapter
+// over the engine's Load step.
 //
 // Usage:
 //
@@ -12,26 +13,30 @@ import (
 	"os"
 	"sort"
 
-	"levioso/internal/asm"
+	"levioso/internal/cli"
+	"levioso/internal/engine"
 	"levioso/internal/isa"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	syms := flag.Bool("syms", false, "print the symbol table only")
 	hints := flag.Bool("hints", false, "print the annotation table only")
 	dis := flag.Bool("d", false, "print the disassembly only")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: levdump [-syms|-hints|-d] prog.bin")
-		os.Exit(2)
+		return cli.Usage("levdump [-syms|-hints|-d] prog.bin")
 	}
 	img, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return cli.Fail("levdump", err)
 	}
-	prog := new(isa.Program)
-	if err := prog.UnmarshalBinary(img); err != nil {
-		fatal(err)
+	prog, err := engine.Load(flag.Arg(0), img)
+	if err != nil {
+		return cli.Fail("levdump", err)
 	}
 	all := !*syms && !*hints && !*dis
 	if all {
@@ -71,11 +76,7 @@ func main() {
 		fmt.Println()
 	}
 	if all || *dis {
-		fmt.Print(asm.Listing(prog))
+		fmt.Print(engine.Listing(prog))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "levdump:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,78 @@
+// levserve is the simulation daemon: an HTTP/JSON service over the shared
+// run pipeline (internal/engine) with a bounded worker pool, per-request
+// deadlines, and an LRU result cache keyed by (program hash, policy, config
+// digest) — repeated sweep cells are served without re-simulating.
+//
+// Usage:
+//
+//	levserve [-addr :8347] [-workers N] [-cache 256] [-deadline 60s]
+//
+// Endpoints (see internal/serve):
+//
+//	POST /v1/simulate   {"source"|"asm"|"binary"|"workload", "policy", ...}
+//	GET  /v1/policies   GET /v1/workloads   GET /v1/stats   GET /healthz
+//
+// SIGINT/SIGTERM drain in-flight requests and shut down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"levioso/internal/cli"
+	"levioso/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run is the real main; funneling every exit through its return value keeps
+// shutdown and error paths uniform across the tools.
+func run() int {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	cacheN := flag.Int("cache", 256, "result-cache entries (negative disables)")
+	deadline := flag.Duration("deadline", time.Minute, "default per-request deadline")
+	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return cli.Usage("levserve [-addr :8347] [-workers N] [-cache 256] [-deadline 60s]")
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		CacheEntries:    *cacheN,
+		DefaultDeadline: *deadline,
+		MaxBody:         *maxBody,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "levserve: shutdown:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "levserve: listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return cli.Fail("levserve", err)
+	}
+	<-shutdownDone
+	fmt.Fprintln(os.Stderr, "levserve: shut down cleanly")
+	return 0
+}

@@ -12,23 +12,21 @@
 // instead of spinning forever); -journal records the completed run in a
 // JSON-lines journal and skips the simulation entirely if the same
 // (program, policy) pair is already recorded there.
+//
+// The main is a thin flag-to-Request adapter over internal/engine; all
+// pipeline logic lives there.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
-	"levioso/internal/cpu"
+	"levioso/internal/cli"
+	"levioso/internal/engine"
 	"levioso/internal/harness"
-	"levioso/internal/isa"
-	"levioso/internal/prof"
-	"levioso/internal/ref"
-	"levioso/internal/secure"
-	"levioso/internal/simerr"
 )
 
 func main() {
@@ -38,101 +36,55 @@ func main() {
 // run is the real main; funneling every exit through its return value lets
 // the deferred profile flush (-cpuprofile/-memprofile) always happen.
 func run() int {
-	policy := flag.String("policy", "unsafe", fmt.Sprintf("secure-speculation policy %v", secure.Names()))
-	rob := flag.Int("rob", 0, "override ROB size")
-	maxCycles := flag.Uint64("max-cycles", 1_000_000_000, "cycle limit")
-	showStats := flag.Bool("stats", false, "print detailed statistics")
-	useRef := flag.Bool("ref", false, "run on the functional reference model instead")
-	trace := flag.Bool("trace", false, "write a per-commit pipeline trace to stderr (slow)")
-	deadline := flag.Duration("deadline", 0, "wall-clock bound on the simulation (0 = none)")
+	sf := cli.RegisterSim(flag.CommandLine)
 	journalPath := flag.String("journal", "", "record the run in this JSON-lines journal; skip if already recorded")
-	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: levsim [-policy P] [-rob N] [-stats] [-ref] prog.bin")
-		return 2
+		return cli.Usage("levsim [-policy P] [-rob N] [-stats] [-ref] prog.bin")
 	}
-	if err := profiles.Start(); err != nil {
-		return fail(err)
+	if err := sf.Profiles.Start(); err != nil {
+		return cli.Fail("levsim", err)
 	}
-	defer profiles.Stop()
+	defer sf.Profiles.Stop()
 	img, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		return fail(err)
-	}
-	prog := new(isa.Program)
-	if err := prog.UnmarshalBinary(img); err != nil {
-		return fail(err)
-	}
-	if *useRef {
-		res, err := ref.Run(prog, ref.Limits{})
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Print(res.Output)
-		fmt.Fprintf(os.Stderr, "levsim(ref): exit=%d insts=%d\n", res.ExitCode, res.Insts)
-		return int(res.ExitCode) & 0x7f
-	}
-	cfg := cpu.DefaultConfig()
-	cfg.MaxCycles = *maxCycles
-	if *trace {
-		cfg.Trace = os.Stderr
-	}
-	if *rob > 0 {
-		cfg.ROBSize = *rob
-		if cfg.NumPhysRegs < 32+*rob {
-			cfg.NumPhysRegs = 32 + *rob + 64
-		}
+		return cli.Fail("levsim", err)
 	}
 	wname := filepath.Base(flag.Arg(0))
 	var journal *harness.Journal
 	if *journalPath != "" {
 		journal, err = harness.OpenJournal(*journalPath)
 		if err != nil {
-			return fail(err)
+			return cli.Fail("levsim", err)
 		}
 		defer journal.Close()
-		if rec, ok := journal.Lookup("levsim", wname, *policy); ok {
+		if rec, ok := journal.Lookup("levsim", wname, *sf.Policy); ok {
 			fmt.Fprintf(os.Stderr, "levsim: journal hit for (%s, %s): exit=%d cycles=%d (not re-run)\n",
-				wname, *policy, rec.ExitCode, rec.Stats.Cycles)
-			return int(rec.ExitCode) & 0x7f
+				wname, *sf.Policy, rec.ExitCode, rec.Stats.Cycles)
+			return cli.ExitStatus(rec.ExitCode)
 		}
 	}
-	c, err := cpu.New(prog, cfg, secure.MustNew(*policy))
+	req := sf.Request(wname)
+	req.Binary = img
+	res, err := engine.Run(context.Background(), req)
 	if err != nil {
-		return fail(err)
-	}
-	ctx := context.Background()
-	if *deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *deadline)
-		defer cancel()
-	}
-	res, err := c.RunContext(ctx)
-	if err != nil {
-		var re *simerr.RunError
-		if errors.As(err, &re) {
-			fmt.Fprintf(os.Stderr, "levsim: run failed: kind=%s transient=%v\n",
-				re.Kind, re.Transient())
-		}
-		return fail(err)
+		return cli.Fail("levsim", err)
 	}
 	fmt.Print(res.Output)
+	if res.Ref {
+		fmt.Fprintf(os.Stderr, "levsim(ref): exit=%d insts=%d\n", res.ExitCode, res.RefInsts)
+		return res.ExitStatus()
+	}
 	fmt.Fprintf(os.Stderr, "levsim: policy=%s exit=%d cycles=%d insts=%d ipc=%.3f\n",
-		*policy, res.ExitCode, res.Stats.Cycles, res.Stats.Committed, res.Stats.IPC())
-	if *showStats {
+		*sf.Policy, res.ExitCode, res.Stats.Cycles, res.Stats.Committed, res.Stats.IPC())
+	if *sf.Stats {
 		fmt.Fprintln(os.Stderr, res.Stats)
 	}
 	if journal != nil {
-		rec := harness.Run{Workload: wname, Policy: *policy, Stats: res.Stats, ExitCode: res.ExitCode}
+		rec := harness.Run{Workload: wname, Policy: *sf.Policy, Stats: res.Stats, ExitCode: res.ExitCode}
 		if err := journal.Record("levsim", rec); err != nil {
 			fmt.Fprintln(os.Stderr, "levsim: journal write failed:", err)
 		}
 	}
-	return int(res.ExitCode) & 0x7f
-}
-
-func fail(err error) int {
-	fmt.Fprintln(os.Stderr, "levsim:", err)
-	return 1
+	return res.ExitStatus()
 }

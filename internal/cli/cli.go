@@ -1,0 +1,139 @@
+// Package cli is the shared adapter layer between the cmd/ mains and the
+// engine: common flag groups (simulate options, build-tool options, profile
+// hooks), size/policy parsing, output writing, and exit-code funneling. Every
+// main is a thin flag-to-engine.Request translation over these helpers, so
+// usage conventions, error rendering and exit statuses stay identical across
+// the seven binaries instead of drifting per main.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"levioso/internal/engine"
+	"levioso/internal/prof"
+	"levioso/internal/simerr"
+	"levioso/internal/workloads"
+)
+
+// Fail reports err on stderr prefixed with the tool name and returns the
+// conventional failure status 1. Typed simulation failures additionally
+// report their classification (kind, transience) and any captured panic
+// stack, so every tool renders engine errors the same way.
+func Fail(tool string, err error) int {
+	var re *simerr.RunError
+	if errors.As(err, &re) {
+		fmt.Fprintf(os.Stderr, "%s: run failed: kind=%s transient=%v\n",
+			tool, re.Kind, re.Transient())
+		if re.Stack != "" {
+			fmt.Fprintln(os.Stderr, re.Stack)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	return 1
+}
+
+// Usage prints a usage line and returns the conventional usage status 2.
+func Usage(line string) int {
+	fmt.Fprintln(os.Stderr, "usage: "+line)
+	return 2
+}
+
+// ExitStatus funnels a simulated program's exit code into a shell exit
+// status (low seven bits, matching wait semantics).
+func ExitStatus(code uint64) int { return int(code) & 0x7f }
+
+// ParseSize maps a -size flag value onto a workload scale.
+func ParseSize(s string) (workloads.Size, error) {
+	switch s {
+	case "test":
+		return workloads.SizeTest, nil
+	case "ref":
+		return workloads.SizeRef, nil
+	default:
+		return 0, fmt.Errorf("unknown size %q (test|ref)", s)
+	}
+}
+
+// SimFlags is the common simulation flag group: policy, core overrides, run
+// mode, deadline and profile destinations. levsim registers it wholesale;
+// levserve accepts the same knobs per request over HTTP.
+type SimFlags struct {
+	Policy    *string
+	ROB       *int
+	MaxCycles *uint64
+	Stats     *bool
+	Ref       *bool
+	Trace     *bool
+	Deadline  *time.Duration
+	Profiles  *prof.Flags
+}
+
+// RegisterSim adds the simulation flag group to fs.
+func RegisterSim(fs *flag.FlagSet) *SimFlags {
+	return &SimFlags{
+		Policy:    fs.String("policy", "unsafe", fmt.Sprintf("secure-speculation policy %v", engine.Policies())),
+		ROB:       fs.Int("rob", 0, "override ROB size"),
+		MaxCycles: fs.Uint64("max-cycles", 1_000_000_000, "cycle limit"),
+		Stats:     fs.Bool("stats", false, "print detailed statistics"),
+		Ref:       fs.Bool("ref", false, "run on the functional reference model instead"),
+		Trace:     fs.Bool("trace", false, "write a per-commit pipeline trace to stderr (slow)"),
+		Deadline:  fs.Duration("deadline", 0, "wall-clock bound on the simulation (0 = none)"),
+		Profiles:  prof.Register(fs),
+	}
+}
+
+// Request translates the parsed flag group into an engine request (the
+// caller fills in the program input).
+func (f *SimFlags) Request(name string) engine.Request {
+	req := engine.Request{
+		Name:      name,
+		Policy:    *f.Policy,
+		ROBSize:   *f.ROB,
+		MaxCycles: *f.MaxCycles,
+		UseRef:    *f.Ref,
+		Deadline:  *f.Deadline,
+	}
+	if *f.Trace {
+		req.Trace = os.Stderr
+	}
+	return req
+}
+
+// BuildFlags is the common build-tool flag group shared by levc and levas.
+type BuildFlags struct {
+	Out        *string
+	NoAnnotate *bool
+	Listing    *bool
+}
+
+// RegisterBuild adds the build flag group to fs.
+func RegisterBuild(fs *flag.FlagSet) *BuildFlags {
+	return &BuildFlags{
+		Out:        fs.String("o", "", "output path (default: input with the matching suffix)"),
+		NoAnnotate: fs.Bool("no-annotate", false, "skip the Levioso annotation pass"),
+		Listing:    fs.Bool("l", false, "print a disassembly listing to stdout"),
+	}
+}
+
+// DefaultOut derives an output path from the input by swapping suffixes.
+func DefaultOut(in, oldSuffix, newSuffix string) string {
+	return strings.TrimSuffix(in, oldSuffix) + newSuffix
+}
+
+// WriteOut writes a build product to out (or def when out is empty) and
+// reports the destination the way the build tools always have.
+func WriteOut(tool, out, def string, data []byte) error {
+	if out == "" {
+		out = def
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: wrote %s (%d bytes)\n", tool, out, len(data))
+	return nil
+}

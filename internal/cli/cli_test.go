@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"testing"
+
+	"levioso/internal/simerr"
+	"levioso/internal/workloads"
+)
+
+func TestParseSize(t *testing.T) {
+	if s, err := ParseSize("test"); err != nil || s != workloads.SizeTest {
+		t.Fatalf("test: %v %v", s, err)
+	}
+	if s, err := ParseSize("ref"); err != nil || s != workloads.SizeRef {
+		t.Fatalf("ref: %v %v", s, err)
+	}
+	if _, err := ParseSize("huge"); err == nil {
+		t.Fatal("unknown size accepted")
+	}
+}
+
+func TestExitStatus(t *testing.T) {
+	if got := ExitStatus(0); got != 0 {
+		t.Fatalf("0 -> %d", got)
+	}
+	if got := ExitStatus(255); got != 127 {
+		t.Fatalf("255 -> %d, want low 7 bits", got)
+	}
+}
+
+func TestSimFlagsRequest(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	sf := RegisterSim(fs)
+	if err := fs.Parse([]string{"-policy", "levioso", "-rob", "96", "-deadline", "5s"}); err != nil {
+		t.Fatal(err)
+	}
+	req := sf.Request("x.bin")
+	if req.Policy != "levioso" || req.ROBSize != 96 || req.Deadline.Seconds() != 5 {
+		t.Fatalf("flag translation wrong: %+v", req)
+	}
+	cfg := req.BuildConfig()
+	if cfg.ROBSize != 96 {
+		t.Fatalf("ROB override lost: %+v", cfg)
+	}
+}
+
+func TestDefaultOut(t *testing.T) {
+	if got := DefaultOut("a/b.lc", ".lc", ".bin"); got != "a/b.bin" {
+		t.Fatal(got)
+	}
+}
+
+func TestFailClassifiesTypedErrors(t *testing.T) {
+	// Fail must not panic and must return 1 for both plain and typed errors.
+	if Fail("tool", errors.New("plain")) != 1 {
+		t.Fatal("plain error status")
+	}
+	if Fail("tool", &simerr.RunError{Kind: simerr.KindWatchdog}) != 1 {
+		t.Fatal("typed error status")
+	}
+}

@@ -1,0 +1,209 @@
+// Package engine owns the Levioso run pipeline as a typed API. Every entry
+// point in the repository — the command-line tools under cmd/, the experiment
+// harness (internal/harness), and the levserve daemon (internal/serve) — is a
+// thin adapter over the same four composable steps:
+//
+//	Load     — unmarshal a LEV64 binary image
+//	Compile  — LevC source (or assembly, via Assemble) → annotated program
+//	Simulate — run a program on the out-of-order core under a named policy
+//	Verify   — cross-check a run against the functional reference model
+//
+// Run composes the steps for the common case: a Request names exactly one
+// program input (pre-built Program, Binary image, LevC Source, or AsmText),
+// a policy, config overrides, and verify/trace/deadline options; the Result
+// carries the exit code, console output, statistics, and (when the input was
+// compiled) the annotation-pass statistics. Failures are typed
+// *simerr.RunError values, so supervisors and servers classify them without
+// string matching, and context cancellation is threaded end to end — through
+// the core's cooperative RunContext check and through the reference
+// interpreter's step loop alike.
+//
+// Keeping the pipeline behind one seam is what lets the sweep supervisor's
+// fault injection, journaling, and retries, and levserve's caching and
+// worker-pool bounding, apply uniformly to every entry point instead of
+// being re-implemented per main.
+package engine
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"levioso/internal/core"
+	"levioso/internal/cpu"
+	"levioso/internal/isa"
+	"levioso/internal/ref"
+	"levioso/internal/secure"
+	"levioso/internal/simerr"
+)
+
+// Request describes one pipeline invocation. Exactly one program input —
+// Program, Binary, Source, or AsmText — must be set.
+type Request struct {
+	// Name labels the program in diagnostics and cache keys (typically the
+	// input file or workload name). Defaults to "prog".
+	Name string
+
+	// Program is a pre-built program (the harness path: built once, shared
+	// by many concurrent runs; a built *isa.Program is immutable during
+	// simulation).
+	Program *isa.Program
+	// Binary is a LEV64 binary image to Load.
+	Binary []byte
+	// Source is LevC source to Compile.
+	Source string
+	// AsmText is LEV64 assembly to Assemble.
+	AsmText string
+
+	// NoAnnotate skips the Levioso annotation pass for Source/AsmText
+	// inputs (Binary and Program inputs carry whatever annotations they
+	// were built with).
+	NoAnnotate bool
+
+	// Policy is the secure-speculation policy name (see Policies).
+	// Empty means "unsafe".
+	Policy string
+
+	// Config, when non-nil, replaces the default core configuration.
+	// The overrides below apply on top of it either way.
+	Config *cpu.Config
+	// ROBSize, when positive, overrides the ROB size (the physical register
+	// file is widened to match if needed).
+	ROBSize int
+	// MaxCycles, when positive, overrides the cycle limit.
+	MaxCycles uint64
+	// Trace, when non-nil, receives the per-commit pipeline trace (slow).
+	Trace io.Writer
+
+	// UseRef runs the program on the functional reference model instead of
+	// the out-of-order core (no policy, no Stats).
+	UseRef bool
+	// Verify cross-checks the core run against the reference model and
+	// fails with simerr.KindDivergence on mismatch.
+	Verify bool
+	// Want, when non-nil and Verify is set, is the precomputed reference
+	// result to check against (the harness computes it once per workload
+	// and shares it across policy cells). Nil means Run computes it.
+	Want *ref.Result
+	// Deadline bounds the run's wall-clock time (0 = none). Expiry
+	// surfaces as simerr.ErrDeadline, classified transient.
+	Deadline time.Duration
+}
+
+// name returns the diagnostic label for the request.
+func (r *Request) name() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return "prog"
+}
+
+// BuildConfig resolves the request's effective core configuration: the
+// explicit Config (or the engine default) with the common overrides applied.
+func (r *Request) BuildConfig() cpu.Config {
+	cfg := cpu.DefaultConfig()
+	if r.Config != nil {
+		cfg = *r.Config
+	}
+	if r.MaxCycles > 0 {
+		cfg.MaxCycles = r.MaxCycles
+	}
+	if r.Trace != nil {
+		cfg.Trace = r.Trace
+	}
+	if r.ROBSize > 0 {
+		cfg.ROBSize = r.ROBSize
+		if cfg.NumPhysRegs < 32+r.ROBSize {
+			cfg.NumPhysRegs = 32 + r.ROBSize + 64
+		}
+	}
+	return cfg
+}
+
+// policy returns the request's effective policy name.
+func (r *Request) policy() string {
+	if r.Policy == "" {
+		return "unsafe"
+	}
+	return r.Policy
+}
+
+// Result summarizes a completed pipeline run.
+type Result struct {
+	ExitCode uint64
+	Output   string
+	// Stats is the core's run statistics (zero when Ref).
+	Stats cpu.Stats
+	// Ref marks a run executed on the functional reference model.
+	Ref bool
+	// RefInsts is the dynamic instruction count of a reference run.
+	RefInsts uint64
+	// Annotation carries the Levioso pass statistics when the request's
+	// input was compiled or assembled with annotation.
+	Annotation *core.AnnotateStats
+	// Cached marks a result served from a cache above the engine (levserve
+	// sets it; Run never does).
+	Cached bool
+}
+
+// ExitStatus funnels the program's exit code into a shell exit status.
+func (r *Result) ExitStatus() int { return int(r.ExitCode) & 0x7f }
+
+// Run executes the whole pipeline for one request: resolve the program input
+// (Load/Compile/Assemble), then either a reference run (UseRef) or a core
+// simulation under the named policy, then the optional reference
+// cross-check. All failures are typed *simerr.RunError values.
+func Run(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prog, annot, err := Resolve(&req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+		defer cancel()
+	}
+	if req.UseRef {
+		rres, err := Reference(ctx, prog, ref.Limits{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			ExitCode: rres.ExitCode, Output: rres.Output,
+			Ref: true, RefInsts: rres.Insts, Annotation: annot,
+		}, nil
+	}
+	res, err := Simulate(ctx, prog, req.BuildConfig(), req.policy())
+	if err != nil {
+		return nil, err
+	}
+	if req.Verify {
+		want := req.Want
+		if want == nil {
+			w, err := Reference(ctx, prog, ref.Limits{})
+			if err != nil {
+				return nil, &simerr.RunError{
+					Kind: simerr.KindBuild, Detail: "reference run failed", Err: err,
+				}
+			}
+			want = &w
+		}
+		if err := VerifyAgainst(res.ExitCode, res.Output, *want); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		ExitCode: res.ExitCode, Output: res.Output,
+		Stats: res.Stats, Annotation: annot,
+	}, nil
+}
+
+// Policies lists every secure-speculation policy name, baseline first.
+func Policies() []string { return secure.Names() }
+
+// EvalPolicies lists the policies in the headline evaluation, in
+// presentation order.
+func EvalPolicies() []string { return secure.EvalNames() }

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"levioso/internal/cpu"
+	"levioso/internal/isa"
+)
+
+// CacheKey derives a stable result-cache key for simulating prog under the
+// given policy and configuration: sha256 over (program image, policy name,
+// config digest, run-mode flags). The simulator is deterministic, so two
+// requests with equal keys produce identical results — this is what lets
+// levserve serve repeated sweep cells without re-simulating.
+//
+// The second return value reports cacheability. Requests whose configuration
+// carries behavioral hooks — a trace writer, fault-injection wrappers, a
+// commit-stall callback — are not cacheable: the hooks are opaque functions
+// whose effects cannot be keyed.
+func CacheKey(prog *isa.Program, policy string, cfg cpu.Config, useRef, verify bool) (string, bool) {
+	if cfg.Trace != nil || cfg.WrapMem != nil || cfg.WrapPred != nil || cfg.CommitStall != nil {
+		return "", false
+	}
+	img, err := prog.MarshalBinary()
+	if err != nil {
+		return "", false
+	}
+	h := sha256.New()
+	h.Write(img)
+	// Config is plain scalars once the hook fields are zeroed (they already
+	// are, checked above), so the fmt rendering is deterministic.
+	fmt.Fprintf(h, "|policy=%s|ref=%t|verify=%t|cfg=%+v", policy, useRef, verify, cfg)
+	return hex.EncodeToString(h.Sum(nil)), true
+}

@@ -11,8 +11,10 @@ import (
 	"levioso/internal/attack"
 	"levioso/internal/core"
 	"levioso/internal/cpu"
+	"levioso/internal/engine"
 	"levioso/internal/mem"
 	"levioso/internal/secure"
+	"levioso/internal/simerr"
 	"levioso/internal/stats"
 	"levioso/internal/workloads"
 )
@@ -40,6 +42,15 @@ func (o *RunOpts) Failures() []Failure {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return append([]Failure(nil), o.failures...)
+}
+
+// addFailure records one failed cell (experiments that fail outside a
+// supervised sweep — e.g. a build-only experiment — report through this, so
+// every experiment degrades the same way).
+func (o *RunOpts) addFailure(f Failure) {
+	o.mu.Lock()
+	o.failures = append(o.failures, f)
+	o.mu.Unlock()
 }
 
 // sweep supervises spec under the options, collects its failures, and
@@ -107,7 +118,7 @@ func RunExperiment(id string, opt *RunOpts) (string, error) {
 	case ExpBDTID:
 		return ExpBDTSweep(opt, []int{4, 8, 16, 32, 64})
 	case ExpCompilerID:
-		return ExpCompiler(opt.Size)
+		return ExpCompiler(opt)
 	default:
 		return "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
@@ -436,24 +447,34 @@ func ExpBDTSweep(opt *RunOpts, sizes []int) (string, error) {
 	return t.String(), nil
 }
 
-// ExpCompiler renders T3: per-workload Levioso compiler pass statistics.
-func ExpCompiler(size workloads.Size) (string, error) {
+// ExpCompiler renders T3: per-workload Levioso compiler pass statistics. It
+// takes *RunOpts like every other experiment, so it shares the scale knob
+// and the degrade-instead-of-abort failure plumbing: a workload whose build
+// or annotation fails renders as "n/a" and is collected on opt instead of
+// discarding the whole table.
+func ExpCompiler(opt *RunOpts) (string, error) {
 	t := stats.NewTable("T3: compiler annotation statistics",
 		"workload", "branches", "annotated", "conservative", "avg region (blocks)", "avg writeset", "table bytes")
 	for _, w := range workloads.All() {
-		prog, err := w.Build(size)
-		if err != nil {
-			return "", err
+		prog, err := w.Build(opt.Size)
+		if err == nil {
+			var st core.AnnotateStats
+			if st, err = engine.Annotate(prog); err == nil {
+				t.Add(w.Name, fmt.Sprint(st.Branches), fmt.Sprint(st.Annotated),
+					fmt.Sprint(st.Conservative),
+					fmt.Sprintf("%.1f", st.AvgRegionBlocks()),
+					fmt.Sprintf("%.1f", st.AvgWriteRegs()),
+					fmt.Sprint(st.TableBytes))
+				continue
+			}
 		}
-		st, err := core.Annotate(prog)
-		if err != nil {
-			return "", err
-		}
-		t.Add(w.Name, fmt.Sprint(st.Branches), fmt.Sprint(st.Annotated),
-			fmt.Sprint(st.Conservative),
-			fmt.Sprintf("%.1f", st.AvgRegionBlocks()),
-			fmt.Sprintf("%.1f", st.AvgWriteRegs()),
-			fmt.Sprint(st.TableBytes))
+		opt.addFailure(Failure{
+			Workload: w.Name, Policy: "-", Attempts: 1,
+			Err: simerr.WithRun(&simerr.RunError{
+				Kind: simerr.KindBuild, Detail: "compiler statistics failed", Err: err,
+			}, w.Name, "-", 1),
+		})
+		t.Add(w.Name, "n/a", "n/a", "n/a", "n/a", "n/a", "n/a")
 	}
 	return t.String(), nil
 }

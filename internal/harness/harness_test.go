@@ -44,7 +44,8 @@ func TestExpConfigRenders(t *testing.T) {
 }
 
 func TestExpCompilerRenders(t *testing.T) {
-	out, err := ExpCompiler(workloads.SizeTest)
+	opt := NewRunOpts(workloads.SizeTest)
+	out, err := ExpCompiler(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,6 +53,12 @@ func TestExpCompilerRenders(t *testing.T) {
 		if !strings.Contains(out, w) {
 			t.Errorf("compiler table missing %q", w)
 		}
+	}
+	if fs := opt.Failures(); len(fs) != 0 {
+		t.Errorf("clean suite reported failures: %v", fs)
+	}
+	if strings.Contains(out, "n/a") {
+		t.Errorf("clean suite rendered degraded rows:\n%s", out)
 	}
 }
 

@@ -7,11 +7,10 @@ import (
 	"sync"
 	"time"
 
-	"levioso/internal/cpu"
+	"levioso/internal/engine"
 	"levioso/internal/faultinject"
 	"levioso/internal/isa"
 	"levioso/internal/ref"
-	"levioso/internal/secure"
 	"levioso/internal/simerr"
 	"levioso/internal/stats"
 )
@@ -94,7 +93,7 @@ func Supervise(ctx context.Context, spec Spec) (*SweepResult, error) {
 		}
 		var want ref.Result
 		if spec.Verify {
-			want, err = ref.Run(prog, ref.Limits{})
+			want, err = engine.Reference(ctx, prog, ref.Limits{})
 			if err != nil {
 				failWorkload(cells[wi*np:wi*np+np], spec, w.Name, &simerr.RunError{
 					Kind: simerr.KindBuild, Detail: "reference run failed", Err: err,
@@ -196,11 +195,13 @@ func superviseCell(ctx context.Context, spec Spec, prog *isa.Program, want ref.R
 	return Run{}, attempt, lastErr
 }
 
-// runCell executes one attempt of one cell: build the core (with any
-// injected faults), run it under the per-run deadline, and cross-check the
-// reference result. Panics anywhere inside — the core, a policy, an
-// injected fault — are recovered into simerr.ErrPanic so one bad cell
-// cannot take down the whole sweep.
+// runCell executes one attempt of one cell through the shared pipeline: an
+// engine.Run over the pre-built program under the cell's policy, with any
+// injected faults attached to the configuration and the per-run deadline and
+// reference cross-check handled by the engine. The engine recovers panics
+// anywhere inside the simulation into simerr.ErrPanic; the extra recover
+// here also covers a panicking fault-plan callback, so one bad cell cannot
+// take down the whole sweep.
 func runCell(ctx context.Context, spec Spec, prog *isa.Program, want ref.Result, wname, pol string, attempt int) (run Run, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -217,26 +218,20 @@ func runCell(ctx context.Context, spec Spec, prog *isa.Program, want ref.Result,
 			faultinject.New(*plan, attempt).Attach(&cfg)
 		}
 	}
-	c, err := cpu.New(prog, cfg, secure.MustNew(pol))
-	if err != nil {
-		return Run{}, &simerr.RunError{Kind: simerr.KindBuild, Detail: "core construction failed", Err: err}
+	req := engine.Request{
+		Name:     wname,
+		Program:  prog,
+		Policy:   pol,
+		Config:   &cfg,
+		Verify:   spec.Verify,
+		Deadline: spec.RunTimeout,
 	}
-	runCtx := ctx
-	if spec.RunTimeout > 0 {
-		var cancel context.CancelFunc
-		runCtx, cancel = context.WithTimeout(ctx, spec.RunTimeout)
-		defer cancel()
+	if spec.Verify {
+		req.Want = &want
 	}
-	res, err := c.RunContext(runCtx)
+	res, err := engine.Run(ctx, req)
 	if err != nil {
 		return Run{}, err
-	}
-	if spec.Verify && (res.ExitCode != want.ExitCode || res.Output != want.Output) {
-		return Run{}, &simerr.RunError{
-			Kind: simerr.KindDivergence,
-			Detail: fmt.Sprintf("got exit %d output %q, want %d %q",
-				res.ExitCode, res.Output, want.ExitCode, want.Output),
-		}
 	}
 	return Run{Workload: wname, Policy: pol, Stats: res.Stats, ExitCode: res.ExitCode}, nil
 }

@@ -1,0 +1,347 @@
+// Package serve implements levserve, the HTTP/JSON simulation daemon over
+// internal/engine. One Server owns a bounded worker pool (at most Workers
+// simulations in flight, the same semaphore pattern as the sweep
+// supervisor), per-request wall-clock deadlines, and an LRU result cache
+// keyed by (program hash, policy, config digest) — the simulator is
+// deterministic, so repeated sweep cells are served without re-simulating.
+// Request contexts are threaded into the engine end to end: a client that
+// disconnects cancels its in-flight simulation and frees the worker slot.
+//
+// Endpoints:
+//
+//	POST /v1/simulate  — run one request (JSON body, see SimRequest)
+//	GET  /v1/policies  — list secure-speculation policies
+//	GET  /v1/workloads — list the embedded benchmark suite
+//	GET  /v1/stats     — server counters (requests, cache hits, in-flight)
+//	GET  /healthz      — liveness
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"levioso/internal/cli"
+	"levioso/internal/cpu"
+	"levioso/internal/engine"
+	"levioso/internal/simerr"
+	"levioso/internal/workloads"
+)
+
+// Config tunes a Server. The zero value picks sane defaults.
+type Config struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// CacheEntries is the LRU result-cache capacity (default 256;
+	// negative disables caching).
+	CacheEntries int
+	// DefaultDeadline bounds requests that do not set deadline_ms
+	// (default 60s; negative means no default bound).
+	DefaultDeadline time.Duration
+	// MaxBody caps the request body size in bytes (default 8 MiB).
+	MaxBody int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = time.Minute
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 8 << 20
+	}
+	return c
+}
+
+// Server is the levserve HTTP handler plus its worker pool and cache.
+type Server struct {
+	cfg   Config
+	sem   chan struct{}
+	cache *lru
+	mux   *http.ServeMux
+
+	requests  atomic.Uint64
+	cacheHits atomic.Uint64
+	failures  atomic.Uint64
+	rejected  atomic.Uint64
+	inFlight  atomic.Int64
+}
+
+// New builds a server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		cache: newLRU(cfg.CacheEntries),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// Handler returns the HTTP handler for the server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SimRequest is the JSON body of POST /v1/simulate. Exactly one program
+// input — source, asm, binary (base64), or workload — must be set.
+type SimRequest struct {
+	Name     string `json:"name,omitempty"`
+	Source   string `json:"source,omitempty"`   // LevC source
+	Asm      string `json:"asm,omitempty"`      // LEV64 assembly
+	Binary   []byte `json:"binary,omitempty"`   // LEV64 image, base64 in JSON
+	Workload string `json:"workload,omitempty"` // embedded suite name
+	Size     string `json:"size,omitempty"`     // workload scale: test|ref (default test)
+
+	NoAnnotate bool   `json:"no_annotate,omitempty"`
+	Policy     string `json:"policy,omitempty"` // default "unsafe"
+	ROB        int    `json:"rob,omitempty"`
+	MaxCycles  uint64 `json:"max_cycles,omitempty"`
+	Ref        bool   `json:"ref,omitempty"`
+	Verify     bool   `json:"verify,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// SimResponse is the JSON reply of POST /v1/simulate.
+type SimResponse struct {
+	Exit      uint64    `json:"exit"`
+	Output    string    `json:"output"`
+	Ref       bool      `json:"ref,omitempty"`
+	Insts     uint64    `json:"insts,omitempty"`
+	Stats     cpu.Stats `json:"stats"`
+	Cached    bool      `json:"cached"`
+	ElapsedMS int64     `json:"elapsed_ms"`
+}
+
+// errResponse is the JSON error reply: the message plus the typed failure
+// kind, so sweep clients classify failures the same way the supervisor does.
+type errResponse struct {
+	Error     string `json:"error"`
+	Kind      string `json:"kind"`
+	Transient bool   `json:"transient"`
+}
+
+// ServerStats is the JSON reply of GET /v1/stats.
+type ServerStats struct {
+	Requests     uint64 `json:"requests"`
+	CacheHits    uint64 `json:"cache_hits"`
+	Failures     uint64 `json:"failures"`
+	Rejected     uint64 `json:"rejected"`
+	InFlight     int64  `json:"in_flight"`
+	Workers      int    `json:"workers"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// statusFor maps the typed failure taxonomy onto HTTP statuses: build
+// problems are the client's fault, deadlines are timeouts, everything else
+// is a completed-but-failed simulation.
+func statusFor(err error) int {
+	switch simerr.KindOf(err) {
+	case simerr.KindBuild:
+		return http.StatusBadRequest
+	case simerr.KindDeadline:
+		return http.StatusGatewayTimeout
+	case simerr.KindUnknown:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errResponse{
+		Error:     err.Error(),
+		Kind:      simerr.KindOf(err).String(),
+		Transient: simerr.Transient(err),
+	})
+}
+
+// engineRequest translates the wire request into an engine request,
+// resolving workload names against the embedded suite.
+func (sr *SimRequest) engineRequest() (engine.Request, error) {
+	policy := sr.Policy
+	if policy == "" {
+		policy = "unsafe"
+	}
+	req := engine.Request{
+		Name:       sr.Name,
+		Source:     sr.Source,
+		AsmText:    sr.Asm,
+		Binary:     sr.Binary,
+		NoAnnotate: sr.NoAnnotate,
+		Policy:     policy,
+		ROBSize:    sr.ROB,
+		MaxCycles:  sr.MaxCycles,
+		UseRef:     sr.Ref,
+		Verify:     sr.Verify,
+	}
+	if sr.Workload != "" {
+		if sr.Source != "" || sr.Asm != "" || len(sr.Binary) > 0 {
+			return req, fmt.Errorf("serve: workload %q conflicts with an inline program input", sr.Workload)
+		}
+		w, ok := workloads.ByName(sr.Workload)
+		if !ok {
+			return req, fmt.Errorf("serve: unknown workload %q (have %v)", sr.Workload, workloads.Names())
+		}
+		size := workloads.SizeTest
+		if sr.Size != "" {
+			var err error
+			if size, err = cli.ParseSize(sr.Size); err != nil {
+				return req, fmt.Errorf("serve: %w", err)
+			}
+		}
+		prog, err := w.Build(size)
+		if err != nil {
+			return req, err
+		}
+		req.Program = prog
+		if req.Name == "" {
+			req.Name = sr.Workload
+		}
+	}
+	return req, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	start := time.Now()
+
+	var sr SimRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	if err := json.NewDecoder(body).Decode(&sr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	req, err := sr.engineRequest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Resolve the program up front: build errors answer immediately without
+	// consuming a worker slot, and the resolved image is what the cache is
+	// keyed on.
+	prog, _, err := engine.Resolve(&req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	req.Program, req.Source, req.AsmText, req.Binary = prog, "", "", nil
+
+	cfg := req.BuildConfig()
+	key, cacheable := engine.CacheKey(prog, req.Policy, cfg, req.UseRef, req.Verify)
+	if cacheable {
+		if res, ok := s.cache.get(key); ok {
+			s.cacheHits.Add(1)
+			s.writeResult(w, res, true, start)
+			return
+		}
+	}
+
+	// Per-request deadline on top of the client's own cancellation.
+	ctx := r.Context()
+	deadline := s.cfg.DefaultDeadline
+	if sr.DeadlineMS > 0 {
+		deadline = time.Duration(sr.DeadlineMS) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	// Bounded worker pool: wait for a slot, but give up if the request dies
+	// first (client disconnect or deadline spent queueing).
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("serve: request cancelled while waiting for a worker: %w", ctx.Err()))
+		return
+	}
+	defer func() { <-s.sem }()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	res, err := engine.Run(ctx, req)
+	if err != nil {
+		s.failures.Add(1)
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if cacheable {
+		s.cache.put(key, *res)
+	}
+	s.writeResult(w, *res, false, start)
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, res engine.Result, cached bool, start time.Time) {
+	writeJSON(w, http.StatusOK, SimResponse{
+		Exit:      res.ExitCode,
+		Output:    res.Output,
+		Ref:       res.Ref,
+		Insts:     res.RefInsts,
+		Stats:     res.Stats,
+		Cached:    cached,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"policies": engine.Policies(),
+		"eval":     engine.EvalPolicies(),
+	})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	type wl struct {
+		Name  string `json:"name"`
+		Class string `json:"class"`
+		Desc  string `json:"desc"`
+	}
+	var out []wl
+	for _, ww := range workloads.All() {
+		out = append(out, wl{Name: ww.Name, Class: ww.Class, Desc: ww.Desc})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:     s.requests.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		Failures:     s.failures.Load(),
+		Rejected:     s.rejected.Load(),
+		InFlight:     s.inFlight.Load(),
+		Workers:      s.cfg.Workers,
+		CacheEntries: s.cache.len(),
+	}
+}

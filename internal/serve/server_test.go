@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"levioso/internal/engine"
+)
+
+const histSrc = `
+var h[16];
+func main() {
+	var i;
+	var s = 7;
+	for (i = 0; i < 300; i = i + 1) {
+		s = s * 1103515245 + 12345;
+		var k = (s >> 16) & 15;
+		if (h[k] < 9) { h[k] = h[k] + 1; }
+	}
+	var acc = 0;
+	for (i = 0; i < 16; i = i + 1) { acc = acc + h[i]; }
+	print(acc);
+	return acc & 255;
+}`
+
+const spinSrc = `
+func main() {
+	var i;
+	var s = 1;
+	for (i = 0; i < 200000000; i = i + 1) { s = s + i; }
+	return 0;
+}`
+
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postSimulate(t *testing.T, url string, req SimRequest) (SimResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SimResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp
+}
+
+// TestServeSmoke is the make ci smoke test: one simulate request completes,
+// an identical second request is served from the cache with identical
+// results, and the handler shuts down cleanly with the test server.
+func TestServeSmoke(t *testing.T) {
+	s, ts := startServer(t, Config{})
+	req := SimRequest{Name: "hist.lc", Source: histSrc, Policy: "levioso", Verify: true}
+
+	first, resp := postSimulate(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d", resp.StatusCode)
+	}
+	if first.Cached {
+		t.Fatal("first request reported cached")
+	}
+	second, resp := postSimulate(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second request: status %d", resp.StatusCode)
+	}
+	if !second.Cached {
+		t.Fatal("identical second request was not a cache hit")
+	}
+	if first.Exit != second.Exit || first.Output != second.Output || first.Stats != second.Stats {
+		t.Fatalf("cached result differs:\n first=%+v\n second=%+v", first, second)
+	}
+	if st := s.Stats(); st.CacheHits != 1 || st.Requests != 2 {
+		t.Fatalf("server counters wrong: %+v", st)
+	}
+}
+
+// TestServeConcurrentMatchesEngine fans N parallel simulate requests across
+// policies and checks every response against a direct engine.Run of the same
+// request — the daemon is a transport, not a different pipeline.
+func TestServeConcurrentMatchesEngine(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 4, CacheEntries: -1})
+	policies := []string{"unsafe", "fence", "delay", "invisible", "levioso", "levioso-ghost", "taint", "levioso-ctrl"}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(policies))
+	for _, pol := range policies {
+		wg.Add(1)
+		go func(pol string) {
+			defer wg.Done()
+			got, resp := postSimulate(t, ts.URL, SimRequest{Source: histSrc, Policy: pol})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("%s: status %d", pol, resp.StatusCode)
+				return
+			}
+			want, err := engine.Run(context.Background(), engine.Request{Source: histSrc, Policy: pol})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got.Exit != want.ExitCode || got.Output != want.Output || got.Stats != want.Stats {
+				errs <- fmt.Errorf("%s: served result differs from engine.Run:\n got=%+v\n want=%+v", pol, got, want)
+			}
+		}(pol)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServeClientCancel proves an in-flight request is cancelled by client
+// disconnect without wedging the worker pool: with a single worker, a
+// cancelled long-running request must still leave the pool usable for the
+// next request.
+func TestServeClientCancel(t *testing.T) {
+	s, ts := startServer(t, Config{Workers: 1, CacheEntries: -1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(SimRequest{Source: spinSrc, MaxCycles: 2_000_000_000})
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/simulate", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(hreq)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Let the simulation start, then hang up.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("expected cancelled client request, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled request did not return")
+	}
+
+	// The single worker slot must be free again: a quick request completes.
+	fastDone := make(chan struct{})
+	go func() {
+		defer close(fastDone)
+		got, resp := postSimulate(t, ts.URL, SimRequest{Source: histSrc, Policy: "unsafe"})
+		if resp.StatusCode != http.StatusOK || got.Stats.Committed == 0 {
+			t.Errorf("post-cancel request failed: status=%d res=%+v", resp.StatusCode, got)
+		}
+	}()
+	select {
+	case <-fastDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker pool wedged after client cancellation")
+	}
+	if st := s.Stats(); st.InFlight != 0 {
+		t.Fatalf("in-flight count leaked: %+v", st)
+	}
+}
+
+// TestServeWorkloadAndRef runs an embedded suite workload and a reference-
+// model request through the daemon.
+func TestServeWorkloadAndRef(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	got, resp := postSimulate(t, ts.URL, SimRequest{Workload: "pchase", Size: "test", Policy: "levioso"})
+	if resp.StatusCode != http.StatusOK || got.Stats.Committed == 0 {
+		t.Fatalf("workload request failed: status=%d res=%+v", resp.StatusCode, got)
+	}
+	rres, resp := postSimulate(t, ts.URL, SimRequest{Source: histSrc, Ref: true})
+	if resp.StatusCode != http.StatusOK || !rres.Ref || rres.Insts == 0 {
+		t.Fatalf("ref request failed: status=%d res=%+v", resp.StatusCode, rres)
+	}
+}
+
+// TestServeBadRequests checks the error taxonomy maps onto HTTP statuses.
+func TestServeBadRequests(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	cases := []struct {
+		name string
+		req  SimRequest
+		want int
+	}{
+		{"no input", SimRequest{}, http.StatusBadRequest},
+		{"two inputs", SimRequest{Source: histSrc, Workload: "pchase"}, http.StatusBadRequest},
+		{"unknown workload", SimRequest{Workload: "nonesuch"}, http.StatusBadRequest},
+		{"unknown policy", SimRequest{Source: histSrc, Policy: "nonesuch"}, http.StatusBadRequest},
+		{"bad source", SimRequest{Source: "func main( {"}, http.StatusBadRequest},
+		{"deadline", SimRequest{Source: spinSrc, MaxCycles: 2_000_000_000, DeadlineMS: 20}, http.StatusGatewayTimeout},
+	}
+	for _, tc := range cases {
+		_, resp := postSimulate(t, ts.URL, tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	// Malformed JSON body.
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", resp.StatusCode)
+	}
+}
+
+// TestServeMetaEndpoints covers the discovery endpoints.
+func TestServeMetaEndpoints(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	for _, path := range []string{"/healthz", "/v1/policies", "/v1/workloads", "/v1/stats"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", engine.Result{ExitCode: 1})
+	c.put("b", engine.Result{ExitCode: 2})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", engine.Result{ExitCode: 3}) // evicts b (a was just used)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len=%d", c.len())
+	}
+	if disabled := newLRU(-1); disabled != nil {
+		t.Fatal("negative capacity should disable the cache")
+	}
+}
