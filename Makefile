@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench golden gate smoke ci clean
+.PHONY: all build vet test race bench golden gate smoke fuzzsmoke replay ci clean
 
 all: build
 
@@ -54,9 +54,24 @@ gate:
 smoke:
 	$(GO) test -race -run 'TestServeSmoke|TestServeClientCancel' ./internal/serve
 
+# fuzzsmoke runs the differential fuzzer for a fixed-seed ten-second
+# session: seeded random programs (all five generation profiles) judged by
+# the full oracle stack — architectural differential vs the reference model,
+# bit-exact determinism, core invariants under squash storms, the gadget
+# security oracle — under every registered policy. Any finding fails ci.
+fuzzsmoke:
+	$(GO) run ./cmd/levfuzz -duration 10s -seed 1 -q
+
+# replay re-judges the checked-in regression corpus (internal/fuzz/testdata)
+# through the complete oracle stack under the race detector, twice,
+# asserting bit-identical verdicts.
+replay:
+	$(GO) test -race -count=1 -run TestCorpusReplay ./internal/fuzz
+
 # ci is the gate: vet, build, the full suite under -race, a short benchmark
 # pass (catches bench-only compile/regression breakage), the cmd/ import
-# gate, the levserve smoke test, and the golden timing-model diff.
+# gate, the levserve smoke test, the fixed-seed fuzz smoke + corpus replay,
+# and the golden timing-model diff.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -64,6 +79,8 @@ ci:
 	$(GO) test -bench=BenchmarkHotLoop -benchtime=1x -run=^$$ .
 	$(MAKE) gate
 	$(MAKE) smoke
+	$(MAKE) fuzzsmoke
+	$(MAKE) replay
 	$(MAKE) golden
 
 clean:

@@ -1,0 +1,154 @@
+// levfuzz is the differential fuzzer: it generates seeded random LEV64
+// programs (weighted profiles from branch storms to Spectre-shaped gadgets),
+// runs every one through the engine under every registered policy, and
+// judges each run with the oracle stack — architectural differential against
+// the reference model, bit-exact determinism, core invariants under
+// fault-injected squash storms, the gadget security oracle, and panic/limit
+// capture. Failures are auto-shrunk to minimal repros and persisted in a
+// crash-safe corpus.
+//
+// Usage:
+//
+//	levfuzz -duration 10s -seed 1             # fixed-seed timed session
+//	levfuzz -count 500 -profile gadget        # 500 gadget cases
+//	levfuzz -corpus corpus/                   # persist repros + resume journal
+//	levfuzz -policies unsafe,fence,levioso    # restrict the policy matrix
+//	levfuzz -inject 'commit-stall:start=1000' # mutation-check a fault plan
+//
+// With -corpus, completed cases are journaled (fsync per entry): re-running
+// the identical invocation resumes where it stopped without re-executing
+// finished cases. Exit status: 0 clean, 1 findings, 2 usage.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"levioso/internal/cli"
+	"levioso/internal/fuzz"
+	"levioso/internal/stats"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	seed := flag.Uint64("seed", 1, "session base seed")
+	duration := flag.Duration("duration", 0, "wall-clock bound for the session (0: run -count cases)")
+	count := flag.Int("count", 0, "number of cases (0 with -duration: unbounded)")
+	profileSpec := flag.String("profile", "", "comma-separated generation profiles (default: all; one of "+profileList()+")")
+	policySpec := flag.String("policies", "", "comma-separated policies to judge under (default: all registered)")
+	corpus := flag.String("corpus", "", "corpus directory for shrunk repros and the resume journal")
+	workers := flag.Int("workers", 0, "parallel workers (default: GOMAXPROCS, capped at 8)")
+	maxCycles := flag.Uint64("max-cycles", 0, "cycle limit per core run (default 4M)")
+	deadline := flag.Duration("deadline", 0, "wall-clock bound per run (default 30s)")
+	inject := flag.String("inject", "", "fault plan, e.g. 'commit-stall:start=1000;delay-fill:extra=10'")
+	noShrink := flag.Bool("no-shrink", false, "persist findings without minimizing")
+	noMatrix := flag.Bool("no-matrix", false, "skip the once-per-session attack expectation matrix check")
+	quiet := flag.Bool("q", false, "suppress per-finding progress lines")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return cli.Usage("levfuzz [-seed N] [-duration D | -count N] [-profile p,..] [-policies p,..] [-corpus dir] [-inject spec]")
+	}
+
+	profiles, err := fuzz.ParseProfiles(*profileSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "levfuzz: %v\n", err)
+		return 2
+	}
+	plan, err := fuzz.ParseFaultSpec(*inject, int64(*seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "levfuzz: %v\n", err)
+		return 2
+	}
+
+	cfg := fuzz.Config{
+		Options: fuzz.Options{
+			Policies:  cli.SplitList(*policySpec),
+			MaxCycles: *maxCycles,
+			Deadline:  *deadline,
+			Faults:    plan,
+		},
+		Seed:      *seed,
+		Profiles:  profiles,
+		Count:     *count,
+		Duration:  *duration,
+		Workers:   *workers,
+		CorpusDir: *corpus,
+		NoShrink:  *noShrink,
+		NoMatrix:  *noMatrix,
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+
+	// ^C finishes in-flight cases and reports what was found; with a corpus
+	// journal the next identical invocation resumes from the interruption.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	sum, err := fuzz.Run(ctx, cfg)
+	if err != nil {
+		return cli.Fail("levfuzz", err)
+	}
+	fmt.Print(render(sum))
+	if len(sum.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "levfuzz: %d finding(s)\n", len(sum.Findings))
+		return 1
+	}
+	return 0
+}
+
+// render formats the session summary: the headline counters, the per-oracle
+// breakdown when anything fired, and one line per finding with its repro.
+func render(s *fuzz.Summary) string {
+	t := stats.NewTable("fuzz session", "metric", "value")
+	t.Add("cases judged", fmt.Sprint(s.Cases))
+	t.Add("cases resumed", fmt.Sprint(s.Resumed))
+	t.Add("cases skipped", fmt.Sprint(s.Skipped))
+	t.Add("executions", fmt.Sprint(s.Execs))
+	t.Add("execs/sec", fmt.Sprintf("%.0f", s.ExecsPerSec()))
+	t.Add("elapsed", s.Elapsed.Round(time.Millisecond).String())
+	t.Add("findings", fmt.Sprint(len(s.Findings)))
+	t.Add("gadget leaks (unsafe baseline)", fmt.Sprint(s.GadgetLeaksUnsafe))
+	if s.ShrinkEvals > 0 {
+		t.Add("shrink evals", fmt.Sprint(s.ShrinkEvals))
+		t.Add("shrink ratio", fmt.Sprintf("%.0f%% (%d -> %d insts)", 100*s.ShrinkRatio(), s.ShrunkFrom, s.ShrunkTo))
+	}
+	out := t.String()
+
+	if len(s.ByOracle) > 0 {
+		bt := stats.NewTable("findings by oracle", "oracle", "count")
+		for _, o := range []string{"differential", "determinism", "invariants", "security", "limits", "panic", "build", "generator"} {
+			if n := s.ByOracle[o]; n > 0 {
+				bt.Add(o, fmt.Sprint(n))
+			}
+		}
+		out += "\n" + bt.String()
+	}
+	for _, r := range s.Findings {
+		out += fmt.Sprintf("finding %s: %s", r.Name, r.Finding)
+		if r.Repro != "" {
+			out += " [repro " + r.Repro + "]"
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func profileList() string {
+	s := ""
+	for i, p := range fuzz.Profiles() {
+		if i > 0 {
+			s += ","
+		}
+		s += string(p)
+	}
+	return s
+}

@@ -55,6 +55,46 @@ func (o Outcome) CTLeaks() bool { return o.CTCorrect*2 > o.CTTrials }
 // blocked probe degenerates to guessing line 0).
 var DefaultSecrets = []byte{0x5a, 0x91, 0x2c, 0xe7}
 
+// Expect is one row of the attack expectation matrix: which of the three
+// attacks are expected to recover the secret under a policy. Derived from
+// the policy's documented coverage contract (secure.CoverageOf), it turns
+// the per-policy leak behaviour the test suite asserts by hand into data the
+// fuzzer's security oracle can check on every invocation — a policy that
+// stops leaking where it must leak (broken attack machinery) is as much a
+// finding as one that leaks where it promised coverage.
+type Expect struct {
+	V1     bool // Spectre-V1: control-dependent gadget, speculative secret
+	CTData bool // ct-data variant: data-dependent gadget, non-speculative secret
+	CT     bool // Spectre-CT: control-dependent gadget, non-speculative secret
+}
+
+// ExpectedLeaks returns the expectation-matrix row for a policy.
+func ExpectedLeaks(policy string) (Expect, error) {
+	cov, err := secure.CoverageOf(policy)
+	if err != nil {
+		return Expect{}, err
+	}
+	switch cov {
+	case secure.CoverageNone:
+		return Expect{V1: true, CTData: true, CT: true}, nil
+	case secure.CoverageCtrl:
+		// Control dependencies only: blocks both control-dependent gadgets,
+		// leaks the data-dependent one.
+		return Expect{CTData: true}, nil
+	case secure.CoverageSandbox:
+		// Taint tracking never taints non-speculatively loaded data, so both
+		// non-speculative-secret attacks get through.
+		return Expect{CTData: true, CT: true}, nil
+	default:
+		return Expect{}, nil
+	}
+}
+
+// Leaks collapses an Outcome into the Expect shape for matrix comparison.
+func (o Outcome) Leaks() Expect {
+	return Expect{V1: o.V1Leaks(), CTData: o.CTDLeaks(), CT: o.CTLeaks()}
+}
+
 // Run executes both attacks under each named policy.
 func Run(policies []string, secrets []byte) ([]Outcome, error) {
 	if len(secrets) == 0 {

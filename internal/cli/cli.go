@@ -59,6 +59,20 @@ func ParseSize(s string) (workloads.Size, error) {
 	}
 }
 
+// SplitList splits a comma-separated flag value into trimmed, non-empty
+// elements (nil for an empty value). The list-valued flags on levbench and
+// levfuzz (-exp, -policies, -profile) share this so "a, b," and "a,b" parse
+// identically everywhere.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // SimFlags is the common simulation flag group: policy, core overrides, run
 // mode, deadline and profile destinations. levsim registers it wholesale;
 // levserve accepts the same knobs per request over HTTP.

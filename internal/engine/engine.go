@@ -34,7 +34,6 @@ import (
 	"levioso/internal/isa"
 	"levioso/internal/ref"
 	"levioso/internal/secure"
-	"levioso/internal/simerr"
 )
 
 // Request describes one pipeline invocation. Exactly one program input —
@@ -183,11 +182,12 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 	if req.Verify {
 		want := req.Want
 		if want == nil {
+			// Reference classifies its own failures (deadline, instruction
+			// limit, architectural fault) — pass them through rather than
+			// re-wrapping, so a deadline stays KindDeadline for the caller.
 			w, err := Reference(ctx, prog, ref.Limits{})
 			if err != nil {
-				return nil, &simerr.RunError{
-					Kind: simerr.KindBuild, Detail: "reference run failed", Err: err,
-				}
+				return nil, err
 			}
 			want = &w
 		}

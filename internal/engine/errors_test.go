@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"levioso/internal/cpu"
+	"levioso/internal/isa"
+	"levioso/internal/ref"
+	"levioso/internal/simerr"
+)
+
+// Every malformed input, whatever the entry path, must surface as a typed
+// *simerr.RunError of the build class — supervisors, levserve's status
+// mapping and the fuzz oracles all classify on the kind, never on strings.
+func TestMalformedInputsAreTypedBuildErrors(t *testing.T) {
+	good, _, err := Compile("hist.lc", histSrc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := good.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"no input", Request{}},
+		{"two inputs", Request{Source: histSrc, AsmText: "main:\n\thalt zero\n"}},
+		{"bad magic", Request{Binary: []byte("NOTLEV\x00 not a binary")}},
+		{"truncated binary", Request{Binary: img[:len(img)/2]}},
+		{"asm syntax error", Request{AsmText: "main:\n\tbogus t0, t1\n"}},
+		{"levc syntax error", Request{Source: "func main( {"}},
+		{"unknown policy", Request{Source: histSrc, Policy: "nonesuch"}},
+		{"invalid config", Request{Source: histSrc, Config: &cpu.Config{ROBSize: -1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(context.Background(), tc.req)
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			var re *simerr.RunError
+			if !errors.As(err, &re) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			if re.Kind != simerr.KindBuild {
+				t.Fatalf("kind %v, want build (%v)", re.Kind, err)
+			}
+		})
+	}
+}
+
+// A reference-model instruction limit is a limits-class failure, not a build
+// failure: the program was fine, the budget was not.
+func TestReferenceInstLimitTyped(t *testing.T) {
+	prog, _, err := Compile("hist.lc", histSrc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Reference(context.Background(), prog, ref.Limits{MaxInsts: 16})
+	if !errors.Is(err, simerr.ErrInstLimit) {
+		t.Fatalf("want instruction-limit error, got %v", err)
+	}
+	if !simerr.IsLimit(err) {
+		t.Fatalf("IsLimit(%v) = false", err)
+	}
+}
+
+// Execution running off the end of text is an architectural memory fault.
+func TestReferenceRunOffTextTyped(t *testing.T) {
+	prog := &isa.Program{
+		Text:  []isa.Inst{{Op: isa.ADDI, Rd: isa.Reg(5), Imm: 1}}, // no halt
+		Entry: isa.TextBase,
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Reference(context.Background(), prog, ref.Limits{})
+	if !errors.Is(err, simerr.ErrMemFault) {
+		t.Fatalf("want memory-fault error, got %v", err)
+	}
+}

@@ -157,7 +157,10 @@ func Simulate(ctx context.Context, prog *isa.Program, cfg cpu.Config, policy str
 // Reference runs prog on the functional reference interpreter with
 // cooperative context cancellation (checked every few thousand
 // instructions), mirroring the core's RunContext contract: expiry surfaces
-// as simerr.ErrDeadline.
+// as simerr.ErrDeadline, the instruction limit as simerr.ErrInstLimit, and
+// an architectural fault (bad PC, out-of-range or misaligned access) as
+// simerr.ErrMemFault — every failure is a typed *simerr.RunError, so fuzzing
+// oracles and supervisors never have to string-match reference errors.
 func Reference(ctx context.Context, prog *isa.Program, lim ref.Limits) (ref.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -170,10 +173,16 @@ func Reference(ctx context.Context, prog *isa.Program, lim ref.Limits) (ref.Resu
 	const checkMask = 1<<14 - 1
 	for !m.Halted() {
 		if m.Insts() >= max {
-			return ref.Result{}, fmt.Errorf("ref: instruction limit %d exceeded at pc=%#x", max, m.PC)
+			return ref.Result{}, &simerr.RunError{
+				Kind: simerr.KindInstLimit, PC: m.PC,
+				Detail: fmt.Sprintf("ref: instruction limit %d exceeded", max),
+			}
 		}
 		if err := m.Step(); err != nil {
-			return ref.Result{}, err
+			return ref.Result{}, &simerr.RunError{
+				Kind: simerr.KindMemFault, PC: m.PC,
+				Detail: "reference step faulted", Err: err,
+			}
 		}
 		if m.Insts()&checkMask == 0 {
 			select {

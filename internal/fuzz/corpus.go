@@ -1,0 +1,243 @@
+package fuzz
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"levioso/internal/engine"
+	"levioso/internal/isa"
+)
+
+// ReproVersion is the on-disk repro format version.
+const ReproVersion = 1
+
+// Repro is one persisted finding: the (shrunk) program as a LEV64 binary
+// image plus everything needed to re-judge it deterministically — the
+// oracle replay test reloads these and re-runs the full stack.
+type Repro struct {
+	Version   int       `json:"version"`
+	Name      string    `json:"name"`
+	Seed      uint64    `json:"seed"`
+	Index     int       `json:"index"`
+	Profile   Profile   `json:"profile"`
+	TimingDep bool      `json:"timing_dep,omitempty"`
+	Secret    byte      `json:"secret,omitempty"`
+	Policies  []string  `json:"policies,omitempty"` // policies the verdict ran under
+	Binary    []byte    `json:"binary"`             // isa.Program image (base64 in JSON)
+	Insts     int       `json:"insts"`
+	OrigInsts int       `json:"orig_insts,omitempty"` // pre-shrink size (0: not shrunk)
+	Findings  []Finding `json:"findings,omitempty"`
+	Listing   string    `json:"listing,omitempty"` // disassembly, for humans
+}
+
+// NewRepro packages a judged case for persistence.
+func NewRepro(c *Case, policies []string, findings []Finding, origInsts int) (*Repro, error) {
+	img, err := c.Prog.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: marshal repro: %w", err)
+	}
+	r := &Repro{
+		Version: ReproVersion, Name: c.Name(),
+		Seed: c.Seed, Index: c.Index, Profile: c.Profile,
+		TimingDep: c.TimingDep, Secret: c.Secret,
+		Policies: policies, Binary: img, Insts: len(c.Prog.Text),
+		Findings: findings, Listing: engine.Listing(c.Prog),
+	}
+	if origInsts > len(c.Prog.Text) {
+		r.OrigInsts = origInsts
+	}
+	return r, nil
+}
+
+// Case reconstructs the runnable case from a loaded repro.
+func (r *Repro) Case() (*Case, error) {
+	prog := new(isa.Program)
+	if err := prog.UnmarshalBinary(r.Binary); err != nil {
+		return nil, fmt.Errorf("fuzz: repro %s: %w", r.Name, err)
+	}
+	return &Case{
+		Seed: r.Seed, Index: r.Index, Profile: r.Profile,
+		Prog: prog, TimingDep: r.TimingDep, Secret: r.Secret,
+	}, nil
+}
+
+// FileName is the repro's stable corpus file name.
+func (r *Repro) FileName() string { return r.Name + ".json" }
+
+// Write persists the repro into dir crash-safely: temp file, fsync, atomic
+// rename — a crash leaves either the old state or the complete new file,
+// never a torn repro.
+func (r *Repro) Write(dir string) (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("fuzz: encode repro: %w", err)
+	}
+	b = append(b, '\n')
+	tmp, err := os.CreateTemp(dir, ".repro-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, r.FileName())
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadRepro reads one repro file.
+func LoadRepro(path string) (*Repro, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := new(Repro)
+	if err := json.Unmarshal(b, r); err != nil {
+		return nil, fmt.Errorf("fuzz: parse repro %s: %w", path, err)
+	}
+	if r.Version != ReproVersion {
+		return nil, fmt.Errorf("fuzz: repro %s: version %d, want %d", path, r.Version, ReproVersion)
+	}
+	return r, nil
+}
+
+// LoadCorpus reads every repro in dir, sorted by file name for
+// deterministic replay order.
+func LoadCorpus(dir string) ([]*Repro, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*Repro
+	for _, p := range paths {
+		r, err := LoadRepro(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------------- run journal
+
+// Entry is one completed (or skipped) fuzz case in the session journal.
+// Entries are keyed by case index: a resumed session re-derives the same
+// (seed, profile) for an index and trusts the recorded verdict instead of
+// re-executing.
+type Entry struct {
+	Index    int       `json:"index"`
+	Seed     uint64    `json:"seed"`
+	Profile  Profile   `json:"profile"`
+	Verdict  string    `json:"verdict"` // "ok" | "skip" | "finding"
+	Findings []Finding `json:"findings,omitempty"`
+	Repro    string    `json:"repro,omitempty"` // repro file name in the corpus dir
+	Execs    int       `json:"execs"`
+}
+
+// Journal is the fuzz session's append-only JSON-lines progress record —
+// the same crash-safe pattern as harness.Journal (single-write appends,
+// fsync per record, torn-tail healing on open), keyed by case index.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	seen map[int]Entry
+}
+
+// JournalName is the journal's file name inside a corpus directory.
+const JournalName = "journal.jsonl"
+
+// OpenJournal opens (creating if absent) the session journal at path and
+// loads every entry recorded by earlier invocations. A torn trailing line
+// (the write a crash interrupted) is skipped and healed so the next append
+// starts clean.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: open journal: %w", err)
+	}
+	j := &Journal{f: f, seen: make(map[int]Entry)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue // torn or foreign line: the case just re-runs
+		}
+		j.seen[e.Index] = e
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fuzz: read journal: %w", err)
+	}
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, st.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("fuzz: heal journal tail: %w", err)
+			}
+		}
+	}
+	return j, nil
+}
+
+// Lookup returns the recorded entry for a case index, if any.
+func (j *Journal) Lookup(index int) (Entry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.seen[index]
+	return e, ok
+}
+
+// Record appends one entry and fsyncs before returning — a power loss can
+// lose at most the entry being written, never completed cases. Safe for
+// concurrent use by the worker goroutines.
+func (j *Journal) Record(e Entry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.seen[e.Index] = e
+	return nil
+}
+
+// Len returns the number of recorded cases.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.seen)
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

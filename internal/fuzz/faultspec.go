@@ -1,0 +1,91 @@
+package fuzz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"levioso/internal/faultinject"
+)
+
+// ParseFaultSpec parses levfuzz's -inject flag into a fault plan. The
+// grammar is semicolon-separated faults, each a kind optionally followed by
+// colon-separated key=value parameters:
+//
+//	kind[:key=value[:key=value...]][;kind...]
+//
+// Kinds: stuck-load, delay-fill, mispredict-storm, commit-stall, panic.
+// Keys: start, end, addr (hex ok), extra, prob, first.
+//
+// Example: "commit-stall:start=1000" stalls commit from cycle 1000 forever —
+// the mutation-check fault that must surface as a watchdog finding.
+// Returns nil for an empty spec.
+func ParseFaultSpec(spec string, seed int64) (*faultinject.Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	plan := &faultinject.Plan{Seed: seed}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := parseFault(part)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: fault spec %q: %w", part, err)
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	if len(plan.Faults) == 0 {
+		return nil, nil
+	}
+	return plan, nil
+}
+
+func parseFault(s string) (faultinject.Fault, error) {
+	fields := strings.Split(s, ":")
+	var f faultinject.Fault
+	switch fields[0] {
+	case "stuck-load":
+		f.Kind = faultinject.StuckLoad
+	case "delay-fill":
+		f.Kind = faultinject.DelayFill
+	case "mispredict-storm":
+		f.Kind = faultinject.MispredictStorm
+		f.Prob = 0.5
+	case "commit-stall":
+		f.Kind = faultinject.CommitStall
+	case "panic":
+		f.Kind = faultinject.Panic
+	default:
+		return f, fmt.Errorf("unknown fault kind %q", fields[0])
+	}
+	for _, kv := range fields[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return f, fmt.Errorf("parameter %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "start":
+			f.Start, err = strconv.ParseUint(val, 0, 64)
+		case "end":
+			f.End, err = strconv.ParseUint(val, 0, 64)
+		case "addr":
+			f.Addr, err = strconv.ParseUint(val, 0, 64)
+		case "extra":
+			f.Extra, err = strconv.Atoi(val)
+		case "prob":
+			f.Prob, err = strconv.ParseFloat(val, 64)
+		case "first":
+			f.FirstAttempts, err = strconv.Atoi(val)
+		default:
+			return f, fmt.Errorf("unknown parameter %q", key)
+		}
+		if err != nil {
+			return f, fmt.Errorf("parameter %s: %w", key, err)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,301 @@
+// Package fuzz is the differential fuzzing subsystem: a seeded program
+// generator over the LEV64 ISA, an oracle stack that judges every generated
+// program under every registered secure-speculation policy (architectural
+// differential vs the reference model, bit-exact determinism, core
+// invariants under fault-injected squash storms, the gadget security oracle,
+// and panic/limit capture through simerr), an auto-shrinker that minimizes
+// failures to small repros, and a crash-safe corpus (atomic repro files plus
+// a journaled session that resumes without re-executing completed cases).
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes one fuzzing session.
+type Config struct {
+	// Options is the oracle-stack configuration shared by every case.
+	Options
+
+	// Seed is the session base seed; case i derives its own seed from it.
+	Seed uint64
+	// Profiles cycles per case index (default: all profiles).
+	Profiles []Profile
+	// Count bounds the number of cases (0 with Duration set: unbounded).
+	Count int
+	// Duration bounds the session wall clock (0: run until Count).
+	Duration time.Duration
+	// Workers is the parallel worker count (default: GOMAXPROCS, capped at 8).
+	Workers int
+	// CorpusDir, when set, receives shrunk repros and the resume journal.
+	CorpusDir string
+	// NoShrink persists findings unshrunk.
+	NoShrink bool
+	// NoMatrix skips the once-per-session attack expectation matrix check.
+	NoMatrix bool
+	// Log, when set, receives progress lines as findings appear.
+	Log io.Writer
+}
+
+// Record is one reported finding with its case attribution (Index -1: the
+// session-level security matrix check).
+type Record struct {
+	Index   int
+	Name    string
+	Finding Finding
+	Repro   string // repro file name, when persisted
+}
+
+// Summary aggregates one session.
+type Summary struct {
+	Cases   int // cases judged this session (excluding resumed)
+	Resumed int // cases satisfied from the journal without re-execution
+	Skipped int // cases the oracles could not judge (deadline/degenerate)
+	Execs   int // simulator + reference executions (including shrinking)
+	Elapsed time.Duration
+
+	Findings []Record
+	ByOracle map[string]int
+
+	// Shrink effectiveness: total pre-/post-shrink instruction counts over
+	// the shrunk repros, and oracle evaluations spent shrinking.
+	ShrunkFrom, ShrunkTo, ShrinkEvals int
+
+	// GadgetLeaksUnsafe counts gadget cases whose probe recovered the secret
+	// on the unprotected baseline — proof the generated gadgets actually leak.
+	GadgetLeaksUnsafe int
+}
+
+// ExecsPerSec is the session throughput.
+func (s *Summary) ExecsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Execs) / s.Elapsed.Seconds()
+}
+
+// ShrinkRatio is the aggregate size reduction across shrunk repros.
+func (s *Summary) ShrinkRatio() float64 {
+	if s.ShrunkFrom == 0 {
+		return 0
+	}
+	return 1 - float64(s.ShrunkTo)/float64(s.ShrunkFrom)
+}
+
+// Run executes one fuzzing session: Workers goroutines pull case indices
+// from a shared counter, generate, judge, shrink and persist. Panics in a
+// worker are isolated into OraclePanic findings for that case. With a corpus
+// directory, completed cases are journaled (fsync per entry); a rerun of the
+// same session resumes from the journal, trusting recorded verdicts instead
+// of re-executing.
+func Run(ctx context.Context, cfg Config) (*Summary, error) {
+	cfg.Options = cfg.Options.withDefaults()
+	if len(cfg.Profiles) == 0 {
+		cfg.Profiles = Profiles()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
+	}
+	if cfg.Count <= 0 && cfg.Duration <= 0 {
+		cfg.Count = 64
+	}
+
+	var journal *Journal
+	if cfg.CorpusDir != "" {
+		if err := os.MkdirAll(cfg.CorpusDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fuzz: corpus dir: %w", err)
+		}
+		var err error
+		journal, err = OpenJournal(filepath.Join(cfg.CorpusDir, JournalName))
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	start := time.Now()
+	sum := &Summary{ByOracle: map[string]int{}}
+
+	// The once-per-session matrix check: the three attack gadgets replayed
+	// under every policy against the documented leak expectations.
+	if !cfg.NoMatrix {
+		for _, f := range SecurityMatrix(cfg.Policies) {
+			sum.Findings = append(sum.Findings, Record{Index: -1, Name: "security-matrix", Finding: f})
+			sum.ByOracle[f.Oracle]++
+			logf(cfg.Log, "fuzz: security-matrix: %s", f)
+		}
+	}
+
+	var (
+		mu   sync.Mutex
+		next int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(atomic.AddInt64(&next, 1) - 1)
+				if cfg.Count > 0 && idx >= cfg.Count {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				runOne(ctx, cfg, journal, idx, &mu, sum)
+			}
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(sum.Findings, func(i, j int) bool { return sum.Findings[i].Index < sum.Findings[j].Index })
+	sum.Elapsed = time.Since(start)
+	return sum, nil
+}
+
+// runOne generates, judges, shrinks and persists a single case index.
+func runOne(ctx context.Context, cfg Config, journal *Journal, idx int, mu *sync.Mutex, sum *Summary) {
+	profile := cfg.Profiles[idx%len(cfg.Profiles)]
+
+	// Resume: a journaled verdict stands in for re-execution entirely.
+	if journal != nil {
+		if e, ok := journal.Lookup(idx); ok {
+			mu.Lock()
+			sum.Resumed++
+			if e.Verdict == "skip" {
+				sum.Skipped++
+			}
+			for _, f := range e.Findings {
+				sum.Findings = append(sum.Findings, Record{Index: idx, Name: caseName(profile, idx), Finding: f, Repro: e.Repro})
+				sum.ByOracle[f.Oracle]++
+			}
+			mu.Unlock()
+			return
+		}
+	}
+
+	c, verdict, shrink := judgeOne(ctx, cfg, profile, idx)
+
+	// A case cut short by the session clock is not a verdict: leave it out of
+	// the journal so a resumed session re-runs it properly.
+	if ctx.Err() != nil && c != nil && len(verdict.Findings) == 0 && !verdict.Skipped {
+		return
+	}
+
+	name := caseName(profile, idx)
+	if c != nil {
+		name = c.Name()
+	}
+
+	entry := Entry{Index: idx, Seed: CaseSeed(cfg.Seed, idx), Profile: profile, Verdict: "ok", Execs: verdict.Execs}
+	var reproName string
+	if len(verdict.Findings) > 0 {
+		entry.Verdict = "finding"
+		entry.Findings = verdict.Findings
+		if cfg.CorpusDir != "" {
+			final := c
+			findings := verdict.Findings
+			orig := 0
+			if shrink != nil {
+				final, findings, orig = shrink.Case, shrink.Findings, shrink.OrigInsts
+			}
+			if r, err := NewRepro(final, cfg.Policies, findings, orig); err == nil {
+				if _, err := r.Write(cfg.CorpusDir); err == nil {
+					reproName = r.FileName()
+				} else {
+					logf(cfg.Log, "fuzz: %s: repro write failed: %v", name, err)
+				}
+			}
+		}
+		entry.Repro = reproName
+	} else if verdict.Skipped {
+		entry.Verdict = "skip"
+	}
+
+	mu.Lock()
+	sum.Cases++
+	sum.Execs += verdict.Execs
+	if verdict.Skipped {
+		sum.Skipped++
+	}
+	if verdict.GadgetLeakUnsafe {
+		sum.GadgetLeaksUnsafe++
+	}
+	if shrink != nil {
+		sum.Execs += shrink.Evals // each eval is at least one execution
+		sum.ShrinkEvals += shrink.Evals
+		if shrink.Reproduced && shrink.FinalInsts < shrink.OrigInsts {
+			sum.ShrunkFrom += shrink.OrigInsts
+			sum.ShrunkTo += shrink.FinalInsts
+		}
+	}
+	for _, f := range verdict.Findings {
+		sum.Findings = append(sum.Findings, Record{Index: idx, Name: name, Finding: f, Repro: reproName})
+		sum.ByOracle[f.Oracle]++
+	}
+	mu.Unlock()
+
+	for _, f := range verdict.Findings {
+		logf(cfg.Log, "fuzz: %s: %s", name, f)
+	}
+
+	if journal != nil {
+		if err := journal.Record(entry); err != nil {
+			logf(cfg.Log, "fuzz: %s: journal: %v", name, err)
+		}
+	}
+}
+
+// judgeOne generates and judges one case with panic isolation, shrinking the
+// first finding when configured. Returns the (possibly shrunk-source) case,
+// its verdict, and the shrink result when one ran.
+func judgeOne(ctx context.Context, cfg Config, profile Profile, idx int) (c *Case, verdict Verdict, shrink *ShrinkResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			verdict.add(Finding{Oracle: OraclePanic, Kind: "worker",
+				Detail: fmt.Sprintf("%v\n%s", r, debug.Stack())})
+		}
+	}()
+
+	c, err := Generate(profile, CaseSeed(cfg.Seed, idx), idx)
+	if err != nil {
+		verdict.add(Finding{Oracle: OracleGenerator, Kind: "generate", Detail: err.Error()})
+		return nil, verdict, nil
+	}
+
+	verdict = RunOracles(ctx, c, cfg.Options)
+	if len(verdict.Findings) == 0 || cfg.NoShrink {
+		return c, verdict, nil
+	}
+
+	res := Shrink(ctx, c, verdict.Findings[0], cfg.Options)
+	return c, verdict, &res
+}
+
+func caseName(p Profile, idx int) string { return fmt.Sprintf("fuzz-%s-%06d", p, idx) }
+
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}

@@ -1,0 +1,92 @@
+package fuzz
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"levioso/internal/engine"
+)
+
+const corpusDir = "testdata/corpus"
+
+// corpusSeed is the fixed session seed the checked-in regression corpus was
+// generated from (UPDATE_FUZZ_CORPUS=1 go test -run TestUpdateCorpus).
+const corpusSeed = 2024
+
+// TestCorpusReplay replays every checked-in repro through the complete
+// oracle stack under every registered policy — twice, asserting bit-identical
+// verdicts. This is the regression gate: a simulator change that breaks
+// architecture, determinism, invariants or the security contracts on any
+// corpus program fails here before a fuzzing session ever runs.
+func TestCorpusReplay(t *testing.T) {
+	corpus, err := LoadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) < len(Profiles()) {
+		t.Fatalf("corpus has %d repros, want at least one per profile (%d)", len(corpus), len(Profiles()))
+	}
+	opt := Options{Policies: engine.Policies()}
+	for _, r := range corpus {
+		c, err := r.Case()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1 := RunOracles(context.Background(), c, opt)
+		if v1.Skipped {
+			t.Errorf("%s: skipped: %s", r.Name, v1.SkipReason)
+			continue
+		}
+		for _, f := range v1.Findings {
+			t.Errorf("%s: regression: %s", r.Name, f)
+		}
+		v2 := RunOracles(context.Background(), c, opt)
+		if !reflect.DeepEqual(v1, v2) {
+			t.Errorf("%s: replay verdicts differ:\n  first:  %+v\n  second: %+v", r.Name, v1, v2)
+		}
+	}
+}
+
+// TestUpdateCorpus regenerates the seed corpus: one finding-free case per
+// profile at the fixed corpus seed. Gated behind UPDATE_FUZZ_CORPUS=1 so a
+// plain test run never rewrites testdata.
+func TestUpdateCorpus(t *testing.T) {
+	if os.Getenv("UPDATE_FUZZ_CORPUS") == "" {
+		t.Skip("set UPDATE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range old {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := Options{Policies: engine.Policies()}
+	for i, p := range Profiles() {
+		c, err := Generate(p, CaseSeed(corpusSeed, i), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := RunOracles(context.Background(), c, opt)
+		if len(v.Findings) > 0 || v.Skipped {
+			t.Fatalf("%s: seed corpus case must be clean: findings=%v skipped=%v", c.Name(), v.Findings, v.Skipped)
+		}
+		r, err := NewRepro(c, opt.Policies, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, err := r.Write(corpusDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d insts)", path, r.Insts)
+	}
+}

@@ -1,0 +1,293 @@
+package fuzz
+
+import (
+	"context"
+	"strings"
+
+	"levioso/internal/core"
+	"levioso/internal/isa"
+)
+
+// ShrinkResult is the outcome of minimizing a failing case.
+type ShrinkResult struct {
+	// Case is the minimized case (the program replaced; metadata kept).
+	Case *Case
+	// Reproduced reports whether the original program reproduced the target
+	// finding under the narrowed predicate at all (it always should — the
+	// stack is deterministic — but the shrinker refuses to "minimize" a
+	// failure it cannot see).
+	Reproduced bool
+	OrigInsts  int
+	FinalInsts int
+	// Evals counts oracle-stack evaluations spent.
+	Evals int
+	// Findings are the shrunk program's findings, re-validated against the
+	// same oracle stack — what gets persisted in the repro.
+	Findings []Finding
+}
+
+// Ratio returns the size reduction (1 - final/orig), 0 when nothing shrank.
+func (r ShrinkResult) Ratio() float64 {
+	if r.OrigInsts == 0 || r.FinalInsts >= r.OrigInsts {
+		return 0
+	}
+	return 1 - float64(r.FinalInsts)/float64(r.OrigInsts)
+}
+
+// Shrink delta-debugs c.Prog to a minimal program that still triggers the
+// target finding's failure class under the same oracle stack: chunked then
+// single instruction removal (with branch-offset remapping), NOP
+// substitution, and operand canonicalization, every candidate re-validated
+// (structure, annotation pass, full oracle predicate) before acceptance.
+//
+// The predicate is narrowed to the target's policy (and the storm stage is
+// dropped unless the target came from it), so each evaluation costs a
+// handful of runs rather than the whole policy matrix. Work is bounded by
+// Options.ShrinkBudget evaluations and the context.
+func Shrink(ctx context.Context, c *Case, target Finding, opt Options) ShrinkResult {
+	opt = opt.withDefaults()
+	popt := opt
+	if target.Policy != "" {
+		popt.Policies = []string{target.Policy}
+	}
+	popt.NoStorm = !strings.Contains(target.Kind, "storm")
+
+	s := &shrinker{ctx: ctx, base: c, target: target, opt: popt, budget: opt.ShrinkBudget}
+	res := ShrinkResult{Case: c, OrigInsts: len(c.Prog.Text), FinalInsts: len(c.Prog.Text)}
+
+	// Baseline: the unmodified program must reproduce under the narrowed
+	// predicate; its findings are the fallback repro payload.
+	if !s.try(c.Prog.Text) {
+		res.Evals = s.evals
+		return res
+	}
+	res.Reproduced = true
+
+	text := append([]isa.Inst(nil), c.Prog.Text...)
+	for {
+		before := len(text)
+		text = s.removalPass(text)
+		text = s.nopPass(text)
+		text = s.canonPass(text)
+		if len(text) == before && !s.changed {
+			break
+		}
+		if s.exhausted() {
+			break
+		}
+		s.changed = false
+	}
+
+	res.Case = s.acceptedCase()
+	res.FinalInsts = len(res.Case.Prog.Text)
+	res.Evals = s.evals
+	res.Findings = s.findings
+	return res
+}
+
+type shrinker struct {
+	ctx     context.Context
+	base    *Case
+	target  Finding
+	opt     Options
+	evals   int
+	budget  int
+	changed bool // a non-size-reducing pass (NOP/canon) accepted something
+
+	accepted *isa.Program // last accepted candidate program
+	findings []Finding    // its findings
+}
+
+func (s *shrinker) exhausted() bool {
+	return s.evals >= s.budget || s.ctx.Err() != nil
+}
+
+// try rebuilds, revalidates, re-annotates and re-judges one candidate text;
+// it accepts (and records) the candidate iff the target failure class
+// reproduces.
+func (s *shrinker) try(text []isa.Inst) bool {
+	if s.exhausted() {
+		return false
+	}
+	prog := rebuild(s.base.Prog, text)
+	if prog == nil {
+		return false
+	}
+	s.evals++
+	cand := *s.base
+	cand.Prog = prog
+	verdict := RunOracles(s.ctx, &cand, s.opt)
+	for _, f := range verdict.Findings {
+		if f.sameClass(s.target) {
+			s.accepted = prog
+			s.findings = verdict.Findings
+			return true
+		}
+	}
+	return false
+}
+
+// acceptedCase wraps the last accepted program in a copy of the base case
+// (acceptance is monotonic: every accepted candidate reproduced the target).
+func (s *shrinker) acceptedCase() *Case {
+	cand := *s.base
+	if s.accepted != nil {
+		cand.Prog = s.accepted
+	}
+	return &cand
+}
+
+// removalPass is the ddmin loop: try dropping chunks, halving the chunk
+// size down to single instructions.
+func (s *shrinker) removalPass(text []isa.Inst) []isa.Inst {
+	for chunk := len(text) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i < len(text) && !s.exhausted(); {
+			end := i + chunk
+			if end > len(text) {
+				end = len(text)
+			}
+			if cand := removeRange(text, i, end); cand != nil && s.try(cand) {
+				text = cand
+				continue // same i: the next chunk slid into place
+			}
+			i += chunk
+		}
+		if s.exhausted() {
+			break
+		}
+	}
+	return text
+}
+
+var nopInst = isa.Inst{Op: isa.ADDI} // addi x0, x0, 0
+
+// nopPass replaces instructions with NOPs — the shift-free fallback when
+// removal is blocked by branch offsets.
+func (s *shrinker) nopPass(text []isa.Inst) []isa.Inst {
+	for i := 0; i < len(text) && !s.exhausted(); i++ {
+		if text[i] == nopInst || text[i].Op == isa.HALT {
+			continue
+		}
+		cand := append([]isa.Inst(nil), text...)
+		cand[i] = nopInst
+		if s.try(cand) {
+			text = cand
+			s.changed = true
+		}
+	}
+	return text
+}
+
+// canonPass canonicalizes operands instruction by instruction: zero the
+// immediate (control flow excluded — its immediate is the CFG), then each
+// register field. Every simplification is individually re-validated.
+func (s *shrinker) canonPass(text []isa.Inst) []isa.Inst {
+	for i := 0; i < len(text) && !s.exhausted(); i++ {
+		in := text[i]
+		if in == nopInst {
+			continue
+		}
+		var variants []isa.Inst
+		if in.Op.HasImm() && in.Imm != 0 && !in.Op.IsControl() {
+			v := in
+			v.Imm = 0
+			variants = append(variants, v)
+		}
+		if in.Op.HasRs2() && in.Rs2 != isa.RegZero {
+			v := in
+			v.Rs2 = isa.RegZero
+			variants = append(variants, v)
+		}
+		if in.Op.HasRs1() && in.Rs1 != isa.RegZero {
+			v := in
+			v.Rs1 = isa.RegZero
+			variants = append(variants, v)
+		}
+		if in.Op.HasRd() && in.Rd != isa.RegZero && in.Op != isa.JAL {
+			v := in
+			v.Rd = isa.RegZero
+			variants = append(variants, v)
+		}
+		for _, variant := range variants {
+			if s.exhausted() {
+				break
+			}
+			cand := append([]isa.Inst(nil), text...)
+			cand[i] = variant
+			if s.try(cand) {
+				text = cand
+				s.changed = true
+				break
+			}
+		}
+	}
+	return text
+}
+
+// removeRange deletes text[start:end), remapping every surviving branch/JAL
+// byte offset (and giving targets that pointed into the removed range the
+// next surviving instruction). Returns nil when the result cannot be a
+// structurally valid program (a control op left without a target, or a
+// branch collapsing onto itself).
+func removeRange(text []isa.Inst, start, end int) []isa.Inst {
+	n := len(text)
+	if start >= end || end > n || end-start >= n {
+		return nil
+	}
+	newIdx := make([]int, n+1) // old index -> new index of next survivor
+	kept := 0
+	for i := 0; i < n; i++ {
+		newIdx[i] = kept
+		if i < start || i >= end {
+			kept++
+		}
+	}
+	newIdx[n] = kept // "text end" sentinel for forward targets past removal
+
+	out := make([]isa.Inst, 0, kept)
+	for i := 0; i < n; i++ {
+		if i >= start && i < end {
+			continue
+		}
+		in := text[i]
+		if in.Op.IsBranch() || in.Op == isa.JAL {
+			tgt := i + int(in.Imm)/isa.InstBytes
+			if tgt < 0 || tgt > n {
+				return nil
+			}
+			newImm := int64(newIdx[tgt]-newIdx[i]) * isa.InstBytes
+			if newImm == 0 || newIdx[tgt] >= kept {
+				return nil // self-loop, or target fell off the text
+			}
+			in.Imm = newImm
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// rebuild wraps a candidate text in a fresh program sharing the immutable
+// data segment, revalidates the structure, and re-runs the annotation pass
+// (stale hints would make the Levioso policies unsound on the shrunk CFG).
+// Returns nil when the candidate is not a valid program.
+func rebuild(orig *isa.Program, text []isa.Inst) *isa.Program {
+	// Generated programs always enter at the first instruction (gadget
+	// sources open with main:), so removal never has to remap the entry.
+	if idx, ok := orig.InstIndex(orig.Entry); !ok || idx != 0 {
+		return nil
+	}
+	prog := &isa.Program{
+		Text:    text,
+		Data:    orig.Data,
+		Entry:   isa.TextBase,
+		Symbols: orig.Symbols,
+		Hints:   map[uint64]isa.BranchHint{},
+	}
+	if err := prog.Validate(); err != nil {
+		return nil
+	}
+	if _, err := core.Annotate(prog); err != nil {
+		return nil
+	}
+	return prog
+}

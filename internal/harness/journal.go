@@ -86,7 +86,9 @@ func (j *Journal) Lookup(tag, workload, policy string) (Run, bool) {
 
 // Record appends one completed cell and remembers it for Lookup. Safe for
 // concurrent use by the sweep goroutines; each entry is a single write so
-// an interruption can tear at most the final line.
+// an interruption can tear at most the final line, and each write is fsynced
+// before Record returns, so a power loss can lose at most the entry being
+// written — never previously recorded cells.
 func (j *Journal) Record(tag string, r Run) error {
 	b, err := json.Marshal(journalEntry{
 		Tag: tag, Workload: r.Workload, Policy: r.Policy,
@@ -101,8 +103,21 @@ func (j *Journal) Record(tag string, r Run) error {
 	if _, err := j.f.Write(b); err != nil {
 		return err
 	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
 	j.seen[journalKey{tag, r.Workload, r.Policy}] = r
 	return nil
+}
+
+// Sync flushes the journal to stable storage. Record already fsyncs after
+// every append; Sync exists for callers that write through the file by other
+// means or want an explicit durability point (e.g. before reporting a sweep
+// as resumable).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
 }
 
 // Len returns the number of recorded cells.

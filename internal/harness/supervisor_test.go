@@ -347,3 +347,31 @@ func TestJournalTagNamespacing(t *testing.T) {
 		t.Error("untagged lookup matched tagged entry")
 	}
 }
+
+// Record fsyncs each entry and Sync is exposed for explicit barriers (a
+// supervisor checkpointing before a risky phase): after either, a fresh
+// reader of the file — not the same handle — must see the entry complete.
+func TestJournalRecordDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record("t", Run{Workload: "w1", Policy: "p1", ExitCode: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen the path independently while the writer is still open: the
+	// synced entry must already be complete on disk.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec, ok := j2.Lookup("t", "w1", "p1"); !ok || rec.ExitCode != 3 {
+		t.Fatalf("synced entry not visible to a fresh reader: %+v ok=%v", rec, ok)
+	}
+}

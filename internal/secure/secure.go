@@ -88,6 +88,59 @@ func EvalNames() []string {
 	return []string{"unsafe", "fence", "delay", "invisible", "levioso"}
 }
 
+// Coverage classifies the security contract a policy promises. It is the
+// machine-readable form of the coverage column in the package comment: the
+// fuzzing security oracle uses it to decide which policies MUST block a
+// generated attack gadget, and the attack expectation matrix derives the
+// per-attack leak expectations from it.
+type Coverage int
+
+const (
+	// CoverageNone promises nothing: full speculation (the unsafe baseline).
+	CoverageNone Coverage = iota
+	// CoverageCtrl restricts control-dependent transmissions only — the
+	// levioso-ctrl ablation. UNSOUND against data-dependent leaks; it exists
+	// for cost attribution, and the oracle holds it to exactly that contract.
+	CoverageCtrl
+	// CoverageSandbox restricts transmissions of speculatively-accessed data
+	// only (the STT/taint class): sound for the sandbox threat model, leaks
+	// non-speculatively loaded secrets.
+	CoverageSandbox
+	// CoverageComprehensive restricts every transient transmission.
+	CoverageComprehensive
+)
+
+func (c Coverage) String() string {
+	switch c {
+	case CoverageNone:
+		return "none"
+	case CoverageCtrl:
+		return "control-only"
+	case CoverageSandbox:
+		return "sandbox"
+	case CoverageComprehensive:
+		return "comprehensive"
+	default:
+		return "invalid"
+	}
+}
+
+// CoverageOf returns the documented security contract of a policy.
+func CoverageOf(name string) (Coverage, error) {
+	switch name {
+	case "unsafe":
+		return CoverageNone, nil
+	case "levioso-ctrl":
+		return CoverageCtrl, nil
+	case "taint":
+		return CoverageSandbox, nil
+	case "fence", "delay", "invisible", "levioso", "levioso-ghost":
+		return CoverageComprehensive, nil
+	default:
+		return CoverageNone, fmt.Errorf("secure: unknown policy %q (have %v)", name, Names())
+	}
+}
+
 // ------------------------------------------------------------------ fence --
 
 // fencePolicy: no instruction younger than an unresolved branch executes.

@@ -19,6 +19,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -230,6 +231,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var sr SimRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	if err := json.NewDecoder(body).Decode(&sr); err != nil {
+		// An oversized body (fuzz-shaped programs can be arbitrarily large)
+		// is a distinct, typed condition: 413 with the build kind, so
+		// clients can tell "shrink your request" from "your JSON is bad".
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				simerr.New(simerr.KindBuild, "serve: request body exceeds %d bytes", mbe.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
 		return
 	}

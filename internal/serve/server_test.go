@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -263,5 +264,21 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if disabled := newLRU(-1); disabled != nil {
 		t.Fatal("negative capacity should disable the cache")
+	}
+}
+
+// An oversized request body must come back as a typed 413, not a generic
+// 400: clients distinguish "shrink your program" from "fix your request".
+func TestServeBodyTooLarge(t *testing.T) {
+	_, ts := startServer(t, Config{MaxBody: 512})
+	big := SimRequest{Source: "// " + strings.Repeat("x", 4096) + "\n" + histSrc}
+	_, resp := postSimulate(t, ts.URL, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+	// A request under the cap on the same server still works.
+	small, resp := postSimulate(t, ts.URL, SimRequest{Source: "func main() { print(7); return 0; }"})
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(small.Output) != "7" {
+		t.Fatalf("small request after 413: status %d output %q", resp.StatusCode, small.Output)
 	}
 }

@@ -41,7 +41,9 @@ const (
 	KindPanic
 	// KindDeadline is a per-run wall-clock deadline (context) expiring.
 	KindDeadline
-	// KindMemFault is a committed access outside simulated memory.
+	// KindMemFault is an architectural memory fault: a committed access
+	// outside simulated memory, or a reference-model step failure (bad PC,
+	// misaligned or out-of-range access).
 	KindMemFault
 	// KindBuild is a failure before simulation started: workload compilation,
 	// reference pre-run, or core construction.
@@ -182,6 +184,17 @@ func KindOf(err error) Kind {
 		return re.Kind
 	}
 	return KindUnknown
+}
+
+// IsLimit reports whether err is a resource-limit failure: the core's
+// no-progress watchdog or a cycle/instruction limit. Fuzzing oracles use the
+// predicate to fold the three exhaustion kinds into one "limits" verdict.
+func IsLimit(err error) bool {
+	switch KindOf(err) {
+	case KindWatchdog, KindCycleLimit, KindInstLimit:
+		return true
+	}
+	return false
 }
 
 // Transient reports whether err is classified transient (retryable).
