@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench golden gate smoke fuzzsmoke replay ci clean
+.PHONY: all build vet test race bench golden gate smoke obssmoke fuzzsmoke replay ci clean
 
 all: build
 
@@ -54,6 +54,14 @@ gate:
 smoke:
 	$(GO) test -race -run 'TestServeSmoke|TestServeClientCancel' ./internal/serve
 
+# obssmoke is the observability gate: boot levserve, run one simulate,
+# scrape GET /metrics and fail on unparseable Prometheus exposition lines or
+# missing required families (per-stage engine histograms, per-route serve
+# counters), then assert every failure status renders the unified
+# {"error":{kind,message,retryable}} envelope.
+obssmoke:
+	$(GO) test -race -count=1 -run 'TestServeMetricsSmoke|TestServeErrorEnvelope|TestServeQueueGiveUp503|TestServeVersion|TestServeAccessLog' ./internal/serve
+
 # fuzzsmoke runs the differential fuzzer for a fixed-seed ten-second
 # session: seeded random programs (all five generation profiles) judged by
 # the full oracle stack — architectural differential vs the reference model,
@@ -79,6 +87,7 @@ ci:
 	$(GO) test -bench=BenchmarkHotLoop -benchtime=1x -run=^$$ .
 	$(MAKE) gate
 	$(MAKE) smoke
+	$(MAKE) obssmoke
 	$(MAKE) fuzzsmoke
 	$(MAKE) replay
 	$(MAKE) golden

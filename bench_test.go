@@ -21,6 +21,7 @@ import (
 	"levioso/internal/core"
 	"levioso/internal/cpu"
 	"levioso/internal/harness"
+	"levioso/internal/obs"
 	"levioso/internal/secure"
 	"levioso/internal/workloads"
 )
@@ -238,11 +239,18 @@ type hotLoopEntry struct {
 }
 
 type hotLoopReport struct {
-	GeneratedBy  string         `json:"generated_by"`
-	GoVersion    string         `json:"go_version"`
-	MeanCPS      float64        `json:"suite_mean_sim_cycles_per_sec"`
-	MeanAllocs   float64        `json:"suite_mean_allocs_per_committed_inst"`
-	Measurements []hotLoopEntry `json:"measurements"`
+	GeneratedBy string  `json:"generated_by"`
+	GoVersion   string  `json:"go_version"`
+	MeanCPS     float64 `json:"suite_mean_sim_cycles_per_sec"`
+	MeanAllocs  float64 `json:"suite_mean_allocs_per_committed_inst"`
+	// Per-cell simulate wall-clock quantiles over every measured
+	// (workload, policy) cell, estimated from an internal/obs latency
+	// histogram — the same bucket layout levserve's /metrics exports, so
+	// the offline and the served numbers are directly comparable.
+	SimLatencyP50 float64        `json:"sim_latency_p50_s"`
+	SimLatencyP95 float64        `json:"sim_latency_p95_s"`
+	SimLatencyP99 float64        `json:"sim_latency_p99_s"`
+	Measurements  []hotLoopEntry `json:"measurements"`
 }
 
 // measureHotLoop runs one (workload, policy) cell once and returns its
@@ -325,13 +333,20 @@ func BenchmarkHotLoop(b *testing.B) {
 		report.GeneratedBy = "go test -bench=HotLoop -benchjson (make bench)"
 		report.GoVersion = runtime.Version()
 		var cps, allocs float64
+		lat := obs.NewRegistry().Histogram("sim_latency_seconds",
+			"per-cell simulate wall time", obs.LatencyBuckets())
 		for _, e := range report.Measurements {
 			cps += e.CyclesPerSec
 			allocs += e.AllocsPerInst
+			lat.Observe(float64(e.WallNs) / 1e9)
 		}
 		if n := float64(len(report.Measurements)); n > 0 {
 			report.MeanCPS = cps / n
 			report.MeanAllocs = allocs / n
+			snap := lat.Snapshot()
+			report.SimLatencyP50 = snap.Quantile(0.50)
+			report.SimLatencyP95 = snap.Quantile(0.95)
+			report.SimLatencyP99 = snap.Quantile(0.99)
 		}
 		out, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {

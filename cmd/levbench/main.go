@@ -44,7 +44,9 @@ func run() int {
 	retries := flag.Int("retries", 0, "retries per cell after a transient failure")
 	runTimeout := flag.Duration("run-timeout", 0, "wall-clock bound per run attempt (0 = none)")
 	profiles := prof.Register(flag.CommandLine)
+	metrics := cli.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
+	defer func() { cli.DumpMetrics("levbench", *metrics) }()
 
 	if *list {
 		for _, id := range harness.ExperimentIDs() {

@@ -52,6 +52,8 @@ func run() int {
 	noShrink := flag.Bool("no-shrink", false, "persist findings without minimizing")
 	noMatrix := flag.Bool("no-matrix", false, "skip the once-per-session attack expectation matrix check")
 	quiet := flag.Bool("q", false, "suppress per-finding progress lines")
+	snapshot := flag.Duration("snapshot", 5*time.Second, "periodic throughput snapshot interval (0 disables)")
+	metrics := cli.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		return cli.Usage("levfuzz [-seed N] [-duration D | -count N] [-profile p,..] [-policies p,..] [-corpus dir] [-inject spec]")
@@ -86,7 +88,9 @@ func run() int {
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr
+		cfg.SnapshotEvery = *snapshot
 	}
+	defer func() { cli.DumpMetrics("levfuzz", *metrics) }()
 
 	// ^C finishes in-flight cases and reports what was found; with a corpus
 	// journal the next identical invocation resumes from the interruption.

@@ -10,7 +10,12 @@
 // Endpoints (see internal/serve):
 //
 //	POST /v1/simulate   {"source"|"asm"|"binary"|"workload", "policy", ...}
-//	GET  /v1/policies   GET /v1/workloads   GET /v1/stats   GET /healthz
+//	GET  /v1/policies   GET /v1/workloads   GET /v1/stats   GET /v1/version
+//	GET  /metrics       GET /healthz
+//
+// -access-log writes one structured JSON line per request to stderr;
+// -pprof mounts net/http/pprof under /debug/pprof/. GET /metrics serves the
+// server's metric registry in the Prometheus text format.
 //
 // SIGINT/SIGTERM drain in-flight requests and shut down gracefully.
 package main
@@ -42,17 +47,24 @@ func run() int {
 	cacheN := flag.Int("cache", 256, "result-cache entries (negative disables)")
 	deadline := flag.Duration("deadline", time.Minute, "default per-request deadline")
 	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes")
+	accessLog := flag.Bool("access-log", false, "write one JSON access-log line per request to stderr")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		return cli.Usage("levserve [-addr :8347] [-workers N] [-cache 256] [-deadline 60s]")
+		return cli.Usage("levserve [-addr :8347] [-workers N] [-cache 256] [-deadline 60s] [-access-log] [-pprof]")
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:         *workers,
 		CacheEntries:    *cacheN,
 		DefaultDeadline: *deadline,
 		MaxBody:         *maxBody,
-	})
+		EnablePprof:     *enablePprof,
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	srv := serve.New(cfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -38,7 +38,9 @@ func main() {
 func run() int {
 	sf := cli.RegisterSim(flag.CommandLine)
 	journalPath := flag.String("journal", "", "record the run in this JSON-lines journal; skip if already recorded")
+	metrics := cli.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
+	defer func() { cli.DumpMetrics("levsim", *metrics) }()
 	if flag.NArg() != 1 {
 		return cli.Usage("levsim [-policy P] [-rob N] [-stats] [-ref] prog.bin")
 	}
@@ -64,7 +66,10 @@ func run() int {
 			return cli.ExitStatus(rec.ExitCode)
 		}
 	}
-	req := sf.Request(wname)
+	req, err := sf.Request(wname)
+	if err != nil {
+		return cli.Fail("levsim", err)
+	}
 	req.Binary = img
 	res, err := engine.Run(context.Background(), req)
 	if err != nil {

@@ -50,7 +50,8 @@ func TestCmdPipelineGolden(t *testing.T) {
 	var cycles = map[string]uint64{}
 	for _, pol := range []string{"unsafe", "levioso"} {
 		res, err := engine.Run(context.Background(), engine.Request{
-			Name: "e2e.bin", Binary: img, Policy: pol, Verify: true,
+			Name: "e2e.bin", Binary: img, Verify: true,
+			Overrides: engine.Overrides{Policy: pol},
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", pol, err)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"levioso/internal/engine"
+	"levioso/internal/obs"
 	"levioso/internal/prof"
 	"levioso/internal/simerr"
 	"levioso/internal/workloads"
@@ -101,21 +102,47 @@ func RegisterSim(fs *flag.FlagSet) *SimFlags {
 	}
 }
 
-// Request translates the parsed flag group into an engine request (the
-// caller fills in the program input).
-func (f *SimFlags) Request(name string) engine.Request {
+// Request translates the parsed flag group into a normalized engine request
+// (the caller fills in the program input). Normalization is the same
+// engine.Overrides.Normalize the levserve JSON path runs, so a flag value
+// rejected here is rejected identically over HTTP.
+func (f *SimFlags) Request(name string) (engine.Request, error) {
 	req := engine.Request{
-		Name:      name,
-		Policy:    *f.Policy,
-		ROBSize:   *f.ROB,
-		MaxCycles: *f.MaxCycles,
-		UseRef:    *f.Ref,
-		Deadline:  *f.Deadline,
+		Name:   name,
+		UseRef: *f.Ref,
+		Overrides: engine.Overrides{
+			Policy:    *f.Policy,
+			ROBSize:   *f.ROB,
+			MaxCycles: *f.MaxCycles,
+			Deadline:  *f.Deadline,
+		},
 	}
 	if *f.Trace {
 		req.Trace = os.Stderr
 	}
-	return req
+	if err := req.Normalize(); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// RegisterMetrics adds the -metrics flag: dump every metric the run recorded
+// (engine stage histograms, sweep counters, ...) to stderr at exit in the
+// Prometheus text format — the offline twin of levserve's GET /metrics.
+func RegisterMetrics(fs *flag.FlagSet) *bool {
+	return fs.Bool("metrics", false, "dump collected metrics (Prometheus text) to stderr at exit")
+}
+
+// DumpMetrics writes the process-wide obs registry to stderr when enabled.
+// Tools call it on their deferred exit path, after the run recorded.
+func DumpMetrics(tool string, enabled bool) {
+	if !enabled {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "# %s: metrics snapshot\n", tool)
+	if err := obs.Default().WriteProm(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: metrics dump failed: %v\n", tool, err)
+	}
 }
 
 // BuildFlags is the common build-tool flag group shared by levc and levas.

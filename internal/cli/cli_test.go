@@ -38,13 +38,28 @@ func TestSimFlagsRequest(t *testing.T) {
 	if err := fs.Parse([]string{"-policy", "levioso", "-rob", "96", "-deadline", "5s"}); err != nil {
 		t.Fatal(err)
 	}
-	req := sf.Request("x.bin")
+	req, err := sf.Request("x.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if req.Policy != "levioso" || req.ROBSize != 96 || req.Deadline.Seconds() != 5 {
 		t.Fatalf("flag translation wrong: %+v", req)
 	}
 	cfg := req.BuildConfig()
 	if cfg.ROBSize != 96 {
 		t.Fatalf("ROB override lost: %+v", cfg)
+	}
+}
+
+func TestSimFlagsRequestRejectsBadOverrides(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	sf := RegisterSim(fs)
+	if err := fs.Parse([]string{"-policy", "nonesuch"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.Request("x.bin"); !errors.Is(err, simerr.ErrBuild) {
+		t.Fatalf("want typed build error for unknown policy, got %v", err)
 	}
 }
 

@@ -26,18 +26,71 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"slices"
 	"time"
 
 	"levioso/internal/core"
 	"levioso/internal/cpu"
 	"levioso/internal/isa"
+	"levioso/internal/obs"
 	"levioso/internal/ref"
 	"levioso/internal/secure"
+	"levioso/internal/simerr"
 )
 
+// MaxROBOverride bounds the ROBSize override: larger windows than this are
+// configuration mistakes (the physical register file would dwarf memory),
+// and the bound keeps flag parsing and JSON decoding rejecting them
+// identically.
+const MaxROBOverride = 1 << 14
+
+// Overrides is the common run-option surface every entry point shares: the
+// policy and the config overrides a caller may apply on top of a core
+// configuration. cli flag parsing and levserve JSON decoding both funnel
+// through Normalize, so bounds checks and defaults live in exactly one
+// place and a request rejected on the command line is rejected identically
+// over HTTP.
+type Overrides struct {
+	// Policy is the secure-speculation policy name (see Policies).
+	// Empty means "unsafe"; Normalize applies the default.
+	Policy string
+	// ROBSize, when positive, overrides the ROB size (the physical register
+	// file is widened to match if needed). Bounded by MaxROBOverride.
+	ROBSize int
+	// MaxCycles, when positive, overrides the cycle limit.
+	MaxCycles uint64
+	// Deadline bounds the run's wall-clock time (0 = none). Expiry
+	// surfaces as simerr.ErrDeadline, classified transient.
+	Deadline time.Duration
+}
+
+// Normalize applies defaults and validates bounds, returning a typed
+// KindBuild error on anything out of range: negative or oversized ROB
+// overrides, negative deadlines, unknown policy names. Run normalizes its
+// request itself, so direct callers may skip this; cli and serve call it
+// eagerly to reject bad requests before any work happens.
+func (o *Overrides) Normalize() error {
+	if o.Policy == "" {
+		o.Policy = "unsafe"
+	}
+	if !slices.Contains(secure.Names(), o.Policy) {
+		return &simerr.RunError{Kind: simerr.KindBuild, Detail: "policy",
+			Err: fmt.Errorf("engine: unknown policy %q (have %v)", o.Policy, secure.Names())}
+	}
+	if o.ROBSize < 0 || o.ROBSize > MaxROBOverride {
+		return simerr.New(simerr.KindBuild, "engine: ROB override %d out of range [0, %d]", o.ROBSize, MaxROBOverride)
+	}
+	if o.Deadline < 0 {
+		return simerr.New(simerr.KindBuild, "engine: negative deadline %v", o.Deadline)
+	}
+	return nil
+}
+
 // Request describes one pipeline invocation. Exactly one program input —
-// Program, Binary, Source, or AsmText — must be set.
+// Program, Binary, Source, or AsmText — must be set. The embedded Overrides
+// carry the policy and config-override knobs shared by every entry point.
 type Request struct {
 	// Name labels the program in diagnostics and cache keys (typically the
 	// input file or workload name). Defaults to "prog".
@@ -59,18 +112,13 @@ type Request struct {
 	// were built with).
 	NoAnnotate bool
 
-	// Policy is the secure-speculation policy name (see Policies).
-	// Empty means "unsafe".
-	Policy string
+	// Overrides is the shared option surface: policy, ROB/cycle-limit
+	// overrides, wall-clock deadline. See Overrides.Normalize.
+	Overrides
 
 	// Config, when non-nil, replaces the default core configuration.
-	// The overrides below apply on top of it either way.
+	// The Overrides apply on top of it either way.
 	Config *cpu.Config
-	// ROBSize, when positive, overrides the ROB size (the physical register
-	// file is widened to match if needed).
-	ROBSize int
-	// MaxCycles, when positive, overrides the cycle limit.
-	MaxCycles uint64
 	// Trace, when non-nil, receives the per-commit pipeline trace (slow).
 	Trace io.Writer
 
@@ -84,9 +132,6 @@ type Request struct {
 	// result to check against (the harness computes it once per workload
 	// and shares it across policy cells). Nil means Run computes it.
 	Want *ref.Result
-	// Deadline bounds the run's wall-clock time (0 = none). Expiry
-	// surfaces as simerr.ErrDeadline, classified transient.
-	Deadline time.Duration
 }
 
 // name returns the diagnostic label for the request.
@@ -119,14 +164,6 @@ func (r *Request) BuildConfig() cpu.Config {
 	return cfg
 }
 
-// policy returns the request's effective policy name.
-func (r *Request) policy() string {
-	if r.Policy == "" {
-		return "unsafe"
-	}
-	return r.Policy
-}
-
 // Result summarizes a completed pipeline run.
 type Result struct {
 	ExitCode uint64
@@ -148,15 +185,31 @@ type Result struct {
 // ExitStatus funnels the program's exit code into a shell exit status.
 func (r *Result) ExitStatus() int { return int(r.ExitCode) & 0x7f }
 
-// Run executes the whole pipeline for one request: resolve the program input
-// (Load/Compile/Assemble), then either a reference run (UseRef) or a core
-// simulation under the named policy, then the optional reference
-// cross-check. All failures are typed *simerr.RunError values.
-func Run(ctx context.Context, req Request) (*Result, error) {
+// Run executes the whole pipeline for one request: normalize the option
+// surface, resolve the program input (Load/Compile/Assemble), then either a
+// reference run (UseRef) or a core simulation under the named policy, then
+// the optional reference cross-check. All failures are typed
+// *simerr.RunError values.
+//
+// Every stage records a duration/outcome observation into the obs registry
+// carried by ctx (obs.Default when none): the engine_stage_seconds histogram
+// family with stage ∈ {load, compile, assemble, annotate, simulate,
+// reference, verify} and outcome "ok" or the failure kind, plus the
+// engine_runs_total counter. Instrumentation is per stage, never per
+// instruction, so its cost is amortized over entire simulations.
+func Run(ctx context.Context, req Request) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	prog, annot, err := Resolve(&req)
+	defer func() {
+		obs.FromContext(ctx).CounterVec("engine_runs_total",
+			"completed engine pipeline runs by outcome", "outcome").
+			With(outcomeOf(err)).Inc()
+	}()
+	if err := req.Normalize(); err != nil {
+		return nil, err
+	}
+	prog, annot, err := Resolve(ctx, &req)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +219,9 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 		defer cancel()
 	}
 	if req.UseRef {
+		sp := obs.StartSpan(ctx, "engine.reference")
 		rres, err := Reference(ctx, prog, ref.Limits{})
+		sp.End(outcomeOf(err))
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +230,9 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 			Ref: true, RefInsts: rres.Insts, Annotation: annot,
 		}, nil
 	}
-	res, err := Simulate(ctx, prog, req.BuildConfig(), req.policy())
+	sp := obs.StartSpan(ctx, "engine.simulate")
+	sres, err := Simulate(ctx, prog, req.BuildConfig(), req.Policy)
+	sp.End(outcomeOf(err))
 	if err != nil {
 		return nil, err
 	}
@@ -185,20 +242,34 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 			// Reference classifies its own failures (deadline, instruction
 			// limit, architectural fault) — pass them through rather than
 			// re-wrapping, so a deadline stays KindDeadline for the caller.
+			rsp := obs.StartSpan(ctx, "engine.reference")
 			w, err := Reference(ctx, prog, ref.Limits{})
+			rsp.End(outcomeOf(err))
 			if err != nil {
 				return nil, err
 			}
 			want = &w
 		}
-		if err := VerifyAgainst(res.ExitCode, res.Output, *want); err != nil {
+		vsp := obs.StartSpan(ctx, "engine.verify")
+		err := VerifyAgainst(sres.ExitCode, sres.Output, *want)
+		vsp.End(outcomeOf(err))
+		if err != nil {
 			return nil, err
 		}
 	}
 	return &Result{
-		ExitCode: res.ExitCode, Output: res.Output,
-		Stats: res.Stats, Annotation: annot,
+		ExitCode: sres.ExitCode, Output: sres.Output,
+		Stats: sres.Stats, Annotation: annot,
 	}, nil
+}
+
+// outcomeOf maps a stage result onto its span outcome label: "ok" or the
+// typed failure kind.
+func outcomeOf(err error) string {
+	if err == nil {
+		return obs.OutcomeOK
+	}
+	return simerr.KindOf(err).String()
 }
 
 // Policies lists every secure-speculation policy name, baseline first.

@@ -40,7 +40,8 @@ func main() {
 func TestRunFromSourceVerified(t *testing.T) {
 	for _, pol := range []string{"unsafe", "levioso"} {
 		res, err := Run(context.Background(), Request{
-			Name: "hist.lc", Source: histSrc, Policy: pol, Verify: true,
+			Name: "hist.lc", Source: histSrc, Verify: true,
+			Overrides: Overrides{Policy: pol},
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", pol, err)
@@ -63,11 +64,11 @@ func TestRunBinaryMatchesSource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromSrc, err := Run(context.Background(), Request{Source: histSrc, Policy: "levioso"})
+	fromSrc, err := Run(context.Background(), Request{Source: histSrc, Overrides: Overrides{Policy: "levioso"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromBin, err := Run(context.Background(), Request{Binary: img, Policy: "levioso"})
+	fromBin, err := Run(context.Background(), Request{Binary: img, Overrides: Overrides{Policy: "levioso"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestResolveRejectsBadInputCounts(t *testing.T) {
 		{},                                   // no input
 		{Source: histSrc, Binary: []byte{1}}, // two inputs
 	} {
-		if _, _, err := Resolve(&req); !errors.Is(err, simerr.ErrBuild) {
+		if _, _, err := Resolve(context.Background(), &req); !errors.Is(err, simerr.ErrBuild) {
 			t.Fatalf("want typed build error, got %v", err)
 		}
 	}
@@ -118,7 +119,7 @@ func TestSimulateUnknownPolicy(t *testing.T) {
 
 func TestRunDeadline(t *testing.T) {
 	_, err := Run(context.Background(), Request{
-		Source: spinSrc, Deadline: 10 * time.Millisecond,
+		Source: spinSrc, Overrides: Overrides{Deadline: 10 * time.Millisecond},
 	})
 	if !errors.Is(err, simerr.ErrDeadline) {
 		t.Fatalf("want deadline error, got %v", err)
@@ -180,7 +181,7 @@ func TestCacheKey(t *testing.T) {
 }
 
 func TestBuildConfigOverrides(t *testing.T) {
-	req := Request{ROBSize: 320, MaxCycles: 1234}
+	req := Request{Overrides: Overrides{ROBSize: 320, MaxCycles: 1234}}
 	cfg := req.BuildConfig()
 	if cfg.ROBSize != 320 || cfg.MaxCycles != 1234 {
 		t.Fatalf("overrides not applied: %+v", cfg)

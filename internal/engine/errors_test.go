@@ -34,7 +34,7 @@ func TestMalformedInputsAreTypedBuildErrors(t *testing.T) {
 		{"truncated binary", Request{Binary: img[:len(img)/2]}},
 		{"asm syntax error", Request{AsmText: "main:\n\tbogus t0, t1\n"}},
 		{"levc syntax error", Request{Source: "func main( {"}},
-		{"unknown policy", Request{Source: histSrc, Policy: "nonesuch"}},
+		{"unknown policy", Request{Source: histSrc, Overrides: Overrides{Policy: "nonesuch"}}},
 		{"invalid config", Request{Source: histSrc, Config: &cpu.Config{ROBSize: -1}}},
 	}
 	for _, tc := range cases {

@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 
 	"levioso/internal/cpu"
 	"levioso/internal/isa"
+	"levioso/internal/obs"
 )
 
 // CacheKey derives a stable result-cache key for simulating prog under the
@@ -33,4 +35,15 @@ func CacheKey(prog *isa.Program, policy string, cfg cpu.Config, useRef, verify b
 	// are, checked above), so the fmt rendering is deterministic.
 	fmt.Fprintf(h, "|policy=%s|ref=%t|verify=%t|cfg=%+v", policy, useRef, verify, cfg)
 	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// CacheKeyObserved is CacheKey with its computation time recorded into ctx's
+// obs registry (engine_stage_seconds{stage="cachekey"}). Key derivation
+// hashes the whole program image, so a serving layer keying every request
+// wants it on its latency dashboard next to the pipeline stages.
+func CacheKeyObserved(ctx context.Context, prog *isa.Program, policy string, cfg cpu.Config, useRef, verify bool) (string, bool) {
+	sp := obs.StartSpan(ctx, "engine.cachekey")
+	key, ok := CacheKey(prog, policy, cfg, useRef, verify)
+	sp.End(obs.OutcomeOK)
+	return key, ok
 }

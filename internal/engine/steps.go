@@ -10,6 +10,7 @@ import (
 	"levioso/internal/cpu"
 	"levioso/internal/isa"
 	"levioso/internal/lang"
+	"levioso/internal/obs"
 	"levioso/internal/ref"
 	"levioso/internal/secure"
 	"levioso/internal/simerr"
@@ -27,8 +28,10 @@ func buildErr(name, stage string, err error) *simerr.RunError {
 // Resolve materializes the request's program input. Exactly one of Program,
 // Binary, Source, AsmText must be set; anything else is a typed build error.
 // The annotation statistics are non-nil only when Resolve ran the Levioso
-// pass (Source/AsmText inputs without NoAnnotate).
-func Resolve(req *Request) (*isa.Program, *core.AnnotateStats, error) {
+// pass (Source/AsmText inputs without NoAnnotate). Each build stage it runs
+// (load, compile, assemble, annotate) records a span into ctx's obs
+// registry; pre-built Program inputs record nothing.
+func Resolve(ctx context.Context, req *Request) (*isa.Program, *core.AnnotateStats, error) {
 	n := 0
 	if req.Program != nil {
 		n++
@@ -50,13 +53,39 @@ func Resolve(req *Request) (*isa.Program, *core.AnnotateStats, error) {
 	case req.Program != nil:
 		return req.Program, nil, nil
 	case req.Binary != nil:
+		sp := obs.StartSpan(ctx, "engine.load")
 		prog, err := Load(req.name(), req.Binary)
+		sp.End(outcomeOf(err))
 		return prog, nil, err
 	case req.Source != "":
-		return Compile(req.name(), req.Source, !req.NoAnnotate)
+		sp := obs.StartSpan(ctx, "engine.compile")
+		text, err := lang.CompileToAsm(req.name(), req.Source)
+		sp.End(outcomeOf(err))
+		if err != nil {
+			return nil, nil, buildErr(req.name(), "compile", err)
+		}
+		return assembleStaged(ctx, req, req.name()+".s", "internal: generated assembly rejected", text)
 	default:
-		return Assemble(req.name(), req.AsmText, !req.NoAnnotate)
+		return assembleStaged(ctx, req, req.name(), "assemble", req.AsmText)
 	}
+}
+
+// assembleStaged runs the assemble and (optionally) annotate stages with
+// span instrumentation — the tail both Source and AsmText inputs share.
+func assembleStaged(ctx context.Context, req *Request, file, stage, text string) (*isa.Program, *core.AnnotateStats, error) {
+	sp := obs.StartSpan(ctx, "engine.assemble")
+	prog, err := asm.Assemble(file, text)
+	sp.End(outcomeOf(err))
+	if err != nil {
+		return nil, nil, buildErr(req.name(), stage, err)
+	}
+	if req.NoAnnotate {
+		return prog, nil, nil
+	}
+	asp := obs.StartSpan(ctx, "engine.annotate")
+	prog, annot, err := annotateProg(req.name(), prog, true)
+	asp.End(outcomeOf(err))
+	return prog, annot, err
 }
 
 // Load unmarshals a LEV64 binary image.

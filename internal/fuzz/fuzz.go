@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"levioso/internal/obs"
 )
 
 // Config tunes one fuzzing session.
@@ -45,6 +47,10 @@ type Config struct {
 	NoMatrix bool
 	// Log, when set, receives progress lines as findings appear.
 	Log io.Writer
+	// SnapshotEvery, when positive and Log is set, emits a periodic
+	// one-line throughput snapshot (cases, execs/sec, findings, shrink
+	// evals) so long unbounded sessions stay observable.
+	SnapshotEvery time.Duration
 }
 
 // Record is one reported finding with its case attribution (Index -1: the
@@ -134,6 +140,7 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 
 	start := time.Now()
 	sum := &Summary{ByOracle: map[string]int{}}
+	met := newSessionMetrics(ctx)
 
 	// The once-per-session matrix check: the three attack gadgets replayed
 	// under every policy against the documented leak expectations.
@@ -141,8 +148,34 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 		for _, f := range SecurityMatrix(cfg.Policies) {
 			sum.Findings = append(sum.Findings, Record{Index: -1, Name: "security-matrix", Finding: f})
 			sum.ByOracle[f.Oracle]++
+			met.findings.With(f.Oracle).Inc()
 			logf(cfg.Log, "fuzz: security-matrix: %s", f)
 		}
+	}
+
+	// The periodic snapshot reads the lock-free obs counters, never the
+	// mutex-guarded Summary, so it can tick at any rate without contending
+	// with the workers.
+	snapDone := make(chan struct{})
+	if cfg.SnapshotEvery > 0 && cfg.Log != nil {
+		go func() {
+			t := time.NewTicker(cfg.SnapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-snapDone:
+					return
+				case <-t.C:
+					elapsed := time.Since(start)
+					execs := met.execs.Value()
+					logf(cfg.Log, "fuzz: snapshot cases=%d execs=%d execs/s=%.0f findings=%d shrink-evals=%d elapsed=%s",
+						met.cases.Value(), execs,
+						float64(execs)/elapsed.Seconds(),
+						met.findingCount.Value(), met.shrinkEvals.Value(),
+						elapsed.Round(time.Second))
+				}
+			}
+		}()
 	}
 
 	var (
@@ -162,19 +195,44 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				runOne(ctx, cfg, journal, idx, &mu, sum)
+				runOne(ctx, cfg, journal, idx, &mu, sum, met)
 			}
 		}()
 	}
 	wg.Wait()
+	close(snapDone)
 
 	sort.Slice(sum.Findings, func(i, j int) bool { return sum.Findings[i].Index < sum.Findings[j].Index })
 	sum.Elapsed = time.Since(start)
 	return sum, nil
 }
 
+// sessionMetrics is the session's obs counter set, resolved once per Run so
+// workers only touch atomics. The registry comes from ctx (levfuzz uses the
+// process default; tests can isolate one via obs.WithRegistry).
+type sessionMetrics struct {
+	cases        *obs.Counter
+	execs        *obs.Counter
+	skipped      *obs.Counter
+	shrinkEvals  *obs.Counter
+	findingCount *obs.Counter
+	findings     *obs.CounterVec
+}
+
+func newSessionMetrics(ctx context.Context) *sessionMetrics {
+	reg := obs.FromContext(ctx)
+	return &sessionMetrics{
+		cases:        reg.Counter("fuzz_cases_total", "fuzz cases judged (excluding journal-resumed)"),
+		execs:        reg.Counter("fuzz_execs_total", "simulator and reference executions, including shrinking"),
+		skipped:      reg.Counter("fuzz_skipped_total", "cases the oracles could not judge"),
+		shrinkEvals:  reg.Counter("fuzz_shrink_evals_total", "oracle evaluations spent shrinking findings"),
+		findingCount: reg.Counter("fuzz_findings_reported_total", "findings reported across all oracles"),
+		findings:     reg.CounterVec("fuzz_findings_total", "findings reported, by oracle", "oracle"),
+	}
+}
+
 // runOne generates, judges, shrinks and persists a single case index.
-func runOne(ctx context.Context, cfg Config, journal *Journal, idx int, mu *sync.Mutex, sum *Summary) {
+func runOne(ctx context.Context, cfg Config, journal *Journal, idx int, mu *sync.Mutex, sum *Summary, met *sessionMetrics) {
 	profile := cfg.Profiles[idx%len(cfg.Profiles)]
 
 	// Resume: a journaled verdict stands in for re-execution entirely.
@@ -230,6 +288,20 @@ func runOne(ctx context.Context, cfg Config, journal *Journal, idx int, mu *sync
 		entry.Repro = reproName
 	} else if verdict.Skipped {
 		entry.Verdict = "skip"
+	}
+
+	met.cases.Inc()
+	met.execs.Add(uint64(verdict.Execs))
+	if verdict.Skipped {
+		met.skipped.Inc()
+	}
+	if shrink != nil {
+		met.execs.Add(uint64(shrink.Evals))
+		met.shrinkEvals.Add(uint64(shrink.Evals))
+	}
+	for _, f := range verdict.Findings {
+		met.findingCount.Inc()
+		met.findings.With(f.Oracle).Inc()
 	}
 
 	mu.Lock()

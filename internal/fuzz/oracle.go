@@ -380,8 +380,8 @@ func engineRun(ctx context.Context, c *Case, pol string, maxCycles uint64, opt O
 		faultinject.New(*opt.Faults, 1).Attach(&cfg)
 	}
 	req := engine.Request{
-		Name: c.Name(), Program: c.Prog, Policy: pol,
-		Config: &cfg, Deadline: opt.Deadline,
+		Name: c.Name(), Program: c.Prog, Config: &cfg,
+		Overrides: engine.Overrides{Policy: pol, Deadline: opt.Deadline},
 	}
 	if verify {
 		req.Verify = true

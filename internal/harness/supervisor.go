@@ -10,6 +10,7 @@ import (
 	"levioso/internal/engine"
 	"levioso/internal/faultinject"
 	"levioso/internal/isa"
+	"levioso/internal/obs"
 	"levioso/internal/ref"
 	"levioso/internal/simerr"
 	"levioso/internal/stats"
@@ -135,8 +136,12 @@ func Supervise(ctx context.Context, spec Spec) (*SweepResult, error) {
 	}
 
 	res := &SweepResult{Resumed: resumed}
+	cellsTotal := obs.FromContext(ctx).CounterVec("harness_cells_total",
+		"sweep cells by final disposition", "outcome")
+	cellsTotal.With("resumed").Add(uint64(resumed))
 	for i, c := range cells {
 		if c.err != nil {
+			cellsTotal.With("failed").Inc()
 			res.Failures = append(res.Failures, Failure{
 				Workload: spec.Workloads[i/np].Name,
 				Policy:   spec.Policies[i%np],
@@ -144,6 +149,9 @@ func Supervise(ctx context.Context, spec Spec) (*SweepResult, error) {
 				Err:      c.err,
 			})
 			continue
+		}
+		if c.attempts > 0 {
+			cellsTotal.With("ok").Inc()
 		}
 		res.Runs = append(res.Runs, c.run)
 	}
@@ -162,8 +170,14 @@ func failWorkload(cells []cell, spec Spec, wname string, cause *simerr.RunError)
 }
 
 // superviseCell drives one cell through the attempt loop: run, classify,
-// and retry transient failures with capped exponential backoff.
+// and retry transient failures with capped exponential backoff. Every
+// attempt records into ctx's obs registry: a harness.cell span (the
+// harness_stage_seconds histogram, outcome "ok" or the failure kind),
+// harness_attempts_total, and — for
+// attempts beyond the first — harness_retries_total, so a sweep's retry and
+// deadline pressure is visible without reading the failure table.
 func superviseCell(ctx context.Context, spec Spec, prog *isa.Program, want ref.Result, wname, pol string) (Run, int, error) {
+	reg := obs.FromContext(ctx)
 	backoff := spec.RetryBackoff
 	if backoff <= 0 {
 		backoff = 10 * time.Millisecond
@@ -174,9 +188,20 @@ func superviseCell(ctx context.Context, spec Spec, prog *isa.Program, want ref.R
 		if spec.testOnRun != nil {
 			spec.testOnRun(wname, pol, attempt)
 		}
+		reg.Counter("harness_attempts_total", "executed sweep cell attempts").Inc()
+		if attempt > 1 {
+			reg.Counter("harness_retries_total", "cell attempts beyond the first (transient-failure retries)").Inc()
+		}
+		sp := obs.StartSpan(ctx, "harness.cell")
 		run, err := runCell(ctx, spec, prog, want, wname, pol, attempt)
 		if err == nil {
+			sp.End(obs.OutcomeOK)
 			return run, attempt, nil
+		}
+		kind := simerr.KindOf(err)
+		sp.End(kind.String())
+		if kind == simerr.KindDeadline {
+			reg.Counter("harness_deadlines_total", "cell attempts that hit the per-run wall-clock deadline").Inc()
 		}
 		lastErr = simerr.WithRun(err, wname, pol, attempt)
 		if !simerr.Transient(lastErr) || attempt > spec.Retries {
@@ -216,15 +241,19 @@ func runCell(ctx context.Context, spec Spec, prog *isa.Program, want ref.Result,
 	if spec.Faults != nil {
 		if plan := spec.Faults(wname, pol); plan != nil {
 			faultinject.New(*plan, attempt).Attach(&cfg)
+			obs.FromContext(ctx).Counter("harness_faults_injected_total",
+				"cell attempts executed with an attached fault-injection plan").Inc()
 		}
 	}
 	req := engine.Request{
-		Name:     wname,
-		Program:  prog,
-		Policy:   pol,
-		Config:   &cfg,
-		Verify:   spec.Verify,
-		Deadline: spec.RunTimeout,
+		Name:    wname,
+		Program: prog,
+		Config:  &cfg,
+		Verify:  spec.Verify,
+		Overrides: engine.Overrides{
+			Policy:   pol,
+			Deadline: spec.RunTimeout,
+		},
 	}
 	if spec.Verify {
 		req.Want = &want

@@ -12,6 +12,7 @@ import (
 
 	"levioso/internal/cpu"
 	"levioso/internal/faultinject"
+	"levioso/internal/obs"
 	"levioso/internal/secure"
 	"levioso/internal/simerr"
 	"levioso/internal/workloads"
@@ -201,6 +202,57 @@ func TestSupervisorDeadlineExhaustsRetries(t *testing.T) {
 	var re *simerr.RunError
 	if !errors.As(f.Err, &re) || re.Workload != "pchase" || re.Attempt != 3 {
 		t.Errorf("run context missing on failure: %+v", re)
+	}
+}
+
+// TestSupervisorMetrics pins the supervisor's instrumentation: a sweep run
+// with an isolated registry in the context must record attempts, retries
+// (one injected transient), the per-attempt harness.cell span histogram, and
+// per-outcome cell dispositions — without touching the process default
+// registry.
+func TestSupervisorMetrics(t *testing.T) {
+	spec := smallSpec(t)
+	spec.Retries = 1
+	spec.RetryBackoff = time.Millisecond
+	spec.Faults = func(w, p string) *faultinject.Plan {
+		if w == "matmul" && p == "unsafe" {
+			return &faultinject.Plan{Faults: []faultinject.Fault{
+				{Kind: faultinject.Panic, Start: 100, FirstAttempts: 1},
+			}}
+		}
+		return nil
+	}
+	reg := obs.NewRegistry()
+	res, err := Supervise(obs.WithRegistry(context.Background(), reg), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("unexpected failures: %+v", res.Failures)
+	}
+	// 4 cells, one of which needed a retry after the injected panic.
+	if got := reg.Counter("harness_attempts_total", "").Value(); got != 5 {
+		t.Errorf("harness_attempts_total = %d, want 5", got)
+	}
+	if got := reg.Counter("harness_retries_total", "").Value(); got != 1 {
+		t.Errorf("harness_retries_total = %d, want 1", got)
+	}
+	if got := reg.Counter("harness_faults_injected_total", "").Value(); got != 2 {
+		t.Errorf("harness_faults_injected_total = %d, want 2 (both attempts carried a plan)", got)
+	}
+	cells := reg.CounterVec("harness_cells_total", "", "outcome")
+	if got := cells.With("ok").Value(); got != 4 {
+		t.Errorf(`harness_cells_total{outcome="ok"} = %d, want 4`, got)
+	}
+	if got := cells.With("failed").Value(); got != 0 {
+		t.Errorf(`harness_cells_total{outcome="failed"} = %d, want 0`, got)
+	}
+	spans := reg.HistogramVec("harness_stage_seconds", "", obs.LatencyBuckets(), "stage", "outcome")
+	if got := spans.With("cell", "ok").Snapshot().Count; got != 4 {
+		t.Errorf(`harness_stage_seconds{stage="cell",outcome="ok"} count = %d, want 4`, got)
+	}
+	if got := spans.With("cell", "panic").Snapshot().Count; got != 1 {
+		t.Errorf(`harness_stage_seconds{stage="cell",outcome="panic"} count = %d, want 1`, got)
 	}
 }
 

@@ -1,0 +1,260 @@
+// Package obs is the repository's observability substrate: a dependency-free
+// (stdlib-only) metrics registry plus a lightweight span API for per-stage
+// tracing. Every layer — the engine pipeline, the levserve daemon, the sweep
+// supervisor, the fuzzer — records into a Registry, and the registry renders
+// itself in the Prometheus text exposition format for GET /metrics scrapes or
+// end-of-run dumps.
+//
+// Three metric kinds cover the paper's measurement dimensions:
+//
+//   - Counter — a monotonically increasing atomic count (requests, retries,
+//     findings). Counters only go up; rates are derived by the scraper.
+//   - Gauge — an instantaneous atomic level (in-flight requests, worker
+//     slots in use).
+//   - Histogram — a fixed-bucket distribution with an atomic count per
+//     bucket. Snapshots derive p50/p95/p99 by linear interpolation inside
+//     the covering bucket; LatencyBuckets and SizeBuckets are the two
+//     standard layouts.
+//
+// Metrics come in plain and labeled ("vec") families. Label values are
+// caller-chosen strings, so families enforce a cardinality cap
+// (MaxSeriesPerFamily): past the cap every new label combination collapses
+// into one overflow series rather than growing without bound — a registry
+// scraped by a production collector must never let a request-derived string
+// mint unbounded time series. Keep label values to small closed sets (stage
+// names, outcome kinds, route names); never label by program name, request
+// ID, or anything user-controlled.
+//
+// None of this allocates on hot paths: observing into an existing series is
+// a few atomic operations, and spans are plain values. Instrumentation sits
+// at engine-stage granularity (one span per pipeline stage per run), never
+// on the per-instruction simulator loop.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MaxSeriesPerFamily caps the distinct label combinations one family will
+// track. The combination that would exceed the cap — and every one after it —
+// is folded into a single overflow series whose label values are all
+// "overflow", so a label-cardinality bug degrades one family's resolution
+// instead of growing the registry without bound.
+const MaxSeriesPerFamily = 512
+
+// metricKind discriminates the three families for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds an ordered set of metric families. The zero value is not
+// usable; call NewRegistry. Lookups of existing series are lock-cheap
+// (RWMutex read path); registration of new families or series takes the
+// write lock once.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default is the process-wide registry. Command-line tools record here (and
+// dump at exit with -metrics); servers build their own registry per instance
+// so tests and multi-tenant embedding stay isolated.
+func Default() *Registry { return defaultRegistry }
+
+// family is one named metric family: a help string, a kind, a label schema,
+// and the live series keyed by joined label values.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histogram upper bounds, ascending
+
+	mu     sync.RWMutex
+	series map[string]any // label key -> *Counter | *Gauge | *Histogram
+	keys   []string       // insertion order, for stable exposition
+}
+
+// labelKey joins label values with an unprintable separator; label values are
+// arbitrary strings but never contain 0x1f in practice (and a collision only
+// merges two series, it cannot corrupt).
+func labelKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	n := len(values) - 1
+	for _, v := range values {
+		n += len(v)
+	}
+	b := make([]byte, 0, n)
+	for i, v := range values {
+		if i > 0 {
+			b = append(b, 0x1f)
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+// get returns the family's series for the given label values, creating it
+// with mk on first use and folding excess cardinality into the overflow
+// series.
+func (f *family) get(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s: %d label values for %d labels", f.name, len(values), len(f.labels)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	m, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	if len(f.keys) >= MaxSeriesPerFamily {
+		over := make([]string, len(f.labels))
+		for i := range over {
+			over[i] = "overflow"
+		}
+		key = labelKey(over)
+		if m, ok := f.series[key]; ok {
+			return m
+		}
+	}
+	m = mk()
+	f.series[key] = m
+	f.keys = append(f.keys, key)
+	return m
+}
+
+// register returns the named family, creating it on first use. Re-registering
+// a name with a different kind or label schema is a programming error and
+// panics: two call sites disagreeing about a metric's shape would silently
+// split or corrupt the exposition otherwise.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if f, ok = r.families[name]; !ok {
+			f = &family{
+				name: name, help: help, kind: kind,
+				labels: append([]string(nil), labels...),
+				series: make(map[string]any),
+			}
+			if kind == kindHistogram {
+				f.buckets = append([]float64(nil), buckets...)
+				if !sort.Float64sAreSorted(f.buckets) {
+					r.mu.Unlock()
+					panic("obs: histogram buckets must be ascending: " + name)
+				}
+			}
+			r.families[name] = f
+			r.order = append(r.order, name)
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: %s re-registered as %s/%d labels (was %s/%d)",
+			name, kind, len(labels), f.kind, len(f.labels)))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("obs: %s re-registered with label %q (was %q)", name, labels[i], f.labels[i]))
+		}
+	}
+	return f
+}
+
+// Counter returns the registry's plain counter with the given name,
+// registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil)
+	return f.get(nil, func() any { return new(Counter) }).(*Counter)
+}
+
+// CounterVec returns the labeled counter family with the given name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// Gauge returns the registry's plain gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil)
+	return f.get(nil, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// GaugeVec returns the labeled gauge family with the given name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// Histogram returns the registry's plain histogram with the given name and
+// bucket layout (upper bounds, ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, nil, buckets)
+	return f.get(nil, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// HistogramVec returns the labeled histogram family with the given name.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (one per label, in
+// registration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.get(values, func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.get(values, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.get(values, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentHammer drives every metric kind from many goroutines
+// at once — the whole point of the registry is that instrumented hot paths
+// never take a lock beyond the first series creation, and the race detector
+// (make ci) watches this test.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hammer_total", "shared counter")
+			g := r.Gauge("hammer_level", "shared gauge")
+			cv := r.CounterVec("hammer_by_worker_total", "labeled counter", "worker")
+			h := r.Histogram("hammer_seconds", "shared histogram", LatencyBuckets())
+			hv := r.HistogramVec("hammer_by_kind_seconds", "labeled histogram", LatencyBuckets(), "kind")
+			lbl := string(rune('a' + w%4))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				cv.With(lbl).Inc()
+				h.Observe(0.001 * float64(i%100))
+				hv.With(lbl).Observe(0.01)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("hammer_total", "shared counter").Value(); got != workers*perWorker {
+		t.Fatalf("counter lost updates: %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("hammer_level", "shared gauge").Value(); got != 0 {
+		t.Fatalf("gauge drifted: %d", got)
+	}
+	var labeled uint64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		labeled += r.CounterVec("hammer_by_worker_total", "labeled counter", "worker").With(l).Value()
+	}
+	if labeled != workers*perWorker {
+		t.Fatalf("labeled counters lost updates: %d", labeled)
+	}
+	s := r.Histogram("hammer_seconds", "shared histogram", LatencyBuckets()).Snapshot()
+	if s.Count != workers*perWorker || s.Total() != s.Count {
+		t.Fatalf("histogram count %d total %d, want %d", s.Count, s.Total(), workers*perWorker)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// 100 observations uniform in (0,1]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got <= 0 || got > 1 {
+		t.Fatalf("p50 %g outside first bucket", got)
+	}
+	if math.Abs(s.Sum-50.5) > 1e-9 {
+		t.Fatalf("sum %g, want 50.5", s.Sum)
+	}
+	// Add 100 in (1,2]: p99 must move to the second bucket, p50 near the edge.
+	for i := 1; i <= 100; i++ {
+		h.Observe(1 + float64(i)/100)
+	}
+	s = h.Snapshot()
+	if got := s.Quantile(0.99); got <= 1 || got > 2 {
+		t.Fatalf("p99 %g outside second bucket", got)
+	}
+	// Overflow values clamp to the top finite bound.
+	h.Observe(1e9)
+	if got := h.Snapshot().Quantile(1.0); got != 8 {
+		t.Fatalf("overflow quantile %g, want clamp to 8", got)
+	}
+	if empty := (HistSnapshot{}).Quantile(0.5); empty != 0 {
+		t.Fatalf("empty histogram quantile %g", empty)
+	}
+}
+
+// TestPromExposition pins the exact exposition text for a small registry —
+// the format /metrics serves is a wire contract for scrapers.
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", "completed runs").Add(3)
+	r.Gauge("in_flight", "live requests").Set(2)
+	r.CounterVec("errs_total", "errors by kind", "kind").With("deadline").Inc()
+	h := r.Histogram("dur_seconds", "durations", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP runs_total completed runs
+# TYPE runs_total counter
+runs_total 3
+# HELP in_flight live requests
+# TYPE in_flight gauge
+in_flight 2
+# HELP errs_total errors by kind
+# TYPE errs_total counter
+errs_total{kind="deadline"} 1
+# HELP dur_seconds durations
+# TYPE dur_seconds histogram
+dur_seconds_bucket{le="0.5"} 1
+dur_seconds_bucket{le="1"} 2
+dur_seconds_bucket{le="+Inf"} 3
+dur_seconds_sum 6
+dur_seconds_count 3
+`
+	if b.String() != want {
+		t.Fatalf("exposition drift:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+	fams, err := ValidateProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("own exposition does not validate: %v", err)
+	}
+	if fams["dur_seconds"] != "histogram" || fams["runs_total"] != "counter" {
+		t.Fatalf("family types wrong: %v", fams)
+	}
+}
+
+func TestValidatePromRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not a metric line at all!",
+		"# BOGUS name counter\n",
+		"# TYPE name flavor\n",
+		"# TYPE ok counter\nok{unterminated=\"v} 1\n",
+		"# TYPE ok counter\nok nope\n",
+		"orphan_sample 1\n", // no TYPE declaration
+		"# TYPE ok counter\n9starts_with_digit 1\n",
+	}
+	for _, c := range cases {
+		if _, err := ValidateProm(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	// Labeled samples with escapes and timestamps parse.
+	good := "# TYPE ok counter\nok{a=\"x\\\"y\",b=\"z\"} 12 1700000000\n"
+	if _, err := ValidateProm(strings.NewReader(good)); err != nil {
+		t.Errorf("rejected %q: %v", good, err)
+	}
+}
+
+func TestSpanRecordsStageHistogram(t *testing.T) {
+	r := NewRegistry()
+	ctx := WithRegistry(context.Background(), r)
+	sp := StartSpan(ctx, "engine.simulate")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(OutcomeOK); d <= 0 {
+		t.Fatal("span measured nothing")
+	}
+	StartSpan(ctx, "engine.simulate").End("deadline")
+	hv := r.HistogramVec("engine_stage_seconds", "engine pipeline stage duration by stage and outcome",
+		LatencyBuckets(), "stage", "outcome")
+	if n := hv.With("simulate", OutcomeOK).Snapshot().Count; n != 1 {
+		t.Fatalf("ok series count %d", n)
+	}
+	if n := hv.With("simulate", "deadline").Snapshot().Count; n != 1 {
+		t.Fatalf("deadline series count %d", n)
+	}
+	// A span on a bare context records into Default without panicking.
+	StartSpan(context.Background(), "test.orphan").End(OutcomeOK)
+	// Zero span is a no-op.
+	var zero Span
+	if zero.End(OutcomeOK) != 0 {
+		t.Fatal("zero span recorded")
+	}
+}
+
+func TestCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("burst_total", "cardinality bomb", "id")
+	const extra = 100
+	for i := 0; i < MaxSeriesPerFamily+extra; i++ {
+		cv.With("id" + strconv.Itoa(i)).Inc()
+	}
+	f := cv.f
+	f.mu.RLock()
+	n := len(f.keys)
+	f.mu.RUnlock()
+	if n > MaxSeriesPerFamily+1 {
+		t.Fatalf("family grew past the cap: %d series", n)
+	}
+	// Everything past the cap funnels into the single overflow series.
+	if got := cv.With("overflow").Value(); got != extra {
+		t.Fatalf("overflow series has %d, want %d", got, extra)
+	}
+}
+
+func TestRegisterConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict_total", "a counter")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different kind did not panic")
+		}
+	}()
+	r.Gauge("conflict_total", "now a gauge")
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): families in registration order, each with its # HELP and
+// # TYPE comments, series sorted by label values. Histograms render the
+// cumulative _bucket{le=...} series plus _sum and _count, per convention.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	order := append([]string(nil), r.order...)
+	r.mu.RUnlock()
+	for _, name := range order {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		if err := f.writeProm(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) writeProm(w *bufio.Writer) error {
+	f.mu.RLock()
+	keys := append([]string(nil), f.keys...)
+	f.mu.RUnlock()
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, key := range keys {
+		f.mu.RLock()
+		m := f.series[key]
+		f.mu.RUnlock()
+		values := splitKey(key, len(f.labels))
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values), m.(*Counter).Value())
+		case kindGauge:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values), m.(*Gauge).Value())
+		case kindHistogram:
+			s := m.(*Histogram).Snapshot()
+			var cum uint64
+			for i, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = formatFloat(s.Bounds[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelStringLe(f.labels, values, le), cum)
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, values), formatFloat(s.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, values), cum)
+		}
+	}
+	return nil
+}
+
+func splitKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return strings.SplitN(key, "\x1f", n)
+}
+
+// labelString renders {k="v",...}; empty when there are no labels.
+func labelString(labels, values []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelStringLe renders the histogram bucket label set with the trailing le.
+func labelStringLe(labels, values []string, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteString(`",`)
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		// Render integral bounds without an exponent so le="1" stays "1".
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidateProm parses a Prometheus text exposition and returns the declared
+// metric families (name -> type). It fails on any line that is neither a
+// well-formed comment nor a well-formed sample, on samples whose family has
+// no preceding # TYPE declaration, and on unparseable sample values — the
+// checks the CI metrics smoke runs against a live /metrics scrape.
+func ValidateProm(r io.Reader) (map[string]string, error) {
+	families := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !validMetricName(fields[2]) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				families[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest, err := parseSampleName(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if t, ok := families[strings.TrimSuffix(name, suf)]; ok && t == "histogram" && strings.HasSuffix(name, suf) {
+				base = strings.TrimSuffix(name, suf)
+				break
+			}
+		}
+		if _, ok := families[base]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no # TYPE declaration", lineNo, name)
+		}
+		val := strings.TrimSpace(rest)
+		if i := strings.IndexByte(val, ' '); i >= 0 { // optional timestamp
+			val = val[:i]
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return nil, fmt.Errorf("line %d: bad sample value %q: %v", lineNo, val, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+// parseSampleName splits a sample line into its metric name and the
+// remainder after the (optional) label set, validating label syntax.
+func parseSampleName(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = line[i:]
+	if rest[0] == '{' {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return "", "", fmt.Errorf("sample %q: %w", name, err)
+		}
+		rest = rest[end:]
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return "", "", fmt.Errorf("sample %q: missing value", name)
+	}
+	return name, rest[1:], nil
+}
+
+// scanLabels validates a {k="v",...} label block and returns its length.
+func scanLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) || !validMetricName(s[start:i]) {
+			return 0, fmt.Errorf("bad label name in %q", s)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"time"
+)
+
+type registryKey struct{}
+
+// WithRegistry returns a context that carries r; spans and stage metrics
+// recorded downstream land in it. Servers install their per-instance
+// registry here so concurrent instances (and tests) stay isolated.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// FromContext returns the registry carried by ctx, or Default when ctx is
+// nil or carries none. It never returns nil, so call sites record
+// unconditionally.
+func FromContext(ctx context.Context) *Registry {
+	if ctx != nil {
+		if r, ok := ctx.Value(registryKey{}).(*Registry); ok && r != nil {
+			return r
+		}
+	}
+	return Default()
+}
+
+// Span measures one pipeline stage. It is a plain value — starting and
+// ending a span performs no heap allocation beyond the metric series it
+// records into (created once per (stage, outcome) pair).
+//
+// The stage name is "component.stage" ("engine.simulate", "harness.cell"):
+// the component becomes the histogram family <component>_stage_seconds and
+// the stage becomes its "stage" label, so every component's stages share one
+// family and one bucket layout.
+type Span struct {
+	reg   *Registry
+	stage string
+	start time.Time
+}
+
+// StartSpan opens a span recording into ctx's registry.
+func StartSpan(ctx context.Context, stage string) Span {
+	return Span{reg: FromContext(ctx), stage: stage, start: time.Now()}
+}
+
+// OutcomeOK is the outcome label for a stage that completed.
+const OutcomeOK = "ok"
+
+// End closes the span, recording its duration under the given outcome label
+// (OutcomeOK or a failure-kind string such as "deadline" or "divergence").
+// It returns the measured duration. End on a zero Span is a no-op.
+func (s Span) End(outcome string) time.Duration {
+	if s.reg == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	component, stage := "span", s.stage
+	if i := strings.IndexByte(s.stage, '.'); i > 0 {
+		component, stage = s.stage[:i], s.stage[i+1:]
+	}
+	s.reg.HistogramVec(component+"_stage_seconds",
+		component+" pipeline stage duration by stage and outcome",
+		LatencyBuckets(), "stage", "outcome").
+		With(stage, outcome).Observe(d.Seconds())
+	return d
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"levioso/internal/obs"
+)
+
+// errKindHeader carries the typed failure kind from writeError back to the
+// instrumentation middleware (and to clients, where it doubles as a cheap
+// way to classify a failure without parsing the body).
+const errKindHeader = "X-Error-Kind"
+
+// statusWriter records the status code and byte count an inner handler
+// produced, for the per-route metrics and the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += n
+	return n, err
+}
+
+// accessRecord is one JSON access-log line. Fields are flat and stable so
+// the log is grep- and jq-friendly:
+//
+//	{"time":"2026-08-06T10:15:04Z","id":"1a2b3c4d-0007","method":"POST",
+//	 "path":"/v1/simulate","route":"simulate","status":200,"bytes":312,
+//	 "elapsed_ms":41,"kind":""}
+type accessRecord struct {
+	Time      string `json:"time"`
+	ID        string `json:"id"`
+	Method    string `json:"method"`
+	Path      string `json:"path"`
+	Route     string `json:"route"`
+	Status    int    `json:"status"`
+	Bytes     int    `json:"bytes"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	Kind      string `json:"kind,omitempty"` // typed failure kind on errors
+}
+
+// nextID issues a process-unique request ID: a per-server random-ish base
+// (startup nanoseconds) plus a sequence number. Cheap, collision-free within
+// one server, and short enough to grep for.
+func (s *Server) nextID() string {
+	return fmt.Sprintf("%s-%04d", s.idBase, s.idSeq.Add(1))
+}
+
+// instrument wraps a route handler with the observability spine: request ID
+// issuance (echoed in X-Request-ID), the per-server obs registry installed
+// into the request context (so engine stage spans land in this server's
+// /metrics, not the process default), per-route request/latency/in-flight/
+// error-kind metrics, and one JSON access-log line when configured.
+//
+// The route label is a fixed small set (one per registered handler), never
+// the raw URL path — see the cardinality rules in internal/obs.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.reg.CounterVec("levserve_requests_total",
+		"HTTP requests served, by route", "route").With(route)
+	latency := s.reg.HistogramVec("levserve_request_seconds",
+		"request wall-clock latency in seconds, by route",
+		obs.LatencyBuckets(), "route").With(route)
+	errors := s.reg.CounterVec("levserve_errors_total",
+		"error responses (status >= 400), by route and typed failure kind",
+		"route", "kind")
+	inflight := s.reg.Gauge("levserve_inflight_requests",
+		"HTTP requests currently being handled")
+
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := s.nextID()
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithRegistry(r.Context(), s.reg))
+
+		inflight.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		inflight.Dec()
+
+		elapsed := time.Since(start)
+		requests.Inc()
+		latency.Observe(elapsed.Seconds())
+		kind := sw.Header().Get(errKindHeader)
+		if sw.status >= 400 {
+			k := kind
+			if k == "" {
+				k = "http_" + strconv.Itoa(sw.status)
+			}
+			errors.With(route, k).Inc()
+		}
+		if s.accessLog != nil {
+			s.logAccess(accessRecord{
+				Time:      time.Now().UTC().Format(time.RFC3339),
+				ID:        id,
+				Method:    r.Method,
+				Path:      r.URL.Path,
+				Route:     route,
+				Status:    sw.status,
+				Bytes:     sw.bytes,
+				ElapsedMS: elapsed.Milliseconds(),
+				Kind:      kind,
+			})
+		}
+	}
+}
+
+// logAccess writes one JSON line, mutex-serialized so concurrent handlers
+// never interleave partial lines.
+func (s *Server) logAccess(rec accessRecord) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	s.accessLog.Write(append(line, '\n'))
+}

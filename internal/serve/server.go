@@ -13,7 +13,31 @@
 //	GET  /v1/policies  — list secure-speculation policies
 //	GET  /v1/workloads — list the embedded benchmark suite
 //	GET  /v1/stats     — server counters (requests, cache hits, in-flight)
+//	GET  /v1/version   — wire-schema version plus build information
+//	GET  /metrics      — Prometheus text exposition (internal/obs registry)
 //	GET  /healthz      — liveness
+//	GET  /debug/pprof/ — optional profiling (Config.EnablePprof)
+//
+// # Wire protocol versioning
+//
+// Every successful JSON reply carries "schema_version" (the SchemaVersion
+// constant); clients pin on it instead of sniffing field shapes. Unknown
+// top-level fields in a SimRequest are rejected with 400 — a misspelled
+// option fails loudly instead of being silently ignored.
+//
+// # Error envelope
+//
+// Every error response — 400 (malformed request), 413 (body too large),
+// 422 (simulation failed), 503 (gave up queueing for a worker), 504
+// (deadline expired) — shares one JSON shape:
+//
+//	{"error": {"kind": "deadline", "message": "...", "retryable": true}}
+//
+// kind is the typed simerr failure class (build, deadline, divergence,
+// watchdog, cycle-limit, inst-limit, panic, mem-fault, unknown) and
+// retryable mirrors simerr.Transient, so sweep clients classify failures
+// exactly the way the in-process supervisor does. The kind is also echoed
+// in the X-Error-Kind response header.
 package serve
 
 import (
@@ -21,17 +45,28 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"levioso/internal/cli"
 	"levioso/internal/cpu"
 	"levioso/internal/engine"
+	"levioso/internal/obs"
 	"levioso/internal/simerr"
 	"levioso/internal/workloads"
 )
+
+// SchemaVersion is the wire-protocol generation. It bumps when a JSON
+// response shape changes incompatibly; additive optional fields do not bump
+// it. Carried in every successful response as "schema_version".
+const SchemaVersion = 1
 
 // Config tunes a Server. The zero value picks sane defaults.
 type Config struct {
@@ -45,6 +80,12 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// MaxBody caps the request body size in bytes (default 8 MiB).
 	MaxBody int64
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (see accessRecord). Lines are mutex-serialized.
+	AccessLog io.Writer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: profiling endpoints on a public daemon are opt-in).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -63,44 +104,84 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the levserve HTTP handler plus its worker pool and cache.
+// Server is the levserve HTTP handler plus its worker pool, result cache,
+// and metrics registry.
 type Server struct {
 	cfg   Config
 	sem   chan struct{}
 	cache *lru
 	mux   *http.ServeMux
+	reg   *obs.Registry
+
+	accessLog io.Writer
+	logMu     sync.Mutex
+	idBase    string
+	idSeq     atomic.Uint64
 
 	requests  atomic.Uint64
 	cacheHits atomic.Uint64
 	failures  atomic.Uint64
 	rejected  atomic.Uint64
 	inFlight  atomic.Int64
+
+	// sim-path metrics, resolved once at construction (the hot path only
+	// touches atomics, never the registry's family map).
+	mCacheHits   *obs.Counter
+	mCacheMisses *obs.Counter
+	mRejected    *obs.Counter
+	mSimInflight *obs.Gauge
+	mBodyBytes   *obs.Histogram
 }
 
-// New builds a server with the given configuration.
+// New builds a server with the given configuration. Each server owns its
+// own obs.Registry (served at GET /metrics), so tests and multi-tenant
+// embeddings never share series.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.Workers),
-		cache: newLRU(cfg.CacheEntries),
-		mux:   http.NewServeMux(),
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.Workers),
+		cache:     newLRU(cfg.CacheEntries),
+		mux:       http.NewServeMux(),
+		reg:       reg,
+		accessLog: cfg.AccessLog,
+		idBase:    fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
+
+		mCacheHits:   reg.Counter("levserve_cache_hits_total", "simulate requests served from the result cache"),
+		mCacheMisses: reg.Counter("levserve_cache_misses_total", "cacheable simulate requests that missed the result cache"),
+		mRejected:    reg.Counter("levserve_rejected_total", "requests that gave up while queueing for a worker slot"),
+		mSimInflight: reg.Gauge("levserve_sim_inflight", "simulations currently occupying a worker slot"),
+		mBodyBytes:   reg.Histogram("levserve_request_body_bytes", "declared simulate request body sizes in bytes", obs.SizeBuckets()),
 	}
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
-	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.HandleFunc("GET /v1/policies", s.instrument("policies", s.handlePolicies))
+	s.mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", s.handleWorkloads))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
 // Handler returns the HTTP handler for the server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Metrics returns the server's metric registry (what GET /metrics serves).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
 // SimRequest is the JSON body of POST /v1/simulate. Exactly one program
-// input — source, asm, binary (base64), or workload — must be set.
+// input — source, asm, binary (base64), or workload — must be set. Unknown
+// top-level fields are rejected with 400.
 type SimRequest struct {
 	Name     string `json:"name,omitempty"`
 	Source   string `json:"source,omitempty"`   // LevC source
@@ -118,34 +199,56 @@ type SimRequest struct {
 	DeadlineMS int64  `json:"deadline_ms,omitempty"`
 }
 
+// simRequestFields lists the accepted SimRequest keys, for the unknown-field
+// rejection message. Keep in sync with the struct tags above.
+const simRequestFields = "name, source, asm, binary, workload, size, no_annotate, policy, rob, max_cycles, ref, verify, deadline_ms"
+
 // SimResponse is the JSON reply of POST /v1/simulate.
 type SimResponse struct {
-	Exit      uint64    `json:"exit"`
-	Output    string    `json:"output"`
-	Ref       bool      `json:"ref,omitempty"`
-	Insts     uint64    `json:"insts,omitempty"`
-	Stats     cpu.Stats `json:"stats"`
-	Cached    bool      `json:"cached"`
-	ElapsedMS int64     `json:"elapsed_ms"`
+	SchemaVersion int       `json:"schema_version"`
+	Exit          uint64    `json:"exit"`
+	Output        string    `json:"output"`
+	Ref           bool      `json:"ref,omitempty"`
+	Insts         uint64    `json:"insts,omitempty"`
+	Stats         cpu.Stats `json:"stats"`
+	Cached        bool      `json:"cached"`
+	ElapsedMS     int64     `json:"elapsed_ms"`
 }
 
-// errResponse is the JSON error reply: the message plus the typed failure
-// kind, so sweep clients classify failures the same way the supervisor does.
-type errResponse struct {
-	Error     string `json:"error"`
-	Kind      string `json:"kind"`
-	Transient bool   `json:"transient"`
+// ErrorEnvelope is the JSON shape of every error response (see the package
+// comment). The envelope nests under "error" so a client can distinguish a
+// failure reply from a result with one key test.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody carries the typed failure classification.
+type ErrorBody struct {
+	Kind      string `json:"kind"`      // simerr kind: build, deadline, ...
+	Message   string `json:"message"`   // human-readable cause
+	Retryable bool   `json:"retryable"` // mirrors simerr.Transient
 }
 
 // ServerStats is the JSON reply of GET /v1/stats.
 type ServerStats struct {
-	Requests     uint64 `json:"requests"`
-	CacheHits    uint64 `json:"cache_hits"`
-	Failures     uint64 `json:"failures"`
-	Rejected     uint64 `json:"rejected"`
-	InFlight     int64  `json:"in_flight"`
-	Workers      int    `json:"workers"`
-	CacheEntries int    `json:"cache_entries"`
+	SchemaVersion int    `json:"schema_version"`
+	Requests      uint64 `json:"requests"`
+	CacheHits     uint64 `json:"cache_hits"`
+	Failures      uint64 `json:"failures"`
+	Rejected      uint64 `json:"rejected"`
+	InFlight      int64  `json:"in_flight"`
+	Workers       int    `json:"workers"`
+	CacheEntries  int    `json:"cache_entries"`
+}
+
+// VersionInfo is the JSON reply of GET /v1/version.
+type VersionInfo struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	Module        string `json:"module,omitempty"`
+	Revision      string `json:"vcs_revision,omitempty"`
+	BuildTime     string `json:"vcs_time,omitempty"`
+	Modified      bool   `json:"vcs_modified,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -170,46 +273,58 @@ func statusFor(err error) int {
 	}
 }
 
+// writeError renders the unified error envelope and stamps the kind into
+// the X-Error-Kind header for the middleware's error counter.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errResponse{
-		Error:     err.Error(),
-		Kind:      simerr.KindOf(err).String(),
-		Transient: simerr.Transient(err),
-	})
+	kind := simerr.KindOf(err).String()
+	w.Header().Set(errKindHeader, kind)
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+		Kind:      kind,
+		Message:   err.Error(),
+		Retryable: simerr.Transient(err),
+	}})
 }
 
 // engineRequest translates the wire request into an engine request,
-// resolving workload names against the embedded suite.
+// resolving workload names against the embedded suite. Option validation is
+// engine.Overrides.Normalize — the same bounds the command-line flags run —
+// so a request rejected here is rejected identically by levsim.
 func (sr *SimRequest) engineRequest() (engine.Request, error) {
-	policy := sr.Policy
-	if policy == "" {
-		policy = "unsafe"
-	}
 	req := engine.Request{
 		Name:       sr.Name,
 		Source:     sr.Source,
 		AsmText:    sr.Asm,
 		Binary:     sr.Binary,
 		NoAnnotate: sr.NoAnnotate,
-		Policy:     policy,
-		ROBSize:    sr.ROB,
-		MaxCycles:  sr.MaxCycles,
 		UseRef:     sr.Ref,
 		Verify:     sr.Verify,
+		Overrides: engine.Overrides{
+			Policy:    sr.Policy,
+			ROBSize:   sr.ROB,
+			MaxCycles: sr.MaxCycles,
+		},
+	}
+	if sr.DeadlineMS < 0 {
+		return req, simerr.New(simerr.KindBuild, "serve: negative deadline_ms %d", sr.DeadlineMS)
+	}
+	if err := req.Normalize(); err != nil {
+		return req, err
 	}
 	if sr.Workload != "" {
 		if sr.Source != "" || sr.Asm != "" || len(sr.Binary) > 0 {
-			return req, fmt.Errorf("serve: workload %q conflicts with an inline program input", sr.Workload)
+			return req, simerr.New(simerr.KindBuild,
+				"serve: workload %q conflicts with an inline program input", sr.Workload)
 		}
 		w, ok := workloads.ByName(sr.Workload)
 		if !ok {
-			return req, fmt.Errorf("serve: unknown workload %q (have %v)", sr.Workload, workloads.Names())
+			return req, simerr.New(simerr.KindBuild,
+				"serve: unknown workload %q (have %v)", sr.Workload, workloads.Names())
 		}
 		size := workloads.SizeTest
 		if sr.Size != "" {
 			var err error
 			if size, err = cli.ParseSize(sr.Size); err != nil {
-				return req, fmt.Errorf("serve: %w", err)
+				return req, simerr.New(simerr.KindBuild, "serve: %v", err)
 			}
 		}
 		prog, err := w.Build(size)
@@ -224,13 +339,32 @@ func (sr *SimRequest) engineRequest() (engine.Request, error) {
 	return req, nil
 }
 
+// decodeSimRequest parses the body strictly: unknown top-level fields are a
+// 400 with the accepted field list, so a misspelled option ("polcy") fails
+// loudly instead of silently running under the default policy.
+func decodeSimRequest(body io.Reader, sr *SimRequest) error {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(sr); err != nil {
+		if strings.Contains(err.Error(), "unknown field") {
+			return simerr.New(simerr.KindBuild,
+				"serve: %v (accepted fields: %s)", err, simRequestFields)
+		}
+		return err
+	}
+	return nil
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	start := time.Now()
+	if r.ContentLength >= 0 {
+		s.mBodyBytes.Observe(float64(r.ContentLength))
+	}
 
 	var sr SimRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
-	if err := json.NewDecoder(body).Decode(&sr); err != nil {
+	if err := decodeSimRequest(body, &sr); err != nil {
 		// An oversized body (fuzz-shaped programs can be arbitrarily large)
 		// is a distinct, typed condition: 413 with the build kind, so
 		// clients can tell "shrink your request" from "your JSON is bad".
@@ -240,7 +374,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				simerr.New(simerr.KindBuild, "serve: request body exceeds %d bytes", mbe.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		if simerr.KindOf(err) == simerr.KindUnknown {
+			err = simerr.New(simerr.KindBuild, "serve: bad request body: %v", err)
+		}
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	req, err := sr.engineRequest()
@@ -252,7 +389,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// Resolve the program up front: build errors answer immediately without
 	// consuming a worker slot, and the resolved image is what the cache is
 	// keyed on.
-	prog, _, err := engine.Resolve(&req)
+	prog, _, err := engine.Resolve(r.Context(), &req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -260,13 +397,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	req.Program, req.Source, req.AsmText, req.Binary = prog, "", "", nil
 
 	cfg := req.BuildConfig()
-	key, cacheable := engine.CacheKey(prog, req.Policy, cfg, req.UseRef, req.Verify)
+	key, cacheable := engine.CacheKeyObserved(r.Context(), prog, req.Policy, cfg, req.UseRef, req.Verify)
 	if cacheable {
 		if res, ok := s.cache.get(key); ok {
 			s.cacheHits.Add(1)
+			s.mCacheHits.Inc()
 			s.writeResult(w, res, true, start)
 			return
 		}
+		s.mCacheMisses.Inc()
 	}
 
 	// Per-request deadline on top of the client's own cancellation.
@@ -282,18 +421,28 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Bounded worker pool: wait for a slot, but give up if the request dies
-	// first (client disconnect or deadline spent queueing).
+	// first (client disconnect or deadline spent queueing). The give-up is a
+	// transient condition — the envelope says retryable, and a backoff-retry
+	// against a drained server succeeds.
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		s.rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("serve: request cancelled while waiting for a worker: %w", ctx.Err()))
+		s.mRejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, &simerr.RunError{
+			Kind:   simerr.KindDeadline,
+			Detail: "serve: request cancelled while waiting for a worker",
+			Err:    ctx.Err(),
+		})
 		return
 	}
 	defer func() { <-s.sem }()
 	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
+	s.mSimInflight.Inc()
+	defer func() {
+		s.inFlight.Add(-1)
+		s.mSimInflight.Dec()
+	}()
 
 	res, err := engine.Run(ctx, req)
 	if err != nil {
@@ -309,20 +458,22 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) writeResult(w http.ResponseWriter, res engine.Result, cached bool, start time.Time) {
 	writeJSON(w, http.StatusOK, SimResponse{
-		Exit:      res.ExitCode,
-		Output:    res.Output,
-		Ref:       res.Ref,
-		Insts:     res.RefInsts,
-		Stats:     res.Stats,
-		Cached:    cached,
-		ElapsedMS: time.Since(start).Milliseconds(),
+		SchemaVersion: SchemaVersion,
+		Exit:          res.ExitCode,
+		Output:        res.Output,
+		Ref:           res.Ref,
+		Insts:         res.RefInsts,
+		Stats:         res.Stats,
+		Cached:        cached,
+		ElapsedMS:     time.Since(start).Milliseconds(),
 	})
 }
 
 func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{
-		"policies": engine.Policies(),
-		"eval":     engine.EvalPolicies(),
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema_version": SchemaVersion,
+		"policies":       engine.Policies(),
+		"eval":           engine.EvalPolicies(),
 	})
 }
 
@@ -336,22 +487,51 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	for _, ww := range workloads.All() {
 		out = append(out, wl{Name: ww.Name, Class: ww.Class, Desc: ww.Desc})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema_version": SchemaVersion,
+		"workloads":      out,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	v := VersionInfo{SchemaVersion: SchemaVersion, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v.Module = bi.Main.Path
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				v.Revision = kv.Value
+			case "vcs.time":
+				v.BuildTime = kv.Value
+			case "vcs.modified":
+				v.Modified = kv.Value == "true"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format (version 0.0.4 — what every scraper speaks).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteProm(w)
+}
+
 // Stats snapshots the server counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Requests:     s.requests.Load(),
-		CacheHits:    s.cacheHits.Load(),
-		Failures:     s.failures.Load(),
-		Rejected:     s.rejected.Load(),
-		InFlight:     s.inFlight.Load(),
-		Workers:      s.cfg.Workers,
-		CacheEntries: s.cache.len(),
+		SchemaVersion: SchemaVersion,
+		Requests:      s.requests.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		Failures:      s.failures.Load(),
+		Rejected:      s.rejected.Load(),
+		InFlight:      s.inFlight.Load(),
+		Workers:       s.cfg.Workers,
+		CacheEntries:  s.cache.len(),
 	}
 }

@@ -115,7 +115,7 @@ func TestServeConcurrentMatchesEngine(t *testing.T) {
 				errs <- fmt.Errorf("%s: status %d", pol, resp.StatusCode)
 				return
 			}
-			want, err := engine.Run(context.Background(), engine.Request{Source: histSrc, Policy: pol})
+			want, err := engine.Run(context.Background(), engine.Request{Source: histSrc, Overrides: engine.Overrides{Policy: pol}})
 			if err != nil {
 				errs <- err
 				return
