@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench golden gate smoke obssmoke fuzzsmoke replay ci clean
+.PHONY: all build vet test race bench golden gate smoke obssmoke chaossmoke fuzzsmoke replay ci clean
 
 all: build
 
@@ -62,6 +62,16 @@ smoke:
 obssmoke:
 	$(GO) test -race -count=1 -run 'TestServeMetricsSmoke|TestServeErrorEnvelope|TestServeQueueGiveUp503|TestServeVersion|TestServeAccessLog' ./internal/serve
 
+# chaossmoke is the resilience gate: a 100-cell batch through the dispatch
+# coordinator under a seeded transport-fault storm (worker kills, stalls,
+# corrupted and delayed replies), with -race. Every cell must come back
+# bit-identical to a fault-free run, nothing lost or duplicated, and the
+# retry/breaker/restart counters must scrape as valid Prometheus text. The
+# batch streaming endpoint's own e2e tests ride along.
+chaossmoke:
+	$(GO) test -race -count=1 -run TestChaosBatchGracefulDegradation ./internal/faultinject
+	$(GO) test -race -count=1 -run 'TestBatchStreamsCorrectResults|TestBatchShedsWithRetryAfter|TestBatchClientDisconnectKeepsPartialResults' ./internal/serve
+
 # fuzzsmoke runs the differential fuzzer for a fixed-seed ten-second
 # session: seeded random programs (all five generation profiles) judged by
 # the full oracle stack — architectural differential vs the reference model,
@@ -78,8 +88,9 @@ replay:
 
 # ci is the gate: vet, build, the full suite under -race, a short benchmark
 # pass (catches bench-only compile/regression breakage), the cmd/ import
-# gate, the levserve smoke test, the fixed-seed fuzz smoke + corpus replay,
-# and the golden timing-model diff.
+# gate, the levserve smoke test, the seeded chaos smoke (batch dispatch under
+# a transport-fault storm), the fixed-seed fuzz smoke + corpus replay, and
+# the golden timing-model diff.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -88,6 +99,7 @@ ci:
 	$(MAKE) gate
 	$(MAKE) smoke
 	$(MAKE) obssmoke
+	$(MAKE) chaossmoke
 	$(MAKE) fuzzsmoke
 	$(MAKE) replay
 	$(MAKE) golden

@@ -10,6 +10,7 @@ package levioso
 // at full reference scale.
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -108,7 +109,7 @@ func BenchmarkFigRestricted(b *testing.B) {
 // window sizes.
 func BenchmarkFigROBSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := harness.ExpROBSweep(harness.NewRunOpts(workloads.SizeTest), []int{96, 192, 320})
+		out, err := harness.ExpROBSweep(context.Background(), harness.NewRunOpts(workloads.SizeTest), []int{96, 192, 320})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func BenchmarkFigROBSweep(b *testing.B) {
 // BenchmarkFigMispredict regenerates F4 (overhead vs predictor quality).
 func BenchmarkFigMispredict(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := harness.ExpMispredict(harness.NewRunOpts(workloads.SizeTest), []float64{0, 0.05, 0.15})
+		out, err := harness.ExpMispredict(context.Background(), harness.NewRunOpts(workloads.SizeTest), []float64{0, 0.05, 0.15})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -375,7 +376,7 @@ func BenchmarkAnnotatePass(b *testing.B) {
 // size — the hardware-cost knob).
 func BenchmarkFigBDTSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := harness.ExpBDTSweep(harness.NewRunOpts(workloads.SizeTest), []int{8, 32, 64})
+		out, err := harness.ExpBDTSweep(context.Background(), harness.NewRunOpts(workloads.SizeTest), []int{8, 32, 64})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -388,7 +389,7 @@ func BenchmarkFigBDTSweep(b *testing.B) {
 // BenchmarkTableCharacterization regenerates T1b (workload characterization).
 func BenchmarkTableCharacterization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := harness.ExpCharacterization(harness.NewRunOpts(workloads.SizeTest))
+		out, err := harness.ExpCharacterization(context.Background(), harness.NewRunOpts(workloads.SizeTest))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,14 +16,20 @@
 // table; after all experiments a failure table is printed to stderr and
 // levbench exits non-zero, so completed work is never lost to one bad run.
 // With -journal, completed cells are recorded as they finish and a re-run of
-// the same invocation resumes without re-simulating them.
+// the same invocation resumes without re-simulating them. SIGINT/SIGTERM
+// cancel the sweep cleanly: the journal is flushed and closed, and exit is
+// 130 with a resume hint rather than a mid-write kill.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"levioso/internal/cli"
 	"levioso/internal/harness"
@@ -85,18 +91,24 @@ func run() int {
 		opt.Journal = j
 	}
 
+	// SIGINT/SIGTERM cancel the sweep context: in-flight cells unwind, the
+	// journal (already flushed per completed cell) closes cleanly via the
+	// defer above, and a re-run of the same invocation resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if len(ids) == 0 {
-		if err := harness.RunAll(os.Stdout, opt); err != nil {
-			return cli.Fail("levbench", err)
+		if err := harness.RunAll(ctx, os.Stdout, opt); err != nil {
+			return failOrInterrupted(ctx, err)
 		}
 	} else {
 		for _, id := range ids {
 			if len(ids) > 1 {
 				fmt.Printf("==> experiment %s\n", id)
 			}
-			out, err := harness.RunExperiment(id, opt)
+			out, err := harness.RunExperiment(ctx, id, opt)
 			if err != nil {
-				return cli.Fail("levbench", err)
+				return failOrInterrupted(ctx, err)
 			}
 			fmt.Println(out)
 		}
@@ -107,6 +119,16 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// failOrInterrupted distinguishes "the user hit ctrl-C" (exit 130, the
+// conventional interrupted status, with a resume hint) from a real failure.
+func failOrInterrupted(ctx context.Context, err error) int {
+	if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "levbench: interrupted; completed cells are journaled, re-run to resume")
+		return 130
+	}
+	return cli.Fail("levbench", err)
 }
 
 // parseExpList splits a comma-separated experiment list and validates every

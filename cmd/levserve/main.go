@@ -6,12 +6,23 @@
 // Usage:
 //
 //	levserve [-addr :8347] [-workers N] [-cache 256] [-deadline 60s]
+//	levserve -worker
 //
 // Endpoints (see internal/serve):
 //
 //	POST /v1/simulate   {"source"|"asm"|"binary"|"workload", "policy", ...}
+//	POST /v1/batch      {"cells":[...]} — NDJSON stream, one line per cell
 //	GET  /v1/policies   GET /v1/workloads   GET /v1/stats   GET /v1/version
 //	GET  /metrics       GET /healthz
+//
+// Batch cells run on the fault-tolerant dispatch tier (internal/dispatch):
+// retries with backoff, per-worker circuit breakers, admission control, and
+// a shared result cache. By default the workers are in-process;
+// -worker-procs isolates them as subprocesses (this same binary re-executed
+// as `levserve -worker`, speaking a versioned NDJSON protocol over
+// stdin/stdout), so a crashing simulation takes down a disposable worker
+// instead of the daemon. -worker runs that worker loop directly and is not
+// meant for interactive use.
 //
 // -access-log writes one structured JSON line per request to stderr;
 // -pprof mounts net/http/pprof under /debug/pprof/. GET /metrics serves the
@@ -32,6 +43,7 @@ import (
 	"time"
 
 	"levioso/internal/cli"
+	"levioso/internal/dispatch"
 	"levioso/internal/serve"
 )
 
@@ -49,9 +61,22 @@ func run() int {
 	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes")
 	accessLog := flag.Bool("access-log", false, "write one JSON access-log line per request to stderr")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	workerMode := flag.Bool("worker", false, "run as a dispatch worker on stdin/stdout (spawned by the coordinator, not for interactive use)")
+	workerProcs := flag.Bool("worker-procs", false, "run batch cells in subprocess workers (this binary re-executed with -worker)")
+	batchWorkers := flag.Int("batch-workers", 0, "batch dispatch worker slots (0 = same as -workers)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		return cli.Usage("levserve [-addr :8347] [-workers N] [-cache 256] [-deadline 60s] [-access-log] [-pprof]")
+		return cli.Usage("levserve [-addr :8347] [-workers N] [-cache 256] [-deadline 60s] [-access-log] [-pprof] [-worker-procs] [-batch-workers N] | levserve -worker")
+	}
+
+	if *workerMode {
+		// Worker side of the dispatch wire protocol. EOF on stdin (the
+		// coordinator closing the pipe) is the shutdown signal; signals are
+		// left at their defaults so the coordinator's Kill works.
+		if err := dispatch.ServeWorker(context.Background(), os.Stdin, os.Stdout); err != nil {
+			return cli.Fail("levserve -worker", err)
+		}
+		return 0
 	}
 
 	cfg := serve.Config{
@@ -60,11 +85,23 @@ func run() int {
 		DefaultDeadline: *deadline,
 		MaxBody:         *maxBody,
 		EnablePprof:     *enablePprof,
+		Dispatch:        &dispatch.Config{Workers: *batchWorkers},
+	}
+	if *workerProcs {
+		exe, err := os.Executable()
+		if err != nil {
+			return cli.Fail("levserve", fmt.Errorf("resolving own executable for -worker-procs: %w", err))
+		}
+		cfg.Dispatch.Spawn = dispatch.Proc(exe, "-worker")
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stderr
 	}
-	srv := serve.New(cfg)
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return cli.Fail("levserve", err)
+	}
+	defer srv.Close()
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

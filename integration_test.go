@@ -7,6 +7,7 @@ package levioso
 // the way the README quickstart drives it.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -75,7 +76,7 @@ func TestExperimentReportsRender(t *testing.T) {
 	}
 	// The cheap experiments end-to-end; the sweeps are covered by benches.
 	for _, id := range []string{"config", "compiler"} {
-		out, err := harness.RunExperiment(id, harness.NewRunOpts(workloads.SizeTest))
+		out, err := harness.RunExperiment(context.Background(), id, harness.NewRunOpts(workloads.SizeTest))
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

@@ -1,0 +1,102 @@
+package dispatch
+
+import "sync"
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	// breakerClosed: the worker is trusted; calls flow normally.
+	breakerClosed breakerState = iota
+	// breakerOpen: the worker has failed too many times in a row; the
+	// coordinator parks its slot for a cooldown instead of feeding it
+	// cells that will probably die.
+	breakerOpen
+	// breakerHalfOpen: cooldown expired; exactly one trial call is allowed
+	// through. Success closes the breaker, failure re-opens it.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker tracks one worker slot's health. Only *transient* failures —
+// simerr's transport/deadline/panic/shed kinds — count against the breaker:
+// a permanent failure (bad program, divergence) is the cell's fault, proves
+// the worker is answering correctly, and resets the streak. That split is
+// the whole point of the typed failure taxonomy: without it a batch of
+// genuinely-broken programs would trip every breaker and stall the healthy
+// fleet.
+//
+// The breaker is advisory state; the coordinator owns the clock (it parks
+// the slot and schedules the half-open probe), so the breaker itself needs
+// no timers.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	streak    int // consecutive transient failures
+	threshold int // streak length that trips closed → open
+}
+
+func newBreaker(threshold int) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	return &breaker{threshold: threshold}
+}
+
+// onSuccess records a healthy response (including permanent, cell-caused
+// failures). Half-open trial success closes the breaker.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.streak = 0
+	b.state = breakerClosed
+}
+
+// onFailure records a transient failure and reports whether the breaker
+// tripped open on this call (closed streak exhausted, or a failed half-open
+// trial). The caller parks the slot when tripped is true.
+func (b *breaker) onFailure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// The one trial call failed: straight back to open.
+		b.state = breakerOpen
+		return true
+	case breakerClosed:
+		b.streak++
+		if b.streak >= b.threshold {
+			b.state = breakerOpen
+			return true
+		}
+	}
+	return false
+}
+
+// halfOpen transitions open → half-open when the cooldown expires, arming
+// the single trial call.
+func (b *breaker) halfOpen() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen {
+		b.state = breakerHalfOpen
+	}
+}
+
+// current reports the state for metrics.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,407 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"levioso/internal/engine"
+	"levioso/internal/isa"
+	"levioso/internal/obs"
+	"levioso/internal/simerr"
+)
+
+// TestMain re-execs the test binary as a wire-protocol worker when the
+// marker variable is set: Proc(os.Args[0]) then spawns real subprocess
+// workers that speak the real protocol over real pipes.
+func TestMain(m *testing.M) {
+	if os.Getenv("LEVIOSO_DISPATCH_WORKER") == "1" {
+		if err := ServeWorker(context.Background(), os.Stdin, os.Stdout); err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Setenv("LEVIOSO_DISPATCH_WORKER", "1") // inherited by Proc children
+	os.Exit(m.Run())
+}
+
+const testSrc = `
+func main() {
+	var i;
+	var s = 7;
+	for (i = 0; i < 50; i = i + 1) { s = s * 31 + i; }
+	print(s & 1023);
+	return s & 63;
+}`
+
+func testProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	prog, _, err := engine.Compile("cell.lc", testSrc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func testCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	co, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+	return co
+}
+
+// wantResult is the fault-free ground truth, computed directly.
+func wantResult(t *testing.T, prog *isa.Program, policy string) *engine.Result {
+	t.Helper()
+	res, err := engine.Run(context.Background(), engine.Request{
+		Name: "cell.lc", Program: prog, Verify: true,
+		Overrides: engine.Overrides{Policy: policy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sameResult(a, b *engine.Result) bool {
+	return a.ExitCode == b.ExitCode && a.Output == b.Output && a.Stats == b.Stats
+}
+
+// TestExecuteMatchesEngine proves every transport — inproc, in-memory pipe,
+// real subprocess — produces bit-identical results to a direct engine.Run.
+func TestExecuteMatchesEngine(t *testing.T) {
+	prog := testProgram(t)
+	want := wantResult(t, prog, "levioso")
+	spawners := map[string]Spawner{"inproc": Inproc(), "pipe": Pipe(), "proc": Proc(os.Args[0])}
+	for name, sp := range spawners {
+		t.Run(name, func(t *testing.T) {
+			co := testCoordinator(t, Config{Workers: 2, Spawn: sp, CacheEntries: -1})
+			got, err := co.Execute(context.Background(), &Cell{
+				Name: "cell.lc", Program: prog, Verify: true,
+				Overrides: engine.Overrides{Policy: "levioso"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResult(got, want) {
+				t.Fatalf("dispatched result differs:\n got=%+v\nwant=%+v", got, want)
+			}
+		})
+	}
+}
+
+// TestSharedCache: an identical second cell is served from the
+// content-addressed cache without touching a worker.
+func TestSharedCache(t *testing.T) {
+	prog := testProgram(t)
+	co := testCoordinator(t, Config{Workers: 1})
+	cell := func() *Cell {
+		return &Cell{Name: "cell.lc", Program: prog, Overrides: engine.Overrides{Policy: "fence"}}
+	}
+	first, err := co.Execute(context.Background(), cell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first execution reported cached")
+	}
+	second, err := co.Execute(context.Background(), cell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("identical second cell missed the cache")
+	}
+	if !sameResult(first, second) {
+		t.Fatalf("cached result differs: %+v vs %+v", first, second)
+	}
+	if st := co.Snapshot(); st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache counters: %+v", st.Cache)
+	}
+}
+
+// TestTypedErrorRoundTrip: a permanent simulation failure keeps its simerr
+// kind across the wire and is not retried.
+func TestTypedErrorRoundTrip(t *testing.T) {
+	prog := testProgram(t)
+	reg := obs.NewRegistry()
+	co := testCoordinator(t, Config{Workers: 1, Spawn: Pipe(), Registry: reg})
+	_, err := co.Execute(context.Background(), &Cell{
+		Name: "cell.lc", Program: prog,
+		Overrides: engine.Overrides{Policy: "unsafe", MaxCycles: 10},
+	})
+	if !errors.Is(err, simerr.ErrCycleLimit) {
+		t.Fatalf("want cycle-limit across the wire, got %v", err)
+	}
+	if st := co.Snapshot(); st.Retries != 0 {
+		t.Fatalf("permanent failure consumed %d retries", st.Retries)
+	}
+}
+
+// flakyWorker fails with transport errors until `failures` is drained,
+// then delegates to a real inproc worker.
+type flakyWorker struct {
+	failures *atomic.Int64
+	real     inprocWorker
+}
+
+func (w *flakyWorker) Execute(ctx context.Context, c *Cell) (*engine.Result, error) {
+	if w.failures.Add(-1) >= 0 {
+		return nil, transportErr("injected flake")
+	}
+	return w.real.Execute(ctx, c)
+}
+func (w *flakyWorker) Ping(ctx context.Context) error { return w.real.Ping(ctx) }
+func (w *flakyWorker) Kill()                          { w.real.Kill() }
+func (w *flakyWorker) Close() error                   { return w.real.Close() }
+
+// TestRetriesRecoverTransient: transient failures burn retries, then the
+// cell completes with the right answer.
+func TestRetriesRecoverTransient(t *testing.T) {
+	prog := testProgram(t)
+	want := wantResult(t, prog, "levioso")
+	var failures atomic.Int64
+	failures.Store(2)
+	co := testCoordinator(t, Config{
+		Workers:     1,
+		Spawn:       func(ctx context.Context) (Worker, error) { return &flakyWorker{failures: &failures}, nil },
+		MaxAttempts: 4,
+		Backoff:     time.Millisecond,
+	})
+	got, err := co.Execute(context.Background(), &Cell{
+		Name: "cell.lc", Program: prog, Verify: true,
+		Overrides: engine.Overrides{Policy: "levioso"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(got, want) {
+		t.Fatal("recovered result differs from ground truth")
+	}
+	if st := co.Snapshot(); st.Retries != 2 || st.Restarts != 2 {
+		t.Fatalf("want 2 retries and 2 restarts, got %+v", st)
+	}
+}
+
+// TestBreakerTripsAndRecovers drives one worker through closed → open →
+// half-open → closed and checks the trip is counted.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	prog := testProgram(t)
+	var failures atomic.Int64
+	failures.Store(2) // threshold: trips the breaker, worker stays alive
+	co := testCoordinator(t, Config{
+		Workers:          1,
+		Spawn:            func(ctx context.Context) (Worker, error) { return &flakyWorker{failures: &failures}, nil },
+		MaxAttempts:      5,
+		Backoff:          time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  5 * time.Millisecond,
+		CrashLoopBudget:  10,
+	})
+	got, err := co.Execute(context.Background(), &Cell{
+		Name: "cell.lc", Program: prog, Overrides: engine.Overrides{Policy: "fence"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Stats.Committed == 0 {
+		t.Fatalf("bad recovered result: %+v", got)
+	}
+	st := co.Snapshot()
+	if st.BreakerTrips == 0 {
+		t.Fatalf("breaker never tripped: %+v", st)
+	}
+	if s := co.slots[0].br.current(); s != breakerClosed {
+		t.Fatalf("breaker should have closed after recovery, is %v", s)
+	}
+}
+
+// TestCrashLoopBudgetExhaustion: a worker that always dies takes its slot
+// down permanently; with one slot, the coordinator fails fast.
+func TestCrashLoopBudgetExhaustion(t *testing.T) {
+	prog := testProgram(t)
+	var failures atomic.Int64
+	failures.Store(1 << 30)
+	co := testCoordinator(t, Config{
+		Workers:         1,
+		Spawn:           func(ctx context.Context) (Worker, error) { return &flakyWorker{failures: &failures}, nil },
+		MaxAttempts:     50,
+		Backoff:         time.Millisecond,
+		BreakerCooldown: time.Millisecond,
+		CrashLoopBudget: 3,
+	})
+	_, err := co.Execute(context.Background(), &Cell{
+		Name: "cell.lc", Program: prog, Overrides: engine.Overrides{Policy: "unsafe"},
+	})
+	if err == nil {
+		t.Fatal("execute succeeded against a permanently dead fleet")
+	}
+	// The terminal state must arrive: either the acquire saw all workers
+	// dead, or the last transport error surfaced after budget exhaustion.
+	if st := co.Snapshot(); st.WorkersAlive != 0 {
+		t.Fatalf("slot not retired: %+v", st)
+	}
+	if _, err := co.Execute(context.Background(), &Cell{
+		Name: "cell.lc", Program: prog, Overrides: engine.Overrides{Policy: "unsafe"},
+	}); !errors.Is(err, ErrAllWorkersDead) {
+		t.Fatalf("want ErrAllWorkersDead fast-fail, got %v", err)
+	}
+}
+
+// TestAdmissionControlSheds: beyond QueueDepth, Admit returns a typed,
+// transient, introspectable shed error.
+func TestAdmissionControlSheds(t *testing.T) {
+	co := testCoordinator(t, Config{Workers: 1, QueueDepth: 2})
+	if err := co.Admit(2); err != nil {
+		t.Fatal(err)
+	}
+	err := co.Admit(1)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want *ShedError, got %v", err)
+	}
+	if shed.Pending != 2 || shed.Capacity != 2 {
+		t.Fatalf("shed envelope: %+v", shed)
+	}
+	if !errors.Is(err, simerr.ErrShed) || !simerr.Transient(err) {
+		t.Fatalf("shed error lost its taxonomy: %v", err)
+	}
+	co.Release(2)
+	if err := co.Admit(1); err != nil {
+		t.Fatalf("post-release admit failed: %v", err)
+	}
+	co.Release(1)
+	if st := co.Snapshot(); st.Shed != 1 || st.Pending != 0 {
+		t.Fatalf("admission counters: %+v", st)
+	}
+}
+
+// TestConcurrentBatch floods a small pool with many concurrent cells across
+// policies and checks every result against ground truth — the retry/slot
+// machinery must neither lose nor cross wires under contention.
+func TestConcurrentBatch(t *testing.T) {
+	prog := testProgram(t)
+	policies := []string{"unsafe", "fence", "levioso", "delay"}
+	want := make(map[string]*engine.Result, len(policies))
+	for _, p := range policies {
+		want[p] = wantResult(t, prog, p)
+	}
+	co := testCoordinator(t, Config{Workers: 3, Spawn: Pipe(), QueueDepth: -1, CacheEntries: -1})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 32; i++ {
+		p := policies[i%len(policies)]
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			got, err := co.Execute(context.Background(), &Cell{
+				Name: "cell.lc", Program: prog, Verify: true,
+				Overrides: engine.Overrides{Policy: p},
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !sameResult(got, want[p]) {
+				errs <- errors.New(p + ": result differs from ground truth")
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestBadPolicyRejectedLocally: option validation fails before any worker
+// or attempt is spent.
+func TestBadPolicyRejectedLocally(t *testing.T) {
+	prog := testProgram(t)
+	co := testCoordinator(t, Config{Workers: 1})
+	_, err := co.Execute(context.Background(), &Cell{
+		Name: "cell.lc", Program: prog, Overrides: engine.Overrides{Policy: "nonesuch"},
+	})
+	if !errors.Is(err, simerr.ErrBuild) {
+		t.Fatalf("want typed build error, got %v", err)
+	}
+}
+
+// TestWorkerKillMidCall: killing the subprocess under an in-flight call
+// surfaces a transient transport error and the pool self-heals.
+func TestWorkerKillMidCall(t *testing.T) {
+	prog := testProgram(t)
+	sp := Pipe()
+	var cur atomic.Value // holds Worker
+	wrap := func(ctx context.Context) (Worker, error) {
+		w, err := sp(ctx)
+		if err == nil {
+			cur.Store(w)
+		}
+		return w, err
+	}
+	co := testCoordinator(t, Config{Workers: 1, Spawn: wrap, MaxAttempts: 3, Backoff: time.Millisecond})
+	// Kill the live worker; the next call hits a dead pipe, gets a
+	// transport error, and the restart path replaces the worker.
+	cur.Load().(Worker).Kill()
+	got, err := co.Execute(context.Background(), &Cell{
+		Name: "cell.lc", Program: prog, Overrides: engine.Overrides{Policy: "unsafe"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Committed == 0 {
+		t.Fatalf("bad result after self-heal: %+v", got)
+	}
+	if st := co.Snapshot(); st.Restarts == 0 {
+		t.Fatalf("no restart recorded: %+v", st)
+	}
+}
+
+// TestPingProbe: a health probe detects a silently killed worker and
+// replaces it before any cell is wasted.
+func TestPingProbe(t *testing.T) {
+	sp := Proc(os.Args[0])
+	var mu sync.Mutex
+	var spawned []Worker
+	wrap := func(ctx context.Context) (Worker, error) {
+		w, err := sp(ctx)
+		if err == nil {
+			mu.Lock()
+			spawned = append(spawned, w)
+			mu.Unlock()
+		}
+		return w, err
+	}
+	co := testCoordinator(t, Config{Workers: 1, Spawn: wrap, ProbeInterval: 20 * time.Millisecond})
+	mu.Lock()
+	spawned[0].Kill()
+	mu.Unlock()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if co.Snapshot().Restarts > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probe never detected the killed worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And the pool still works.
+	prog := testProgram(t)
+	if _, err := co.Execute(context.Background(), &Cell{
+		Name: "cell.lc", Program: prog, Overrides: engine.Overrides{Policy: "unsafe"},
+	}); err != nil {
+		t.Fatalf("post-probe execute: %v", err)
+	}
+}

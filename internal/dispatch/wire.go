@@ -1,0 +1,184 @@
+package dispatch
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"levioso/internal/cpu"
+	"levioso/internal/engine"
+	"levioso/internal/simerr"
+)
+
+// WireSchemaVersion is the coordinator↔worker protocol generation. It is the
+// same additive-fields-don't-bump discipline as the levserve HTTP schema: a
+// worker and coordinator disagreeing on it refuse to pair at handshake time
+// instead of misinterpreting frames mid-batch.
+const WireSchemaVersion = 1
+
+// maxFrameBytes bounds one NDJSON frame on both sides of the pipe. Program
+// images are capped well below this by the HTTP body limit; a frame this
+// large is a corrupted stream, not a big program.
+const maxFrameBytes = 64 << 20
+
+// wireHello is the first frame a worker writes after starting. The
+// coordinator refuses workers whose schema version differs.
+type wireHello struct {
+	Hello *wireHelloBody `json:"hello"`
+}
+
+type wireHelloBody struct {
+	SchemaVersion int `json:"schema_version"`
+	PID           int `json:"pid"`
+}
+
+// wireRequest is one coordinator→worker frame: a health probe (Ping) or one
+// cell to simulate. The program travels as its serialized LEV64 image
+// (base64 in JSON); options mirror the levserve wire names, so the two JSON
+// APIs stay mutually intelligible.
+type wireRequest struct {
+	ID         uint64 `json:"id"`
+	Ping       bool   `json:"ping,omitempty"`
+	Name       string `json:"name,omitempty"`
+	Binary     []byte `json:"binary,omitempty"`
+	Policy     string `json:"policy,omitempty"`
+	ROB        int    `json:"rob,omitempty"`
+	MaxCycles  uint64 `json:"max_cycles,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	Verify     bool   `json:"verify,omitempty"`
+}
+
+// wireError carries a typed simulation failure across the pipe. Kind is the
+// simerr kind name; the coordinator reconstitutes the classification with
+// simerr.ParseKind, so transient/permanent retry decisions survive the
+// process boundary.
+type wireError struct {
+	Kind      string `json:"kind"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// wireResponse is one worker→coordinator frame, answering the request with
+// the matching ID.
+type wireResponse struct {
+	ID     uint64     `json:"id"`
+	Pong   bool       `json:"pong,omitempty"`
+	Exit   uint64     `json:"exit,omitempty"`
+	Output string     `json:"output,omitempty"`
+	Stats  *cpu.Stats `json:"stats,omitempty"`
+	Error  *wireError `json:"error,omitempty"`
+}
+
+// transportErr builds a typed transport failure (always transient: the
+// simulator is deterministic, so a cell whose result never arrived is safely
+// retryable on another worker).
+func transportErr(format string, args ...any) *simerr.RunError {
+	return simerr.New(simerr.KindTransport, format, args...)
+}
+
+// ServeWorker runs the worker side of the dispatch protocol over r/w —
+// typically a subprocess's stdin/stdout (levserve -worker). It writes the
+// hello frame, then answers one request frame per line until r reaches EOF
+// (the coordinator closing the pipe is the shutdown signal) or ctx is
+// cancelled. Frames are processed strictly in order, one at a time: a worker
+// process is one execution slot, and the coordinator scales by spawning more
+// processes, not by multiplexing frames.
+//
+// A malformed frame answers with a transport-kind error (ID 0) instead of
+// killing the worker: the coordinator treats the mismatched ID as a
+// transport failure for the in-flight call and restarts the worker on its
+// own schedule.
+func ServeWorker(ctx context.Context, r io.Reader, w io.Writer) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	send := func(resp wireResponse) error {
+		if err := enc.Encode(resp); err != nil {
+			return fmt.Errorf("dispatch: worker encode: %w", err)
+		}
+		return bw.Flush()
+	}
+	if err := enc.Encode(wireHello{Hello: &wireHelloBody{
+		SchemaVersion: WireSchemaVersion, PID: os.Getpid(),
+	}}); err != nil {
+		return fmt.Errorf("dispatch: worker hello: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("dispatch: worker hello: %w", err)
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxFrameBytes)
+	for sc.Scan() {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var req wireRequest
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			if serr := send(wireResponse{Error: &wireError{
+				Kind:      simerr.KindTransport.String(),
+				Message:   fmt.Sprintf("dispatch: worker: bad frame: %v", err),
+				Retryable: true,
+			}}); serr != nil {
+				return serr
+			}
+			continue
+		}
+		if req.Ping {
+			if err := send(wireResponse{ID: req.ID, Pong: true}); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := send(runWireRequest(ctx, req)); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("dispatch: worker read: %w", err)
+	}
+	return nil
+}
+
+// runWireRequest executes one cell frame through the shared engine pipeline
+// and renders the reply frame. Failures become typed wire errors; the engine
+// already recovers panics into simerr.ErrPanic, so one poisoned cell cannot
+// take the worker process down.
+func runWireRequest(ctx context.Context, req wireRequest) wireResponse {
+	prog, err := engine.Load(req.Name, req.Binary)
+	if err == nil {
+		var res *engine.Result
+		ereq := engine.Request{
+			Name:    req.Name,
+			Program: prog,
+			Verify:  req.Verify,
+			Overrides: engine.Overrides{
+				Policy:    req.Policy,
+				ROBSize:   req.ROB,
+				MaxCycles: req.MaxCycles,
+				Deadline:  time.Duration(req.DeadlineMS) * time.Millisecond,
+			},
+		}
+		if res, err = engine.Run(ctx, ereq); err == nil {
+			st := res.Stats
+			return wireResponse{ID: req.ID, Exit: res.ExitCode, Output: res.Output, Stats: &st}
+		}
+	}
+	return wireResponse{ID: req.ID, Error: &wireError{
+		Kind:      simerr.KindOf(err).String(),
+		Message:   err.Error(),
+		Retryable: simerr.Transient(err),
+	}}
+}
+
+// errorFromWire reconstitutes a typed failure from its wire form, preserving
+// the transient/permanent classification across the process boundary.
+func errorFromWire(we *wireError) error {
+	return &simerr.RunError{Kind: simerr.ParseKind(we.Kind), Detail: we.Message}
+}

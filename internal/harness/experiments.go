@@ -54,13 +54,15 @@ func (o *RunOpts) addFailure(f Failure) {
 }
 
 // sweep supervises spec under the options, collects its failures, and
-// returns the completed runs. tag namespaces the journal entries.
-func (o *RunOpts) sweep(spec Spec, tag string) ([]Run, error) {
+// returns the completed runs. tag namespaces the journal entries. ctx
+// cancellation (an interrupted levbench run) stops the sweep between cells;
+// cells already completed are in the journal, so a re-run resumes.
+func (o *RunOpts) sweep(ctx context.Context, spec Spec, tag string) ([]Run, error) {
 	spec.Tag = tag
 	spec.Retries = o.Retries
 	spec.RunTimeout = o.RunTimeout
 	spec.Journal = o.Journal
-	res, err := Supervise(context.Background(), spec)
+	res, err := Supervise(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -96,29 +98,30 @@ func ExperimentIDs() []string {
 
 // RunExperiment runs one experiment by ID and returns its rendered report.
 // Failed sweep cells degrade the report (rows render "n/a") and are
-// collected on opt; check opt.Failures() after the call.
-func RunExperiment(id string, opt *RunOpts) (string, error) {
+// collected on opt; check opt.Failures() after the call. Cancelling ctx
+// (SIGINT in levbench) stops the underlying sweeps between cells.
+func RunExperiment(ctx context.Context, id string, opt *RunOpts) (string, error) {
 	switch id {
 	case ExpConfigID:
 		return ExpConfig(cpu.DefaultConfig()), nil
 	case ExpCharactID:
-		return ExpCharacterization(opt)
+		return ExpCharacterization(ctx, opt)
 	case ExpOverheadID:
-		return ExpOverhead(opt)
+		return ExpOverhead(ctx, opt)
 	case ExpRestrictedID:
-		return ExpRestricted(opt)
+		return ExpRestricted(ctx, opt)
 	case ExpROBID:
-		return ExpROBSweep(opt, []int{64, 96, 128, 192, 256, 384})
+		return ExpROBSweep(ctx, opt, []int{64, 96, 128, 192, 256, 384})
 	case ExpMispredictID:
-		return ExpMispredict(opt, []float64{0, 0.02, 0.05, 0.10, 0.20})
+		return ExpMispredict(ctx, opt, []float64{0, 0.02, 0.05, 0.10, 0.20})
 	case ExpSecurityID:
 		return ExpSecurity()
 	case ExpAblationID:
-		return ExpAblation(opt)
+		return ExpAblation(ctx, opt)
 	case ExpBDTID:
-		return ExpBDTSweep(opt, []int{4, 8, 16, 32, 64})
+		return ExpBDTSweep(ctx, opt, []int{4, 8, 16, 32, 64})
 	case ExpCompilerID:
-		return ExpCompiler(opt)
+		return ExpCompiler(ctx, opt)
 	default:
 		return "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
@@ -126,12 +129,16 @@ func RunExperiment(id string, opt *RunOpts) (string, error) {
 
 // RunAll runs every experiment, streaming reports to w. Partial failures
 // degrade the affected tables and accumulate on opt; a failure table is
-// appended after any experiment that lost cells.
-func RunAll(w io.Writer, opt *RunOpts) error {
+// appended after any experiment that lost cells. Cancellation stops before
+// the next experiment starts and surfaces as the context's error.
+func RunAll(ctx context.Context, w io.Writer, opt *RunOpts) error {
 	for _, id := range ExperimentIDs() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "==> experiment %s\n", id)
 		before := len(opt.Failures())
-		rep, err := RunExperiment(id, opt)
+		rep, err := RunExperiment(ctx, id, opt)
 		if err != nil {
 			return err
 		}
@@ -175,11 +182,11 @@ func cacheLine(c mem.CacheConfig) string {
 
 // ExpCharacterization renders T1b: per-workload behaviour on the unprotected
 // core — the numbers that explain the per-workload overhead texture in F1.
-func ExpCharacterization(opt *RunOpts) (string, error) {
+func ExpCharacterization(ctx context.Context, opt *RunOpts) (string, error) {
 	spec := DefaultSpec()
 	spec.Size = opt.Size
 	spec.Policies = []string{"unsafe"}
-	runs, err := opt.sweep(spec, ExpCharactID)
+	runs, err := opt.sweep(ctx, spec, ExpCharactID)
 	if err != nil {
 		return "", err
 	}
@@ -203,10 +210,10 @@ func ExpCharacterization(opt *RunOpts) (string, error) {
 
 // ExpOverhead renders F1 (the headline figure): per-workload and geomean
 // execution-time overhead of each defense relative to the unprotected core.
-func ExpOverhead(opt *RunOpts) (string, error) {
+func ExpOverhead(ctx context.Context, opt *RunOpts) (string, error) {
 	spec := DefaultSpec()
 	spec.Size = opt.Size
-	runs, err := opt.sweep(spec, ExpOverheadID)
+	runs, err := opt.sweep(ctx, spec, ExpOverheadID)
 	if err != nil {
 		return "", err
 	}
@@ -256,11 +263,11 @@ func renderOverhead(title string, ix *Index, policies []string) string {
 // ExpRestricted renders F2: the fraction of dynamic transmitters each policy
 // actually delayed, against the fraction a conservative scheme must delay
 // (transmitters issued under at least one unresolved branch).
-func ExpRestricted(opt *RunOpts) (string, error) {
+func ExpRestricted(ctx context.Context, opt *RunOpts) (string, error) {
 	spec := DefaultSpec()
 	spec.Size = opt.Size
 	spec.Policies = []string{"unsafe", "delay", "levioso"}
-	runs, err := opt.sweep(spec, ExpRestrictedID)
+	runs, err := opt.sweep(ctx, spec, ExpRestrictedID)
 	if err != nil {
 		return "", err
 	}
@@ -308,7 +315,7 @@ func SensitivityWorkloads() []workloads.Workload {
 // ExpROBSweep renders F3: geomean overhead of each policy as the window
 // (ROB) scales — bigger windows widen the speculation shadow, growing the
 // gap between conservative schemes and Levioso.
-func ExpROBSweep(opt *RunOpts, robs []int) (string, error) {
+func ExpROBSweep(ctx context.Context, opt *RunOpts, robs []int) (string, error) {
 	policies := secure.EvalNames()
 	t := stats.NewTable("F3: geomean overhead vs ROB size (6-workload subset)",
 		append([]string{"ROB"}, policies[1:]...)...)
@@ -323,7 +330,7 @@ func ExpROBSweep(opt *RunOpts, robs []int) (string, error) {
 			Workloads: SensitivityWorkloads(), Policies: policies,
 			Size: opt.Size, Config: cfg, Verify: false,
 		}
-		runs, err := opt.sweep(spec, fmt.Sprintf("rob=%d", rob))
+		runs, err := opt.sweep(ctx, spec, fmt.Sprintf("rob=%d", rob))
 		if err != nil {
 			return "", err
 		}
@@ -340,7 +347,7 @@ func ExpROBSweep(opt *RunOpts, robs []int) (string, error) {
 // ExpMispredict renders F4: geomean overhead as predictor quality degrades
 // (forced extra misprediction rate). Worse prediction means more and longer
 // speculation shadows: all defenses get more expensive, Levioso least.
-func ExpMispredict(opt *RunOpts, rates []float64) (string, error) {
+func ExpMispredict(ctx context.Context, opt *RunOpts, rates []float64) (string, error) {
 	policies := secure.EvalNames()
 	t := stats.NewTable("F4: geomean overhead vs forced extra mispredict rate (6-workload subset)",
 		append([]string{"rate"}, policies[1:]...)...)
@@ -351,7 +358,7 @@ func ExpMispredict(opt *RunOpts, rates []float64) (string, error) {
 			Workloads: SensitivityWorkloads(), Policies: policies,
 			Size: opt.Size, Config: cfg, Verify: false,
 		}
-		runs, err := opt.sweep(spec, fmt.Sprintf("mispredict=%g", rate))
+		runs, err := opt.sweep(ctx, spec, fmt.Sprintf("mispredict=%g", rate))
 		if err != nil {
 			return "", err
 		}
@@ -402,11 +409,11 @@ func ExpSecurity() (string, error) {
 // ExpAblation renders F5: Levioso component ablation — control-only
 // annotations (unsound, cheaper) vs the full control+data design, plus the
 // taint baseline for calibration.
-func ExpAblation(opt *RunOpts) (string, error) {
+func ExpAblation(ctx context.Context, opt *RunOpts) (string, error) {
 	spec := DefaultSpec()
 	spec.Size = opt.Size
 	spec.Policies = []string{"unsafe", "taint", "levioso-ctrl", "levioso", "levioso-ghost"}
-	runs, err := opt.sweep(spec, ExpAblationID)
+	runs, err := opt.sweep(ctx, spec, ExpAblationID)
 	if err != nil {
 		return "", err
 	}
@@ -418,7 +425,7 @@ func ExpAblation(opt *RunOpts) (string, error) {
 // ExpBDTSweep renders F6: Levioso overhead and rename stalls as the Branch
 // Dependency Table shrinks — the hardware-cost knob. The table is sized so
 // capacity stalls are rare at 64 entries; this sweep shows where the knee is.
-func ExpBDTSweep(opt *RunOpts, sizes []int) (string, error) {
+func ExpBDTSweep(ctx context.Context, opt *RunOpts, sizes []int) (string, error) {
 	t := stats.NewTable("F6: levioso geomean overhead vs Branch Dependency Table size (6-workload subset)",
 		"BDT entries", "levioso overhead", "alloc stalls")
 	for _, n := range sizes {
@@ -429,7 +436,7 @@ func ExpBDTSweep(opt *RunOpts, sizes []int) (string, error) {
 			Policies:  []string{"unsafe", "levioso"},
 			Size:      opt.Size, Config: cfg, Verify: false,
 		}
-		runs, err := opt.sweep(spec, fmt.Sprintf("bdt=%d", n))
+		runs, err := opt.sweep(ctx, spec, fmt.Sprintf("bdt=%d", n))
 		if err != nil {
 			return "", err
 		}
@@ -452,7 +459,7 @@ func ExpBDTSweep(opt *RunOpts, sizes []int) (string, error) {
 // and the degrade-instead-of-abort failure plumbing: a workload whose build
 // or annotation fails renders as "n/a" and is collected on opt instead of
 // discarding the whole table.
-func ExpCompiler(opt *RunOpts) (string, error) {
+func ExpCompiler(ctx context.Context, opt *RunOpts) (string, error) {
 	t := stats.NewTable("T3: compiler annotation statistics",
 		"workload", "branches", "annotated", "conservative", "avg region (blocks)", "avg writeset", "table bytes")
 	for _, w := range workloads.All() {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestExpConfigRenders(t *testing.T) {
 
 func TestExpCompilerRenders(t *testing.T) {
 	opt := NewRunOpts(workloads.SizeTest)
-	out, err := ExpCompiler(opt)
+	out, err := ExpCompiler(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestExpCompilerRenders(t *testing.T) {
 }
 
 func TestRunExperimentUnknown(t *testing.T) {
-	if _, err := RunExperiment("bogus", NewRunOpts(workloads.SizeTest)); err == nil {
+	if _, err := RunExperiment(context.Background(), "bogus", NewRunOpts(workloads.SizeTest)); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

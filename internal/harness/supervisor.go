@@ -131,6 +131,12 @@ func Supervise(ctx context.Context, spec Spec) (*SweepResult, error) {
 		}
 	}
 	wg.Wait()
+	// An interrupted sweep is a sweep-level abort, not a pile of per-cell
+	// failures: completed cells are already journaled, so the caller's
+	// resume path is the recovery story.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if journalErr != nil {
 		return nil, fmt.Errorf("harness: journal: %w", journalErr)
 	}

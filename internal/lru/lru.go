@@ -1,0 +1,131 @@
+// Package lru is a small, generic, mutex-guarded least-recently-used cache
+// shared by every result-caching tier in the repository: the levserve
+// per-process cache (internal/serve) and the dispatch coordinator's shared
+// content-addressed cache (internal/dispatch). The simulator is a
+// deterministic pure function, so cached entries never go stale — capacity is
+// the only eviction pressure, which is why one tiny LRU covers every tier.
+//
+// Hit, miss and eviction counters are updated under the same mutex as the
+// cache structure itself, so a snapshot taken with Stats is always internally
+// consistent: hits+misses equals the number of Get calls, and evictions never
+// run ahead of insertions. (The previous per-call-site atomic counters could
+// drift from the cache state they described under concurrent access.)
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity LRU map. A nil *Cache is a valid, always-miss
+// cache (capacity <= 0 disables caching), so call sites never branch.
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[K]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New builds a cache holding at most max entries; max <= 0 returns nil (a
+// disabled cache whose methods are all cheap no-ops).
+func New[K comparable, V any](max int) *Cache[K, V] {
+	if max <= 0 {
+		return nil
+	}
+	return &Cache[K, V]{max: max, order: list.New(), items: make(map[K]*list.Element)}
+}
+
+// Get returns a copy of the cached value and promotes the entry. The hit or
+// miss is counted under the cache lock, consistent with the lookup itself.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Put inserts (or refreshes) an entry, evicting the least recently used
+// entry past capacity.
+func (c *Cache[K, V]) Put(key K, val V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
+	if c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*entry[K, V]).key)
+		c.evictions++
+	}
+}
+
+// Len reports the current entry count.
+func (c *Cache[K, V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// Stats snapshots the counters and entry count atomically with respect to
+// every Get/Put — the numbers always describe one consistent cache state.
+func (c *Cache[K, V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
+}
+
+// Keys returns the cache keys from most to least recently used — the
+// eviction order read backwards. Exposed for the eviction-order regression
+// test; not a hot path.
+func (c *Cache[K, V]) Keys() []K {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]K, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry[K, V]).key)
+	}
+	return keys
+}

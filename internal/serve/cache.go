@@ -1,78 +1,23 @@
 package serve
 
 import (
-	"container/list"
-	"sync"
-
 	"levioso/internal/engine"
+	"levioso/internal/lru"
 )
 
-// lru is a fixed-capacity least-recently-used result cache keyed by the
+// resultCache is the per-process simulate result cache: an LRU keyed by the
 // engine's (program hash, policy, config digest) cache key. The simulator is
 // deterministic, so entries never go stale; capacity is the only eviction
 // pressure. Values are stored by value — callers get a copy and can set
 // response-local flags (Cached) without mutating the cached entry.
-type lru struct {
-	mu    sync.Mutex
-	max   int
-	order *list.List // front = most recently used
-	items map[string]*list.Element
-}
+//
+// Hit/miss/eviction counting lives inside lru.Cache, under the same mutex as
+// the lookup, so /v1/stats and /metrics report numbers consistent with the
+// cache state (the old handler-side atomic counters could drift from it
+// under concurrent access). The batch tier uses the dispatch coordinator's
+// shared cache instead — see internal/dispatch.
+type resultCache = lru.Cache[string, engine.Result]
 
-type lruEntry struct {
-	key string
-	val engine.Result
-}
-
-func newLRU(max int) *lru {
-	if max <= 0 {
-		return nil
-	}
-	return &lru{max: max, order: list.New(), items: make(map[string]*list.Element)}
-}
-
-// get returns a copy of the cached result and promotes the entry.
-func (c *lru) get(key string) (engine.Result, bool) {
-	if c == nil {
-		return engine.Result{}, false
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		return engine.Result{}, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
-}
-
-// put inserts (or refreshes) an entry, evicting the least recently used
-// entry past capacity.
-func (c *lru) put(key string, val engine.Result) {
-	if c == nil {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).val = val
-		c.order.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
-	if c.order.Len() > c.max {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.items, last.Value.(*lruEntry).key)
-	}
-}
-
-// len reports the current entry count.
-func (c *lru) len() int {
-	if c == nil {
-		return 0
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+func newResultCache(max int) *resultCache {
+	return lru.New[string, engine.Result](max)
 }

@@ -39,6 +39,14 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so streaming handlers (the NDJSON
+// batch endpoint) can push each line as it completes.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // accessRecord is one JSON access-log line. Fields are flat and stable so
 // the log is grep- and jq-friendly:
 //

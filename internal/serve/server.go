@@ -10,6 +10,7 @@
 // Endpoints:
 //
 //	POST /v1/simulate  — run one request (JSON body, see SimRequest)
+//	POST /v1/batch     — run many cells, streamed back as NDJSON (BatchRequest)
 //	GET  /v1/policies  — list secure-speculation policies
 //	GET  /v1/workloads — list the embedded benchmark suite
 //	GET  /v1/stats     — server counters (requests, cache hits, in-flight)
@@ -50,6 +51,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -57,6 +59,7 @@ import (
 
 	"levioso/internal/cli"
 	"levioso/internal/cpu"
+	"levioso/internal/dispatch"
 	"levioso/internal/engine"
 	"levioso/internal/obs"
 	"levioso/internal/simerr"
@@ -86,6 +89,14 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
 	// default: profiling endpoints on a public daemon are opt-in).
 	EnablePprof bool
+
+	// Dispatch, when non-nil, configures the batch-execution coordinator
+	// (worker count, spawner, retry/breaker tuning — see dispatch.Config).
+	// Nil gets in-process workers sized like the simulate pool. The
+	// coordinator's metrics always land in this server's registry.
+	Dispatch *dispatch.Config
+	// MaxBatchCells caps cells per /v1/batch request (default 1024).
+	MaxBatchCells int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,28 +112,31 @@ func (c Config) withDefaults() Config {
 	if c.MaxBody <= 0 {
 		c.MaxBody = 8 << 20
 	}
+	if c.MaxBatchCells <= 0 {
+		c.MaxBatchCells = 1024
+	}
 	return c
 }
 
 // Server is the levserve HTTP handler plus its worker pool, result cache,
 // and metrics registry.
 type Server struct {
-	cfg   Config
-	sem   chan struct{}
-	cache *lru
-	mux   *http.ServeMux
-	reg   *obs.Registry
+	cfg      Config
+	sem      chan struct{}
+	cache    *resultCache
+	mux      *http.ServeMux
+	reg      *obs.Registry
+	dispatch *dispatch.Coordinator
 
 	accessLog io.Writer
 	logMu     sync.Mutex
 	idBase    string
 	idSeq     atomic.Uint64
 
-	requests  atomic.Uint64
-	cacheHits atomic.Uint64
-	failures  atomic.Uint64
-	rejected  atomic.Uint64
-	inFlight  atomic.Int64
+	requests atomic.Uint64
+	failures atomic.Uint64
+	rejected atomic.Uint64
+	inFlight atomic.Int64
 
 	// sim-path metrics, resolved once at construction (the hot path only
 	// touches atomics, never the registry's family map).
@@ -135,14 +149,17 @@ type Server struct {
 
 // New builds a server with the given configuration. Each server owns its
 // own obs.Registry (served at GET /metrics), so tests and multi-tenant
-// embeddings never share series.
-func New(cfg Config) *Server {
+// embeddings never share series. The error is the batch coordinator's: with
+// the default in-process workers it cannot fail, but a Dispatch
+// configuration spawning subprocess workers can. Close releases the
+// coordinator's workers.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:       cfg,
 		sem:       make(chan struct{}, cfg.Workers),
-		cache:     newLRU(cfg.CacheEntries),
+		cache:     newResultCache(cfg.CacheEntries),
 		mux:       http.NewServeMux(),
 		reg:       reg,
 		accessLog: cfg.AccessLog,
@@ -154,7 +171,22 @@ func New(cfg Config) *Server {
 		mSimInflight: reg.Gauge("levserve_sim_inflight", "simulations currently occupying a worker slot"),
 		mBodyBytes:   reg.Histogram("levserve_request_body_bytes", "declared simulate request body sizes in bytes", obs.SizeBuckets()),
 	}
+	dcfg := dispatch.Config{}
+	if cfg.Dispatch != nil {
+		dcfg = *cfg.Dispatch
+	}
+	if dcfg.Workers <= 0 {
+		dcfg.Workers = cfg.Workers
+	}
+	dcfg.Registry = reg // batch-tier metrics belong to this server's /metrics
+	co, err := dispatch.New(context.Background(), dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: starting batch coordinator: %w", err)
+	}
+	s.dispatch = co
+
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/policies", s.instrument("policies", s.handlePolicies))
 	s.mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", s.handleWorkloads))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
@@ -170,11 +202,15 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler for the server.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts down the batch coordinator and its workers. In-flight batch
+// cells fail with transport errors; the plain simulate path is unaffected.
+func (s *Server) Close() error { return s.dispatch.Close() }
 
 // Metrics returns the server's metric registry (what GET /metrics serves).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
@@ -222,23 +258,31 @@ type ErrorEnvelope struct {
 	Error ErrorBody `json:"error"`
 }
 
-// ErrorBody carries the typed failure classification.
+// ErrorBody carries the typed failure classification. QueueDepth appears on
+// load-related rejections (503/504) so a backing-off client can see how far
+// behind the server is, alongside the Retry-After header.
 type ErrorBody struct {
-	Kind      string `json:"kind"`      // simerr kind: build, deadline, ...
-	Message   string `json:"message"`   // human-readable cause
-	Retryable bool   `json:"retryable"` // mirrors simerr.Transient
+	Kind       string `json:"kind"`      // simerr kind: build, deadline, ...
+	Message    string `json:"message"`   // human-readable cause
+	Retryable  bool   `json:"retryable"` // mirrors simerr.Transient
+	QueueDepth int64  `json:"queue_depth,omitempty"`
 }
 
 // ServerStats is the JSON reply of GET /v1/stats.
 type ServerStats struct {
-	SchemaVersion int    `json:"schema_version"`
-	Requests      uint64 `json:"requests"`
-	CacheHits     uint64 `json:"cache_hits"`
-	Failures      uint64 `json:"failures"`
-	Rejected      uint64 `json:"rejected"`
-	InFlight      int64  `json:"in_flight"`
-	Workers       int    `json:"workers"`
-	CacheEntries  int    `json:"cache_entries"`
+	SchemaVersion  int    `json:"schema_version"`
+	Requests       uint64 `json:"requests"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	Failures       uint64 `json:"failures"`
+	Rejected       uint64 `json:"rejected"`
+	InFlight       int64  `json:"in_flight"`
+	Workers        int    `json:"workers"`
+	CacheEntries   int    `json:"cache_entries"`
+	// Dispatch is the batch tier: worker fleet health, retry/breaker/shed
+	// counters, and the shared batch result cache.
+	Dispatch dispatch.Stats `json:"dispatch"`
 }
 
 // VersionInfo is the JSON reply of GET /v1/version.
@@ -283,6 +327,54 @@ func writeError(w http.ResponseWriter, status int, err error) {
 		Message:   err.Error(),
 		Retryable: simerr.Transient(err),
 	}})
+}
+
+// queueDepth is the server's total backlog: simulate requests in flight
+// plus admitted-but-unfinished batch cells.
+func (s *Server) queueDepth() int64 {
+	return s.inFlight.Load() + s.dispatch.Pending()
+}
+
+// retryAfterSeconds estimates when a shed or timed-out client should come
+// back: roughly one queue-drain's worth of time, clamped to [1s, 60s].
+func (s *Server) retryAfterSeconds() int {
+	workers := int64(s.cfg.Workers)
+	if workers < 1 {
+		workers = 1
+	}
+	sec := 1 + s.queueDepth()/workers
+	if sec > 60 {
+		sec = 60
+	}
+	return int(sec)
+}
+
+// writeUnavailable renders load-related failures (503 shed/queue-give-up,
+// 504 deadline): the envelope gains the live queue depth and the response
+// carries a Retry-After so well-behaved clients back off instead of
+// hammering a saturated server.
+func (s *Server) writeUnavailable(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	kind := simerr.KindOf(err).String()
+	w.Header().Set(errKindHeader, kind)
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+		Kind:       kind,
+		Message:    err.Error(),
+		Retryable:  simerr.Transient(err),
+		QueueDepth: s.queueDepth(),
+	}})
+}
+
+// writeEngineError routes a simulation failure to the right renderer:
+// load-related statuses get the Retry-After treatment, everything else the
+// plain envelope.
+func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout {
+		s.writeUnavailable(w, status, err)
+		return
+	}
+	writeError(w, status, err)
 }
 
 // engineRequest translates the wire request into an engine request,
@@ -391,7 +483,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// keyed on.
 	prog, _, err := engine.Resolve(r.Context(), &req)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeEngineError(w, err)
 		return
 	}
 	req.Program, req.Source, req.AsmText, req.Binary = prog, "", "", nil
@@ -399,8 +491,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	cfg := req.BuildConfig()
 	key, cacheable := engine.CacheKeyObserved(r.Context(), prog, req.Policy, cfg, req.UseRef, req.Verify)
 	if cacheable {
-		if res, ok := s.cache.get(key); ok {
-			s.cacheHits.Add(1)
+		if res, ok := s.cache.Get(key); ok {
 			s.mCacheHits.Inc()
 			s.writeResult(w, res, true, start)
 			return
@@ -429,7 +520,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	case <-ctx.Done():
 		s.rejected.Add(1)
 		s.mRejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, &simerr.RunError{
+		s.writeUnavailable(w, http.StatusServiceUnavailable, &simerr.RunError{
 			Kind:   simerr.KindDeadline,
 			Detail: "serve: request cancelled while waiting for a worker",
 			Err:    ctx.Err(),
@@ -447,11 +538,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	res, err := engine.Run(ctx, req)
 	if err != nil {
 		s.failures.Add(1)
-		writeError(w, statusFor(err), err)
+		s.writeEngineError(w, err)
 		return
 	}
 	if cacheable {
-		s.cache.put(key, *res)
+		s.cache.Put(key, *res)
 	}
 	s.writeResult(w, *res, false, start)
 }
@@ -522,16 +613,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.reg.WriteProm(w)
 }
 
-// Stats snapshots the server counters.
+// Stats snapshots the server counters. The cache numbers come from one
+// locked snapshot of the LRU, so hits/misses/evictions and the entry count
+// always describe the same cache state.
 func (s *Server) Stats() ServerStats {
+	cs := s.cache.Stats()
 	return ServerStats{
-		SchemaVersion: SchemaVersion,
-		Requests:      s.requests.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		Failures:      s.failures.Load(),
-		Rejected:      s.rejected.Load(),
-		InFlight:      s.inFlight.Load(),
-		Workers:       s.cfg.Workers,
-		CacheEntries:  s.cache.len(),
+		SchemaVersion:  SchemaVersion,
+		Requests:       s.requests.Load(),
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		CacheEvictions: cs.Evictions,
+		Failures:       s.failures.Load(),
+		Rejected:       s.rejected.Load(),
+		InFlight:       s.inFlight.Load(),
+		Workers:        s.cfg.Workers,
+		CacheEntries:   cs.Entries,
+		Dispatch:       s.dispatch.Snapshot(),
 	}
 }

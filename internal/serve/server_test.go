@@ -42,9 +42,15 @@ func main() {
 
 func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
 	return s, ts
 }
 
@@ -246,23 +252,26 @@ func TestServeMetaEndpoints(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := newLRU(2)
-	c.put("a", engine.Result{ExitCode: 1})
-	c.put("b", engine.Result{ExitCode: 2})
-	if _, ok := c.get("a"); !ok {
+	c := newResultCache(2)
+	c.Put("a", engine.Result{ExitCode: 1})
+	c.Put("b", engine.Result{ExitCode: 2})
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	c.put("c", engine.Result{ExitCode: 3}) // evicts b (a was just used)
-	if _, ok := c.get("b"); ok {
+	c.Put("c", engine.Result{ExitCode: 3}) // evicts b (a was just used)
+	if _, ok := c.Get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a should have survived")
 	}
-	if c.len() != 2 {
-		t.Fatalf("len=%d", c.len())
+	if c.Len() != 2 {
+		t.Fatalf("len=%d", c.Len())
 	}
-	if disabled := newLRU(-1); disabled != nil {
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", st.Evictions)
+	}
+	if disabled := newResultCache(-1); disabled != nil {
 		t.Fatal("negative capacity should disable the cache")
 	}
 }

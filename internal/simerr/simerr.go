@@ -48,6 +48,18 @@ const (
 	// KindBuild is a failure before simulation started: workload compilation,
 	// reference pre-run, or core construction.
 	KindBuild
+	// KindTransport is a distributed-execution transport failure: a worker
+	// process died, hung past its attempt deadline, or returned a truncated
+	// or corrupted frame. The simulation itself may have completed fine on
+	// the other side — the result just never arrived — so transport failures
+	// are always transient: the cell is safely retryable on another worker
+	// (the simulator is a deterministic pure function).
+	KindTransport
+	// KindShed is an admission-control rejection: the coordinator's queue was
+	// full and the request was turned away before any work happened. Shed
+	// requests are transient by construction — backing off and retrying
+	// against a drained queue succeeds.
+	KindShed
 )
 
 // Sentinel errors, one per Kind. errors.Is(err, ErrX) matches any *RunError
@@ -61,6 +73,8 @@ var (
 	ErrDeadline   = errors.New("simerr: run deadline exceeded")
 	ErrMemFault   = errors.New("simerr: memory fault")
 	ErrBuild      = errors.New("simerr: build failed")
+	ErrTransport  = errors.New("simerr: worker transport failed")
+	ErrShed       = errors.New("simerr: request shed by admission control")
 )
 
 func (k Kind) String() string {
@@ -81,9 +95,27 @@ func (k Kind) String() string {
 		return "mem-fault"
 	case KindBuild:
 		return "build"
+	case KindTransport:
+		return "transport"
+	case KindShed:
+		return "shed"
 	default:
 		return "unknown"
 	}
+}
+
+// ParseKind is the inverse of Kind.String: it reconstitutes a Kind from its
+// wire name, so a failure serialized by a worker process round-trips through
+// the dispatch protocol with its classification intact. Unrecognized names
+// map to KindUnknown (a newer worker's kind degrades gracefully on an older
+// coordinator instead of failing the frame).
+func ParseKind(s string) Kind {
+	for k := KindWatchdog; k <= KindShed; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return KindUnknown
 }
 
 // sentinel returns the package sentinel for k (nil for KindUnknown).
@@ -105,6 +137,10 @@ func (k Kind) sentinel() error {
 		return ErrMemFault
 	case KindBuild:
 		return ErrBuild
+	case KindTransport:
+		return ErrTransport
+	case KindShed:
+		return ErrShed
 	default:
 		return nil
 	}
@@ -112,11 +148,12 @@ func (k Kind) sentinel() error {
 
 // Transient reports whether failures of this kind are worth retrying. The
 // simulator is deterministic, so watchdog, limit, divergence and memory
-// faults reproduce on every attempt; only wall-clock deadlines (machine
-// load) and panics (which may stem from non-deterministic process state)
-// are classified transient.
+// faults reproduce on every attempt; wall-clock deadlines (machine load),
+// panics (which may stem from non-deterministic process state), transport
+// failures (the worker died, not the simulation) and admission-control sheds
+// (the queue drains) are classified transient.
 func (k Kind) Transient() bool {
-	return k == KindDeadline || k == KindPanic
+	return k == KindDeadline || k == KindPanic || k == KindTransport || k == KindShed
 }
 
 // RunError is a classified simulation failure carrying run context. The

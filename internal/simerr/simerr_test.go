@@ -20,6 +20,8 @@ func TestSentinelMatching(t *testing.T) {
 		{KindDeadline, ErrDeadline},
 		{KindMemFault, ErrMemFault},
 		{KindBuild, ErrBuild},
+		{KindTransport, ErrTransport},
+		{KindShed, ErrShed},
 	}
 	for _, c := range cases {
 		err := New(c.kind, "boom")
@@ -39,7 +41,7 @@ func TestSentinelMatching(t *testing.T) {
 }
 
 func TestTransientClassification(t *testing.T) {
-	for _, k := range []Kind{KindDeadline, KindPanic} {
+	for _, k := range []Kind{KindDeadline, KindPanic, KindTransport, KindShed} {
 		if !k.Transient() {
 			t.Errorf("%v should be transient", k)
 		}
@@ -78,6 +80,20 @@ func TestWithRunAnnotation(t *testing.T) {
 	foreign := WithRun(errors.New("disk on fire"), "w", "p", 1)
 	if foreign.Kind != KindUnknown || !errors.Is(foreign, foreign.Err) {
 		t.Errorf("foreign error not normalized: %+v", foreign)
+	}
+}
+
+// TestParseKindRoundTrip pins the wire contract the dispatch protocol relies
+// on: every kind's String() parses back to itself, and foreign names degrade
+// to KindUnknown instead of failing.
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := KindUnknown; k <= KindShed; k++ {
+		if got := ParseKind(k.String()); got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if ParseKind("from-the-future") != KindUnknown {
+		t.Error("unrecognized kind name did not degrade to KindUnknown")
 	}
 }
 
