@@ -21,11 +21,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the full benchmark suite and writes the simulator hot-loop
-# metrics (sim cycles/sec, allocs per committed instruction, ns per simulated
-# cycle) to BENCH_cpu.json for before/after comparisons.
+# bench runs the full benchmark suite and appends a timestamped simulator
+# hot-loop report (sim cycles/sec, allocs per committed instruction, ns per
+# simulated cycle) to the BENCH_cpu.json trajectory, so the file records
+# every measured point instead of only the latest.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ -benchjson BENCH_cpu.json .
+
+# benchsmoke is the CI performance gate: a quick hot-loop measurement
+# compared against the newest committed BENCH_cpu.json entry, failing on a
+# >20% suite-mean sim-cycles/s regression (cell-best reduction, see
+# cmd/benchguard, to keep shared-machine noise out of the verdict).
+benchsmoke:
+	$(GO) test -bench='BenchmarkHotLoop|BenchmarkBatch' -benchtime=3x -run=^$$ \
+		-benchjson .bench_smoke.json .
+	$(GO) run ./cmd/benchguard -baseline BENCH_cpu.json -candidate .bench_smoke.json
+	rm -f .bench_smoke.json
 
 # golden re-runs the workload-characterization experiment at reference scale
 # and diffs it byte-for-byte against the checked-in levbench_ref_output.txt.
@@ -73,7 +84,7 @@ chaossmoke:
 	$(GO) test -race -count=1 -run 'TestBatchStreamsCorrectResults|TestBatchShedsWithRetryAfter|TestBatchClientDisconnectKeepsPartialResults' ./internal/serve
 
 # fuzzsmoke runs the differential fuzzer for a fixed-seed ten-second
-# session: seeded random programs (all five generation profiles) judged by
+# session: seeded random programs (all six generation profiles) judged by
 # the full oracle stack — architectural differential vs the reference model,
 # bit-exact determinism, core invariants under squash storms, the gadget
 # security oracle — under every registered policy. Any finding fails ci.
@@ -95,7 +106,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
-	$(GO) test -bench=BenchmarkHotLoop -benchtime=1x -run=^$$ .
+	$(MAKE) benchsmoke
 	$(MAKE) gate
 	$(MAKE) smoke
 	$(MAKE) obssmoke

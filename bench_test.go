@@ -239,6 +239,21 @@ type hotLoopEntry struct {
 	BytesPerInst  float64 `json:"bytes_per_committed_inst"`
 }
 
+// benchTrajectory is the on-disk shape of BENCH_cpu.json: an append-only
+// sequence of timestamped reports, oldest first. `make bench` appends one
+// point per invocation instead of overwriting, so the file records the
+// repository's performance trajectory and the CI bench-smoke always has the
+// previously committed point to compare against.
+type benchTrajectory struct {
+	Entries []benchPoint `json:"entries"`
+}
+
+// benchPoint is one trajectory entry: a hotLoopReport plus when it was taken.
+type benchPoint struct {
+	Timestamp string `json:"timestamp"` // RFC 3339 UTC; "" for pre-trajectory legacy imports
+	hotLoopReport
+}
+
 type hotLoopReport struct {
 	GeneratedBy string  `json:"generated_by"`
 	GoVersion   string  `json:"go_version"`
@@ -266,6 +281,10 @@ func measureHotLoop(b *testing.B, w workloads.Workload, size workloads.Size, pol
 		b.Fatal(err)
 	}
 	var before, after runtime.MemStats
+	// Collect construction garbage (program build, core tables, earlier
+	// cells) before the timed region so a GC pause triggered by setup debt
+	// is not charged to the simulator's hot loop.
+	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	res, err := c.Run()
@@ -349,15 +368,80 @@ func BenchmarkHotLoop(b *testing.B) {
 			report.SimLatencyP95 = snap.Quantile(0.95)
 			report.SimLatencyP99 = snap.Quantile(0.99)
 		}
-		out, err := json.MarshalIndent(&report, "", "  ")
-		if err != nil {
-			b.Fatal(err)
-		}
-		out = append(out, '\n')
-		if err := os.WriteFile(*benchJSONPath, out, 0o644); err != nil {
+		if err := appendBenchPoint(*benchJSONPath, report); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// appendBenchPoint appends one timestamped report to the trajectory file at
+// path, creating it when absent and converting a legacy flat-report file
+// (the pre-trajectory format) into the first, timestamp-less entry.
+func appendBenchPoint(path string, report hotLoopReport) error {
+	var traj benchTrajectory
+	if raw, err := os.ReadFile(path); err == nil {
+		if jerr := json.Unmarshal(raw, &traj); jerr != nil || len(traj.Entries) == 0 {
+			var legacy benchPoint
+			if jerr := json.Unmarshal(raw, &legacy); jerr == nil && len(legacy.Measurements) > 0 {
+				traj.Entries = []benchPoint{legacy}
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	traj.Entries = append(traj.Entries, benchPoint{
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		hotLoopReport: report,
+	})
+	out, err := json.MarshalIndent(&traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// BenchmarkBatch measures suite throughput through the cpu.RunBatch pool:
+// every (workload, policy) cell of the hot-loop suite is built as an
+// independent core and the whole population is advanced to completion by a
+// GOMAXPROCS-sized worker pool in fixed cycle quanta. The aggregate metric is
+// total simulated cycles per wall-clock second across the population — the
+// figure of merit for the sweep/fuzz/dispatch tiers, which run exactly this
+// many-independent-cores shape.
+func BenchmarkBatch(b *testing.B) {
+	var progs []struct {
+		w   workloads.Workload
+		pol string
+	}
+	for _, pol := range []string{"unsafe", "levioso"} {
+		for _, w := range workloads.All() {
+			progs = append(progs, struct {
+				w   workloads.Workload
+				pol string
+			}{w, pol})
+		}
+	}
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cores := make([]*cpu.Core, len(progs))
+		for j, p := range progs {
+			c, err := cpu.New(p.w.MustBuild(workloads.SizeTest), cpu.DefaultConfig(), secure.MustNew(p.pol))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cores[j] = c
+		}
+		runtime.GC()
+		b.StartTimer()
+		cycles = 0
+		for j, br := range cpu.RunBatch(context.Background(), cores, 0) {
+			if br.Err != nil {
+				b.Fatalf("cell %s/%s: %v", progs[j].w.Name, progs[j].pol, br.Err)
+			}
+			cycles += br.Res.Stats.Cycles
+		}
+	}
+	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
 }
 
 // BenchmarkAnnotatePass measures the compiler pass itself.

@@ -1,0 +1,116 @@
+// benchguard is the CI bench-smoke gate: it compares a fresh BenchmarkHotLoop
+// measurement against the committed BENCH_cpu.json trajectory and fails when
+// suite-mean simulated cycles per second regressed by more than the allowed
+// fraction.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_cpu.json -candidate .bench_smoke.json [-max-regress 0.20]
+//
+// Both files may be in the trajectory format ({"entries": [...]}) or the
+// legacy flat-report format; the newest entry of each is compared. To damp
+// wall-clock noise on shared CI machines, the compared figure is not the
+// stored suite mean (which averages every probe iteration, cold ones
+// included) but the mean over cells of each cell's best observed rate —
+// a statistic that only improves with repetition and is stable under
+// transient descheduling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"levioso/internal/cli"
+)
+
+type measurement struct {
+	Workload     string  `json:"workload"`
+	Policy       string  `json:"policy"`
+	Size         string  `json:"size"`
+	CyclesPerSec float64 `json:"sim_cycles_per_sec"`
+}
+
+type report struct {
+	Timestamp    string        `json:"timestamp"`
+	Measurements []measurement `json:"measurements"`
+}
+
+type trajectory struct {
+	Entries []report `json:"entries"`
+}
+
+// load returns the newest report in the file, accepting both formats.
+func load(path string) (report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var traj trajectory
+	if err := json.Unmarshal(raw, &traj); err == nil && len(traj.Entries) > 0 {
+		return traj.Entries[len(traj.Entries)-1], nil
+	}
+	var flat report
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(flat.Measurements) == 0 {
+		return report{}, fmt.Errorf("%s: no measurements", path)
+	}
+	return flat, nil
+}
+
+// robustMean reduces a report to the mean over (workload, policy, size)
+// cells of each cell's best observed rate.
+func robustMean(r report) float64 {
+	best := map[[3]string]float64{}
+	for _, m := range r.Measurements {
+		k := [3]string{m.Workload, m.Policy, m.Size}
+		if m.CyclesPerSec > best[k] {
+			best[k] = m.CyclesPerSec
+		}
+	}
+	if len(best) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range best {
+		sum += v
+	}
+	return sum / float64(len(best))
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	baseline := flag.String("baseline", "BENCH_cpu.json", "committed trajectory to compare against")
+	candidate := flag.String("candidate", "", "fresh measurement file")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional regression")
+	flag.Parse()
+	if *candidate == "" {
+		return cli.Usage("benchguard -baseline BENCH_cpu.json -candidate FILE [-max-regress 0.20]")
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		return cli.Fail("benchguard", err)
+	}
+	cand, err := load(*candidate)
+	if err != nil {
+		return cli.Fail("benchguard", err)
+	}
+	bm, cm := robustMean(base), robustMean(cand)
+	if bm <= 0 {
+		return cli.Fail("benchguard", fmt.Errorf("baseline %s has no usable rate", *baseline))
+	}
+	change := cm/bm - 1
+	fmt.Printf("benchguard: baseline %.0f cycles/s (%s), candidate %.0f cycles/s (%+.1f%%)\n",
+		bm, base.Timestamp, cm, 100*change)
+	if cm < bm*(1-*maxRegress) {
+		return cli.Fail("benchguard", fmt.Errorf(
+			"suite-mean sim cycles/s regressed %.1f%% (limit %.0f%%)", -100*change, 100**maxRegress))
+	}
+	return 0
+}

@@ -60,6 +60,10 @@ type BranchTable struct {
 	slots      [NumSlots]slot
 	unresolved Mask
 	open       Mask
+	// live mirrors the busy bits of slots, maintained incrementally so the
+	// rename-path capacity check (InFlight) and slot allocation never scan
+	// the table.
+	live Mask
 	// AllocFailures counts rename stalls due to a full table (experiment F2
 	// reports how often the capacity fallback engages).
 	AllocFailures uint64
@@ -107,13 +111,19 @@ func (t *BranchTable) Unresolved() Mask { return t.unresolved }
 // (the caller must stall rename). The annotation is looked up in the program
 // image; unannotated branches get a never-closing region.
 func (t *BranchTable) Alloc(seq, pc uint64) (int, bool) {
-	free := ^t.liveMask()
+	return t.AllocHinted(seq, pc, t.prog.Hints[pc]) // zero value = conservative
+}
+
+// AllocHinted is Alloc with the branch's annotation already resolved — the
+// cpu's decoded-metadata cache prefetches hints at program load, so the
+// per-dynamic-branch map lookup disappears from the rename path.
+func (t *BranchTable) AllocHinted(seq, pc uint64, h isa.BranchHint) (int, bool) {
+	free := ^t.live
 	if free == 0 {
 		t.AllocFailures++
 		return 0, false
 	}
 	s := bits.TrailingZeros64(uint64(free))
-	h := t.prog.Hints[pc] // zero value = conservative
 	t.slots[s] = slot{
 		busy:     true,
 		seq:      seq,
@@ -125,17 +135,8 @@ func (t *BranchTable) Alloc(seq, pc uint64) (int, bool) {
 	}
 	t.unresolved = t.unresolved.With(s)
 	t.open = t.open.With(s)
+	t.live = t.live.With(s)
 	return s, true
-}
-
-func (t *BranchTable) liveMask() Mask {
-	var m Mask
-	for i := range t.slots {
-		if t.slots[i].busy {
-			m = m.With(i)
-		}
-	}
-	return m
 }
 
 // Resolve marks the branch in slot s resolved and frees the slot. The caller
@@ -148,6 +149,7 @@ func (t *BranchTable) Resolve(s int) {
 	t.slots[s] = slot{}
 	t.unresolved = t.unresolved.Without(s)
 	t.open = t.open.Without(s)
+	t.live = t.live.Without(s)
 }
 
 // Squash frees every slot belonging to a branch younger than seq (exclusive)
@@ -160,11 +162,14 @@ func (t *BranchTable) Resolve(s int) {
 // region state is also restored (its region reopens conceptually, but the
 // branch is resolved immediately after, so the caller follows with Resolve).
 func (t *BranchTable) Squash(seq uint64, slotIdx int) {
-	for i := range t.slots {
-		if t.slots[i].busy && t.slots[i].seq > seq {
+	for m := t.live; m != 0; {
+		i := bits.TrailingZeros64(uint64(m))
+		m = m.Without(i)
+		if t.slots[i].seq > seq {
 			t.slots[i] = slot{}
 			t.unresolved = t.unresolved.Without(i)
 			t.open = t.open.Without(i)
+			t.live = t.live.Without(i)
 		}
 	}
 	if t.slots[slotIdx].busy && t.slots[slotIdx].seq == seq {
@@ -181,6 +186,7 @@ func (t *BranchTable) SquashAll() {
 	}
 	t.unresolved = 0
 	t.open = 0
+	t.live = 0
 }
 
 // WriteSet returns the annotated region write set of the branch in slot s.
@@ -190,4 +196,4 @@ func (t *BranchTable) WriteSet(s int) isa.RegMask { return t.slots[s].writeSet }
 func (t *BranchTable) SlotSeq(s int) uint64 { return t.slots[s].seq }
 
 // InFlight returns the number of busy slots.
-func (t *BranchTable) InFlight() int { return t.liveMask().Count() }
+func (t *BranchTable) InFlight() int { return t.live.Count() }

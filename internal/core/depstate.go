@@ -12,31 +12,60 @@ package core
 // all unresolved branches for speculatively executed loads).
 type DepState struct {
 	reg []Mask
+	// dirty lists the registers holding a nonzero mask, so the per-resolve
+	// column clear touches only those instead of sweeping the whole file.
+	// A register stays listed (isDirty) until a clear observes it zero.
+	dirty   []int32
+	isDirty []bool
 }
 
 // NewDepState returns a mask file for nPhys physical registers.
 func NewDepState(nPhys int) *DepState {
-	return &DepState{reg: make([]Mask, nPhys)}
+	return &DepState{
+		reg:     make([]Mask, nPhys),
+		dirty:   make([]int32, 0, nPhys),
+		isDirty: make([]bool, nPhys),
+	}
 }
 
 // Get returns the mask of physical register p.
 func (d *DepState) Get(p int) Mask { return d.reg[p] }
 
 // Set records the mask of physical register p.
-func (d *DepState) Set(p int, m Mask) { d.reg[p] = m }
-
-// ClearSlot removes a resolved branch's bit from every register mask.
-// Hardware implements this as a column clear across the mask file.
-func (d *DepState) ClearSlot(s int) {
-	bit := Mask(1) << uint(s)
-	for i := range d.reg {
-		d.reg[i] &^= bit
+func (d *DepState) Set(p int, m Mask) {
+	d.reg[p] = m
+	if m != 0 && !d.isDirty[p] {
+		d.isDirty[p] = true
+		d.dirty = append(d.dirty, int32(p))
 	}
 }
 
-// Reset zeroes all masks.
-func (d *DepState) Reset() {
-	for i := range d.reg {
-		d.reg[i] = 0
+// ClearSlot removes a resolved branch's bit from every register mask.
+// Hardware implements this as a column clear across the mask file; here only
+// the registers with any dependency at all are touched, and ones that drop
+// to zero leave the dirty list.
+func (d *DepState) ClearSlot(s int) {
+	bit := Mask(1) << uint(s)
+	out := d.dirty[:0]
+	for _, p := range d.dirty {
+		m := d.reg[p] &^ bit
+		d.reg[p] = m
+		if m == 0 {
+			d.isDirty[p] = false
+			continue
+		}
+		out = append(out, p)
 	}
+	d.dirty = out
+}
+
+// Reset zeroes all masks. Every nonzero entry is on the dirty list (Set adds
+// registers on the zero→nonzero edge and only ClearSlot delists them), so
+// sweeping the list clears the whole file.
+func (d *DepState) Reset() {
+	for _, p := range d.dirty {
+		d.reg[p] = 0
+		d.isDirty[p] = false
+	}
+	d.dirty = d.dirty[:0]
 }

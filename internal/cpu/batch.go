@@ -1,0 +1,140 @@
+package cpu
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"levioso/internal/simerr"
+)
+
+// Batch stepping: advance many independent cores on a small goroutine pool.
+//
+// The sweep, fuzz and dispatch tiers all run large populations of mutually
+// independent simulations. Spawning one goroutine per simulation makes the
+// scheduler interleave them at arbitrary points, so every preemption drags a
+// different core's working set (ROB, rename tables, page chunks) through the
+// host caches. The batch runner instead slices each core into fixed cycle
+// quanta via StepMany and lets a bounded pool of workers round-robin the
+// population: one core stays hot for a whole quantum, every core keeps
+// making progress, and the number of live working sets equals the worker
+// count rather than the population size.
+//
+// Slicing is invisible to the simulation: a core advanced by StepMany in any
+// quantum sizes commits exactly the cycle/instruction sequence Run would
+// (Step and the idle fast-forward are the only actors in both paths), so
+// batch results are bit-identical to individual runs.
+
+// StepMany advances the core by up to budget cycles (idle cycles jumped by
+// the fast-forward count toward the budget, since they are simulated
+// cycles) and returns the number consumed. It stops early when the core
+// halts or a step fails. A halted core consumes nothing.
+func (c *Core) StepMany(budget uint64) (uint64, error) {
+	start := c.cycle
+	for !c.halted && c.cycle-start < budget {
+		if err := c.Step(); err != nil {
+			return c.cycle - start, err
+		}
+		c.idleSkip()
+	}
+	return c.cycle - start, nil
+}
+
+// BatchResult is the outcome of one core in a RunBatch population: exactly
+// what Run would have returned for that core.
+type BatchResult struct {
+	Res Result
+	Err error
+}
+
+// batchQuantum is the slice size in simulated cycles. Large enough that the
+// per-slice overhead (queue hop, context poll) is amortized over tens of
+// thousands of steps; small enough that a population of slow cores
+// interleaves fairly and cancellation latency stays in the milliseconds.
+const batchQuantum = 1 << 16
+
+// RunBatch advances every core to completion on a pool of `workers`
+// goroutines (GOMAXPROCS when workers <= 0) and returns one BatchResult per
+// core, index-aligned with the input. Cores must be independent (no shared
+// mutable state); each core is only ever touched by one worker at a time.
+// Cancellation is cooperative at quantum boundaries and surfaces per-core as
+// simerr.KindDeadline, matching RunContext. A panic inside a core is
+// captured as that core's simerr.KindPanic failure instead of crashing the
+// whole batch — one poisoned simulation must not take down its cohort.
+func RunBatch(ctx context.Context, cores []*Core, workers int) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchResult, len(cores))
+	if len(cores) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cores) {
+		workers = len(cores)
+	}
+	// Buffered to the population size, so a worker's requeue of an
+	// unfinished core can never block: at most len(cores) indices are
+	// outstanding at any moment.
+	queue := make(chan int, len(cores))
+	for i := range cores {
+		queue <- i
+	}
+	var mu sync.Mutex
+	remaining := len(cores)
+	finish := func(i int, r BatchResult) {
+		out[i] = r
+		mu.Lock()
+		remaining--
+		last := remaining == 0
+		mu.Unlock()
+		if last {
+			close(queue) // releases every worker's range loop
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				c := cores[i]
+				select {
+				case <-ctx.Done():
+					finish(i, BatchResult{Err: &simerr.RunError{
+						Kind: simerr.KindDeadline, Cycle: c.cycle, PC: c.fetchPC,
+						Err: ctx.Err(),
+					}})
+					continue
+				default:
+				}
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							err = &simerr.RunError{
+								Kind: simerr.KindPanic, Cycle: c.cycle, PC: c.fetchPC,
+								Err: fmt.Errorf("batch core panic: %v\n%s", r, debug.Stack()),
+							}
+						}
+					}()
+					_, err = c.StepMany(batchQuantum)
+					return err
+				}()
+				switch {
+				case err != nil:
+					finish(i, BatchResult{Err: err})
+				case c.halted:
+					finish(i, BatchResult{Res: c.result()})
+				default:
+					queue <- i // unfinished: back of the line
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,159 @@
+package cpu
+
+import (
+	"context"
+	"testing"
+
+	"levioso/internal/asm"
+	"levioso/internal/simerr"
+)
+
+// Batch stepping must be invisible to the simulation: a core advanced in
+// quanta of any size commits exactly the sequence Run commits, and the pool
+// runner's results must be index-aligned and bit-identical to individual
+// runs.
+
+var batchProgs = map[string]string{
+	"loop": `
+main:
+	addi t0, zero, 200
+	addi t1, zero, 0
+loop:
+	addi t1, t1, 3
+	addi t0, t0, -1
+	bne t0, zero, loop
+	sd t1, 0(gp)
+	halt zero
+`,
+	"chase": `
+main:
+	addi t0, zero, 64
+	sd zero, 64(gp)
+	addi t1, zero, 8
+next:
+	ld t0, 0(t0)
+	addi t1, t1, -1
+	bne t1, zero, next
+	halt zero
+`,
+	"branchy": `
+main:
+	addi t0, zero, 100
+	addi t2, zero, 0
+top:
+	andi t1, t0, 1
+	beq t1, zero, even
+	addi t2, t2, 7
+	jal zero, join
+even:
+	addi t2, t2, -2
+join:
+	addi t0, t0, -1
+	bne t0, zero, top
+	sd t2, 8(gp)
+	halt zero
+`,
+}
+
+func batchCore(t *testing.T, src string) *Core {
+	t.Helper()
+	c, err := New(asm.MustAssemble("t.s", src), DefaultConfig(), NopPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestStepManySlicingInvisible advances one core in odd-sized quanta and
+// demands the exact Result a single Run produces.
+func TestStepManySlicingInvisible(t *testing.T) {
+	for name, src := range batchProgs {
+		want, err := batchCore(t, src).Run()
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		c := batchCore(t, src)
+		for !c.Halted() {
+			if _, err := c.StepMany(1013); err != nil {
+				t.Fatalf("%s: StepMany: %v", name, err)
+			}
+		}
+		if got := c.result(); got != want {
+			t.Errorf("%s: sliced run diverged:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+// TestStepManyBudget checks consumption accounting: a halted core consumes
+// nothing, and a live core consumes at least the budget unless it halts
+// (the idle fast-forward may overshoot by the length of a skipped gap).
+func TestStepManyBudget(t *testing.T) {
+	c := batchCore(t, batchProgs["loop"])
+	n, err := c.StepMany(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 50 && !c.Halted() {
+		t.Errorf("consumed %d cycles of a 50-cycle budget without halting", n)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err = c.StepMany(50); err != nil || n != 0 {
+		t.Errorf("halted core consumed %d cycles (err %v), want 0", n, err)
+	}
+}
+
+// TestRunBatchMatchesRun runs a mixed population through pools of several
+// widths and demands every core's result equal its individually-run twin.
+func TestRunBatchMatchesRun(t *testing.T) {
+	var srcs []string
+	for _, src := range batchProgs {
+		for i := 0; i < 3; i++ { // population larger than the pool
+			srcs = append(srcs, src)
+		}
+	}
+	want := make([]Result, len(srcs))
+	for i, src := range srcs {
+		r, err := batchCore(t, src).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{0, 1, 2, 16} {
+		cores := make([]*Core, len(srcs))
+		for i, src := range srcs {
+			cores[i] = batchCore(t, src)
+		}
+		for i, br := range RunBatch(context.Background(), cores, workers) {
+			if br.Err != nil {
+				t.Fatalf("workers=%d core %d: %v", workers, i, br.Err)
+			}
+			if br.Res != want[i] {
+				t.Errorf("workers=%d core %d diverged:\n got %+v\nwant %+v",
+					workers, i, br.Res, want[i])
+			}
+		}
+	}
+}
+
+// TestRunBatchCancelled: a dead context surfaces per-core as the same
+// deadline kind RunContext reports, without running anything.
+func TestRunBatchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cores := []*Core{batchCore(t, batchProgs["loop"]), batchCore(t, batchProgs["chase"])}
+	for i, br := range RunBatch(ctx, cores, 2) {
+		if simerr.KindOf(br.Err) != simerr.KindDeadline {
+			t.Errorf("core %d: err %v, want deadline", i, br.Err)
+		}
+	}
+}
+
+// TestRunBatchEmpty: a zero-length population returns immediately.
+func TestRunBatchEmpty(t *testing.T) {
+	if out := RunBatch(context.Background(), nil, 4); len(out) != 0 {
+		t.Errorf("got %d results for empty batch", len(out))
+	}
+}

@@ -41,24 +41,46 @@ type Core struct {
 	commitRT [isa.NumRegs]int // architectural (retirement) map
 	freeList []int
 
-	// Windows. rob/lq/sq are program-order queues with a moving head; iq is
-	// age-ordered and filtered each cycle.
+	// Windows. rob/lq/sq are program-order queues with a moving head.
 	rob     []*DynInst
 	robHead int
-	iq      []*DynInst
 	lq      []*DynInst
 	lqHead  int
 	sq      []*DynInst
 	sqHead  int
+
+	// Event-driven issue scheduling (see issue()). readyQ holds the
+	// operand-ready, not-yet-issued instructions in age (Seq) order — the
+	// only candidates the issue stage examines. waiters parks each queued
+	// instruction on the physical registers it still needs; the writeback
+	// path wakes the list instead of the issue stage rescanning the whole
+	// queue every cycle. iqCount tracks issue-queue occupancy for rename's
+	// capacity check; an issued instruction vacates its entry at the *next*
+	// cycle's issue stage (via iqFreed), reproducing the drop timing of the
+	// scan-based queue this design replaces.
+	readyQ  []*DynInst
+	waiters [][]waiter
+	iqCount int
+	iqFreed []waiter
 
 	fetchBuf []*DynInst
 	fbHead   int
 
 	// Completion wheel (see wheel.go): executing instructions bucketed by
 	// DoneCycle, so the complete stage touches only the instructions
-	// finishing this cycle instead of scanning the window.
-	wheel  [wheelSize][]wheelEntry
-	dueBuf []*DynInst
+	// finishing this cycle instead of scanning the window. bucketBits marks
+	// the nonempty buckets so the idle fast-forward (see idleSkip) can find
+	// the next completion event without walking the wheel.
+	wheel      [wheelSize][]wheelEntry
+	bucketBits [wheelSize / 64]uint64
+	dueBuf     []*DynInst
+
+	// active records whether the current cycle changed any simulation state
+	// (committed, completed, issued, renamed, fetched, consulted a policy,
+	// or bumped a stall counter). A cycle that did none of those is provably
+	// a pure wait — identical state next cycle — so Run jumps the cycle
+	// counter straight to the next timed event instead of replaying no-ops.
+	active bool
 
 	// Free pools (see pool.go): recycled DynInst/Checkpoint objects so the
 	// steady-state fetch path performs no heap allocation.
@@ -71,6 +93,16 @@ type Core struct {
 	fetchStallUntil uint64
 	fetchHalted     bool
 	lastFetchLine   uint64 // last I-cache line touched (avoid per-inst lookups)
+	lineShift       uint   // log2(L1I line bytes): fetch-line math is a shift
+
+	// nop is true when the attached policy is the NopPolicy baseline: every
+	// policy hook is a no-op and no instruction ever carries a dependency
+	// mask, so the hot loop skips the interface calls and the resolved-slot
+	// mask-clearing walk entirely.
+	nop bool
+	// bdtCap is the resolved Branch Dependency Table capacity (Config
+	// default applied once, not per renamed branch).
+	bdtCap int
 
 	fenceSeqs []uint64 // in-flight FENCE/HALT sequence numbers, program order
 
@@ -120,6 +152,44 @@ func New(prog *isa.Program, cfg Config, pol Policy) (*Core, error) {
 	}
 	c.regVal = make([]uint64, cfg.NumPhysRegs)
 	c.regReady = make([]bool, cfg.NumPhysRegs)
+	// Pre-size the wakeup lists (and the issue-scheduler queues below) so the
+	// steady-state run allocates nothing: a register rarely collects more
+	// than a handful of waiters, and the lists keep their capacity across
+	// the ws[:0] reset in wake.
+	c.waiters = make([][]waiter, cfg.NumPhysRegs)
+	waiterSlab := make([]waiter, cfg.NumPhysRegs*8)
+	for p := range c.waiters {
+		c.waiters[p] = waiterSlab[p*8 : p*8 : (p+1)*8]
+	}
+	c.readyQ = make([]*DynInst, 0, cfg.IQSize+1)
+	c.iqFreed = make([]waiter, 0, cfg.IssueWidth)
+	// Pre-build the object pools from contiguous slabs sized to the window:
+	// the steady-state loop then allocates nothing (no GC pressure charged
+	// to the simulation), and window walks touch adjacent memory.
+	instSlab := make([]DynInst, cfg.ROBSize+cfg.FetchBufSize+8)
+	c.instPool = make([]*DynInst, 0, len(instSlab)+8)
+	for i := range instSlab {
+		c.instPool = append(c.instPool, &instSlab[i])
+	}
+	c.instAllocd = len(instSlab)
+	checkSlab := make([]Checkpoint, core.NumSlots+cfg.FetchBufSize+8)
+	c.checkPool = make([]*Checkpoint, 0, len(checkSlab)+8)
+	for i := range checkSlab {
+		c.checkPool = append(c.checkPool, &checkSlab[i])
+	}
+	c.checkAllocd = len(checkSlab)
+	// Completion-wheel buckets share one slab; a bucket overflowing its
+	// four-entry reservation grows out of it individually (and keeps the
+	// larger capacity from then on).
+	entrySlab := make([]wheelEntry, wheelSize*4)
+	for b := range c.wheel {
+		c.wheel[b] = entrySlab[b*4 : b*4 : (b+1)*4]
+	}
+	c.dueBuf = make([]*DynInst, 0, 64)
+	c.rob = make([]*DynInst, 0, 4*cfg.ROBSize+cfg.ROBSize+8)
+	c.lq = make([]*DynInst, 0, 4*cfg.LQSize+cfg.LQSize+8)
+	c.sq = make([]*DynInst, 0, 4*cfg.SQSize+cfg.SQSize+8)
+	c.fetchBuf = make([]*DynInst, 0, 4*cfg.FetchBufSize+cfg.FetchBufSize+8)
 	for r := 0; r < isa.NumRegs; r++ {
 		c.rat[r] = r
 		c.commitRT[r] = r
@@ -132,6 +202,12 @@ func New(prog *isa.Program, cfg Config, pol Policy) (*Core, error) {
 	}
 	c.fetchPC = prog.Entry
 	c.lastFetchLine = ^uint64(0)
+	c.lineShift = uint(bits.TrailingZeros64(uint64(cfg.Hier.L1I.LineBytes)))
+	c.bdtCap = cfg.BDTEntries
+	if c.bdtCap == 0 {
+		c.bdtCap = core.NumSlots
+	}
+	_, c.nop = pol.(NopPolicy)
 	pol.Attach(c)
 	pol.Reset()
 	return c, nil
@@ -161,6 +237,7 @@ func (c *Core) Run() (Result, error) {
 		if err := c.Step(); err != nil {
 			return Result{}, err
 		}
+		c.idleSkip()
 	}
 	return c.result(), nil
 }
@@ -182,6 +259,7 @@ func (c *Core) RunContext(ctx context.Context) (Result, error) {
 		if err := c.Step(); err != nil {
 			return Result{}, err
 		}
+		c.idleSkip()
 		if c.cycle&checkMask == 0 {
 			select {
 			case <-ctx.Done():
@@ -253,6 +331,7 @@ func (c *Core) Step() error {
 			Detail: fmt.Sprintf("no commit for %d cycles (%s)", wd, c.deadlockInfo()),
 		}
 	}
+	c.active = false
 	if c.cfg.CommitStall == nil || !c.cfg.CommitStall(c.cycle) {
 		if err := c.commit(); err != nil {
 			return err
@@ -263,6 +342,58 @@ func (c *Core) Step() error {
 	c.rename()
 	c.fetch()
 	return nil
+}
+
+// idleSkip advances the cycle counter to just before the next timed event
+// when the cycle that just executed was provably a pure wait (no stage
+// changed any state — see Core.active). Every skipped cycle would have been
+// an identical no-op: the only cycle-dependent conditions in the pipeline
+// are the completion wheel, the fetch-stall and divider release times, the
+// invisible-load exposure at the commit head, and the watchdog/limit trips —
+// all accounted for below. With a CommitStall hook installed (fault
+// injection) cycles are never skipped, since the hook must be consulted
+// every cycle.
+func (c *Core) idleSkip() {
+	if c.active || c.halted || c.cfg.CommitStall != nil {
+		return
+	}
+	if c.cfg.MaxInsts > 0 && c.stats.Committed > c.cfg.MaxInsts {
+		return // about to trip: let Step report it at the very next cycle
+	}
+	const never = ^uint64(0)
+	next := never
+	if t, ok := c.wheelNext(); ok {
+		next = t
+	}
+	if !c.fetchHalted && c.fetchStallUntil > c.cycle && c.fetchStallUntil < next {
+		next = c.fetchStallUntil
+	}
+	if c.divBusyUntil > c.cycle && c.divBusyUntil < next {
+		next = c.divBusyUntil
+	}
+	if c.robHead < len(c.rob) {
+		if d := c.rob[c.robHead]; d.State == StateDone && d.exposeUntil > c.cycle && d.exposeUntil < next {
+			next = d.exposeUntil
+		}
+	}
+	if next == never {
+		return // no pending event: step normally (deadlock → watchdog)
+	}
+	wd := c.cfg.WatchdogCycles
+	if wd == 0 {
+		wd = 100_000
+	}
+	if wd > 0 {
+		if trip := c.lastCommitCycle + uint64(wd) + 1; trip < next {
+			next = trip
+		}
+	}
+	if c.cfg.MaxCycles > 0 && c.cfg.MaxCycles+1 < next {
+		next = c.cfg.MaxCycles + 1
+	}
+	if next > c.cycle+1 {
+		c.cycle = next - 1 // the next Step lands exactly on the event cycle
+	}
 }
 
 // memFault builds the typed error for a committed access outside simulated
@@ -286,7 +417,12 @@ func (c *Core) deadlockInfo() string {
 // ---------------------------------------------------------------- commit --
 
 func (c *Core) commit() error {
-	for n := 0; n < c.cfg.CommitWidth && c.robHead < len(c.rob); n++ {
+	// Width and ROB length are invariant across the loop (commit only
+	// advances robHead); hoisting them drops two reloads per retired
+	// instruction that the compiler cannot eliminate across calls.
+	cw := c.cfg.CommitWidth
+	robLen := len(c.rob)
+	for n := 0; n < cw && c.robHead < robLen; n++ {
 		d := c.rob[c.robHead]
 		if d.State != StateDone {
 			return nil
@@ -320,6 +456,7 @@ func (c *Core) commit() error {
 					lat := c.Hier.InvisibleLoadLatency(d.Addr)
 					c.Hier.FillVisible(d.Addr)
 					d.exposeUntil = c.cycle + uint64(lat)
+					c.active = true // exposure access started
 					c.compact()
 					return nil
 				}
@@ -344,7 +481,7 @@ func (c *Core) commit() error {
 			c.popFence(d.Seq)
 		case op == isa.FENCE:
 			c.popFence(d.Seq)
-		case d.IsCondBranch():
+		case m.flags&mCondBranch != 0:
 			c.Pred.UpdateBranch(d.PhtIdx, d.ActualTaken)
 			c.stats.CondBranches++
 			if d.Mispredict {
@@ -359,7 +496,7 @@ func (c *Core) commit() error {
 				c.stats.IndMispredicts++
 			}
 		}
-		if op.IsTransmitter() {
+		if m.flags&mTransmitter != 0 {
 			c.stats.Transmitters++
 			if d.EverWaited {
 				c.stats.RestrictedTransmitters++
@@ -380,6 +517,7 @@ func (c *Core) commit() error {
 		c.robHead++
 		c.stats.Committed++
 		c.lastCommitCycle = c.cycle
+		c.active = true
 		// Retired: recycle the object. The dead ROB prefix is never read, and
 		// the only surviving references (a younger load's FwdFrom) are
 		// identity-only.
@@ -450,10 +588,14 @@ func (c *Core) compact() {
 func (c *Core) complete() {
 	var recover *DynInst
 	for _, d := range c.dueNow() {
+		c.active = true
 		d.State = StateDone
 		if d.Dst >= 0 {
 			c.regVal[d.Dst] = d.Result
 			c.regReady[d.Dst] = true
+			if len(c.waiters[d.Dst]) > 0 {
+				c.wake(d.Dst)
+			}
 		}
 		if d.BrSlot >= 0 {
 			if d.Mispredict && recover == nil {
@@ -478,11 +620,16 @@ func (c *Core) resolveSlot(d *DynInst) {
 	slot := d.BrSlot
 	d.BrSlot = -1
 	c.BT.Resolve(slot)
-	c.policy.OnSlotResolved(slot)
-	for i := c.robHead; i < len(c.rob); i++ {
-		e := c.rob[i]
-		e.WaitMask = e.WaitMask.Without(slot)
-		e.DataMask = e.DataMask.Without(slot)
+	// Under the NopPolicy no instruction ever carries a dependency mask
+	// (OnRename is a no-op and masks reset with the object), so the
+	// O(window) clearing walk is pure overhead and is skipped.
+	if !c.nop {
+		c.policy.OnSlotResolved(slot)
+		for i := c.robHead; i < len(c.rob); i++ {
+			e := c.rob[i]
+			e.WaitMask = e.WaitMask.Without(slot)
+			e.DataMask = e.DataMask.Without(slot)
+		}
 	}
 	if d.Check != nil {
 		c.freeCheck(d.Check)
@@ -502,7 +649,13 @@ func (c *Core) recoverFrom(d *DynInst) {
 			break
 		}
 		e.Squashed = true
-		c.policy.OnSquash(e)
+		if !c.nop {
+			c.policy.OnSquash(e)
+		}
+		if e.inIQ {
+			e.inIQ = false
+			c.iqCount--
+		}
 		if e.Dst >= 0 {
 			c.freeList = append(c.freeList, e.Dst)
 		}
@@ -518,8 +671,10 @@ func (c *Core) recoverFrom(d *DynInst) {
 		c.divBusyUntil = 0
 		c.divBusySeq = 0
 	}
-	// Remove squashed entries from the side queues.
-	c.iq = filterLive(c.iq)
+	// Remove squashed entries from the side queues. Stale references left on
+	// register wakeup lists and the vacate list are dropped lazily by their
+	// generation tags.
+	c.readyQ = filterLive(c.readyQ)
 	c.lq = trimYounger(c.lq, c.lqHead, d.Seq)
 	c.sq = trimYounger(c.sq, c.sqHead, d.Seq)
 	for len(c.fenceSeqs) > 0 && c.fenceSeqs[len(c.fenceSeqs)-1] > d.Seq {
@@ -586,38 +741,96 @@ func trimYounger(q []*DynInst, head int, seq uint64) []*DynInst {
 
 // ----------------------------------------------------------------- issue --
 
+// waiter is a generation-tagged instruction reference parked on a physical
+// register's wakeup list (or the deferred issue-queue vacate list). The
+// generation snapshot makes references to squash-recycled objects detectable,
+// exactly as the completion wheel's entries are.
+type waiter struct {
+	d   *DynInst
+	gen uint32
+}
+
+// wake delivers a register writeback to the instructions parked on it: each
+// drops one pending operand and joins the ready queue (in age order) when its
+// last one arrives. An instruction reading the same register through both
+// source operands parked twice and is woken twice.
+func (c *Core) wake(p int) {
+	ws := c.waiters[p]
+	for _, w := range ws {
+		d := w.d
+		if d.gen != w.gen || d.Squashed {
+			continue // squashed since parking: drop the stale reference
+		}
+		if d.pending--; d.pending == 0 {
+			c.readyInsert(d)
+		}
+	}
+	c.waiters[p] = ws[:0]
+}
+
+// readyInsert files d into the ready queue at its age-ordered position.
+// Wakeups arrive a few per cycle and mostly young, so the backward insertion
+// scan is short; dispatch-time-ready instructions append directly (they are
+// always the youngest).
+func (c *Core) readyInsert(d *DynInst) {
+	q := append(c.readyQ, d)
+	i := len(q) - 1
+	for i > 0 && q[i-1].Seq > d.Seq {
+		q[i] = q[i-1]
+		i--
+	}
+	q[i] = d
+	c.readyQ = q
+}
+
+// issue is event-driven: it examines only the ready queue — instructions
+// whose operands have all written back — instead of rescanning the whole
+// issue queue every cycle. Selection order (age order over the ready subset)
+// and all structural/policy gates are identical to the scan this replaces;
+// an instruction blocked by a gate simply stays queued for the next cycle.
 func (c *Core) issue() {
+	// Instructions that fired last cycle vacate their issue-queue entry now:
+	// the scan-based queue dropped them at the pass after they issued, so
+	// rename's capacity check must see them occupying an entry one cycle.
+	if len(c.iqFreed) > 0 {
+		for _, w := range c.iqFreed {
+			if w.d.gen == w.gen && w.d.inIQ {
+				w.d.inIQ = false
+				c.iqCount--
+				c.active = true // occupancy drop: rename may now dispatch
+			}
+		}
+		c.iqFreed = c.iqFreed[:0]
+	}
+	if len(c.readyQ) == 0 {
+		return
+	}
 	aluFree := c.cfg.NumALU
 	mulFree := c.cfg.NumMul
 	memFree := c.cfg.NumMemPorts
+	width := c.cfg.IssueWidth
 	issued := 0
-
-	// Drop finished/squashed entries, keeping age order.
-	live := c.iq[:0]
-	for _, d := range c.iq {
-		if !d.Squashed && d.State != StateDone && d.State != StateExecuting {
-			live = append(live, d)
-		}
+	// Serialization bound, hoisted: nothing younger than the oldest
+	// in-flight FENCE/HALT runs.
+	fenceSeq := ^uint64(0)
+	if len(c.fenceSeqs) > 0 {
+		fenceSeq = c.fenceSeqs[0]
 	}
-	c.iq = live
 
-	for _, d := range c.iq {
-		if issued >= c.cfg.IssueWidth {
-			break
-		}
-		if d.State != StateRenamed {
+	keep := c.readyQ[:0]
+	for _, d := range c.readyQ {
+		if issued >= width {
+			keep = append(keep, d)
 			continue
 		}
-		// Serialization: nothing younger than an in-flight FENCE/HALT runs.
-		if len(c.fenceSeqs) > 0 && d.Seq > c.fenceSeqs[0] {
+		if d.Seq > fenceSeq {
+			keep = append(keep, d)
 			continue
 		}
 		m := d.m
 		// FENCE and HALT execute only from the window head.
 		if m.flags&mFenceHalt != 0 && !c.isHead(d) {
-			continue
-		}
-		if !c.srcsReady(d) {
+			keep = append(keep, d)
 			continue
 		}
 		// Memory structural checks first: a load blocked by an unresolved
@@ -625,65 +838,72 @@ func (c *Core) issue() {
 		var fwd *DynInst
 		if m.flags&mMemPort != 0 {
 			if memFree <= 0 {
+				keep = append(keep, d)
 				continue
 			}
 			c.computeAddr(d)
 			if m.flags&mLoad != 0 {
 				ok, src := c.loadMayIssue(d)
 				if !ok {
+					keep = append(keep, d)
 					continue
 				}
 				fwd = src
 			}
 		}
-		switch m.class {
-		case isa.ClassALU, isa.ClassBranch, isa.ClassJump:
+		switch m.fu {
+		case fuALU:
 			if aluFree <= 0 {
+				keep = append(keep, d)
 				continue
 			}
-		case isa.ClassMul:
+		case fuMul:
 			if mulFree <= 0 {
+				keep = append(keep, d)
 				continue
 			}
-		case isa.ClassDiv:
+		case fuDiv:
 			if c.divBusyUntil > c.cycle {
+				keep = append(keep, d)
 				continue
 			}
-		case isa.ClassSystem:
-			if m.flags&mMemPort != 0 {
-				// CFLUSH uses a memory port, checked above
-			} else if aluFree <= 0 {
-				continue
-			}
+		case fuMem:
+			// Port availability checked in the mMemPort block above.
 		}
-		// Policy gate.
-		decision := c.policy.Decide(d)
-		if decision == Wait {
-			d.EverWaited = true
-			c.stats.PolicyWaitEvents++
-			continue
+		// Policy gate (skipped for the NopPolicy baseline: always Proceed).
+		// A Decide call is activity even on Wait: it mutates policy state and
+		// the wait statistics, so such cycles are never skipped.
+		decision := Proceed
+		if !c.nop {
+			c.active = true
+			decision = c.policy.Decide(d)
+			if decision == Wait {
+				d.EverWaited = true
+				c.stats.PolicyWaitEvents++
+				keep = append(keep, d)
+				continue
+			}
 		}
 		if m.flags&mTransmitter != 0 && c.BT.Unresolved() != 0 {
 			d.specAtIssue = true
 		}
 		// Fire.
-		switch m.class {
-		case isa.ClassALU, isa.ClassBranch, isa.ClassJump:
+		switch m.fu {
+		case fuALU:
 			aluFree--
-		case isa.ClassMul:
+		case fuMul:
 			mulFree--
-		case isa.ClassSystem:
-			if m.flags&mMemPort != 0 {
-				memFree--
-			} else {
-				aluFree--
-			}
-		case isa.ClassLoad, isa.ClassStore:
+		case fuMem:
 			memFree--
+		case fuDiv:
+			// The divider's occupancy is tracked by divBusyUntil.
 		}
 		c.execute(d, decision, fwd)
+		c.iqFreed = append(c.iqFreed, waiter{d, d.gen})
 		issued++
+		c.active = true
 	}
+	c.readyQ = keep
 }
 
 func (c *Core) isHead(d *DynInst) bool {
@@ -729,7 +949,11 @@ func (c *Core) loadMayIssue(d *DynInst) (bool, *DynInst) {
 			return false, nil
 		}
 		ssize := uint64(s.m.memBytes)
-		if s.Addr < d.Addr+size && d.Addr < s.Addr+ssize {
+		// Wrap-safe overlap test: the unsigned differences measure the
+		// (modular) distance from each interval's base to the other's, so
+		// intervals straddling 2^64 — wild wrong-path addresses — still
+		// compare correctly where `s.Addr < d.Addr+size` would wrap.
+		if d.Addr-s.Addr < ssize || s.Addr-d.Addr < size {
 			if s.Addr == d.Addr && ssize == size && s.State == StateDone {
 				match = s // youngest older exact match wins
 			} else {
@@ -740,131 +964,47 @@ func (c *Core) loadMayIssue(d *DynInst) (bool, *DynInst) {
 	return true, match
 }
 
-// execute computes d's result and schedules completion on the wheel.
+// execute runs d's compiled handler (see buildExec in meta.go) and schedules
+// completion on the wheel.
 func (c *Core) execute(d *DynInst, decision Decision, fwd *DynInst) {
-	m := d.m
-	op := m.inst.Op
-	v1 := c.srcVal(d.Src1)
-	v2 := c.srcVal(d.Src2)
-	if m.flags&mImmV2 != 0 {
-		v2 = uint64(d.Inst.Imm)
-	}
-	lat := 1
-	switch m.class {
-	case isa.ClassALU:
-		d.Result = isa.EvalALU(op, v1, v2)
-	case isa.ClassMul:
-		d.Result = isa.EvalALU(op, v1, v2)
-		lat = c.cfg.MulLatency
-	case isa.ClassDiv:
-		d.Result = isa.EvalALU(op, v1, v2)
-		// Operand-dependent latency: what makes the divider a transmitter.
-		lat = c.cfg.DivLatencyBase
-		if c.cfg.DivLatencyRange > 0 {
-			lat += bits.Len64(v1) * c.cfg.DivLatencyRange / 64
-		}
-		c.divBusyUntil = c.cycle + uint64(lat)
-		c.divBusySeq = d.Seq
-	case isa.ClassLoad:
-		lat = c.executeLoad(d, decision, fwd)
-	case isa.ClassStore:
-		d.Result = v2
-		size := uint64(m.memBytes)
-		if d.Addr+size > isa.MemLimit || (size > 1 && d.Addr%size != 0) {
-			d.MemErr = true
-		}
-	case isa.ClassBranch:
-		d.ActualTaken = isa.EvalBranch(op, v1, v2)
-		if d.ActualTaken {
-			d.ActualNext = m.target
-		} else {
-			d.ActualNext = m.seqNext
-		}
-		d.Mispredict = d.ActualNext != d.PredNext
-		lat += c.cfg.BranchResolveLatency
-	case isa.ClassJump:
-		d.Result = m.seqNext
-		if m.kind == fkJAL {
-			d.ActualNext = m.target
-		} else {
-			d.ActualNext = (v1 + uint64(d.Inst.Imm)) &^ 1
-			d.Mispredict = d.ActualNext != d.PredNext
-			lat += c.cfg.BranchResolveLatency
-		}
-	case isa.ClassSystem:
-		switch op {
-		case isa.RDCYCLE:
-			d.Result = c.cycle
-		case isa.PUTC, isa.PUTI, isa.HALT:
-			d.Result = v1
-		case isa.CFLUSH:
-			// Microarchitectural effect at execute time — this is the
-			// speculative attack primitive the policies must gate.
-			c.Hier.Flush(d.Addr)
-		case isa.FENCE:
-			// No effect; serialization handled at issue.
-		}
-	}
+	lat := d.m.exec(c, d, decision, fwd)
 	d.State = StateExecuting
 	d.DoneCycle = c.cycle + uint64(lat)
 	c.schedule(d)
 }
 
-// executeLoad performs the data access and returns its latency.
-func (c *Core) executeLoad(d *DynInst, decision Decision, fwd *DynInst) int {
-	size := int(d.m.memBytes)
-	if fwd != nil {
-		mask := ^uint64(0)
-		if size < 8 {
-			mask = 1<<(8*size) - 1
-		}
-		d.Result = isa.ExtendLoad(d.Inst.Op, fwd.Result&mask)
-		d.FwdFrom = fwd
-		c.policy.OnForward(d, fwd)
-		return 1
-	}
-	raw, err := c.Phys.Read(d.Addr, size)
-	if err != nil {
-		// Wrong-path access outside simulated memory: produce a harmless
-		// value with hit latency and no cache perturbation. If this load is
-		// actually architectural the commit stage reports the fault.
-		d.MemErr = true
-		d.Result = 0
-		return c.cfg.Hier.L1D.Latency
-	}
-	d.Result = isa.ExtendLoad(d.Inst.Op, raw)
-	if decision == ProceedInvisible {
-		d.Invisible = true
-		return c.Hier.InvisibleLoadLatency(d.Addr)
-	}
-	return c.Hier.LoadLatency(d.Addr)
-}
-
 // ---------------------------------------------------------------- rename --
 
 func (c *Core) rename() {
+	// Occupancies and capacities are loop-hoisted: nothing called from the
+	// loop body mutates them except the dispatch code below, which maintains
+	// the locals in step. The compiler cannot prove that (calls through
+	// c.policy and c.BT could alias anything), so hoisting by hand removes
+	// four field reloads per renamed instruction.
+	robOcc := len(c.rob) - c.robHead
+	lqOcc := len(c.lq) - c.lqHead
+	sqOcc := len(c.sq) - c.sqHead
+	robCap, iqCap := c.cfg.ROBSize, c.cfg.IQSize
+	lqCap, sqCap := c.cfg.LQSize, c.cfg.SQSize
 	for n := 0; n < c.cfg.RenameWidth && c.fbHead < len(c.fetchBuf); n++ {
 		d := c.fetchBuf[c.fbHead]
-		if len(c.rob)-c.robHead >= c.cfg.ROBSize {
+		if robOcc >= robCap {
 			return
 		}
-		if len(c.iq) >= c.cfg.IQSize {
+		if c.iqCount >= iqCap {
 			return
 		}
 		m := d.m
-		if m.flags&mLoad != 0 && len(c.lq)-c.lqHead >= c.cfg.LQSize {
+		if m.flags&mLoad != 0 && lqOcc >= lqCap {
 			return
 		}
-		if m.flags&mStore != 0 && len(c.sq)-c.sqHead >= c.cfg.SQSize {
+		if m.flags&mStore != 0 && sqOcc >= sqCap {
 			return
 		}
 		needsSlot := m.flags&mNeedsSlot != 0
-		bdtCap := c.cfg.BDTEntries
-		if bdtCap == 0 {
-			bdtCap = core.NumSlots
-		}
-		if needsSlot && c.BT.InFlight() >= bdtCap {
+		if needsSlot && c.BT.InFlight() >= c.bdtCap {
 			c.BT.AllocFailures++
+			c.active = true // the stall counter advances every stalled cycle
 			return
 		}
 		hasDst := m.flags&mHasDst != 0
@@ -873,7 +1013,12 @@ func (c *Core) rename() {
 		}
 
 		c.fbHead++
-		c.BT.CloseRegions(d.PC)
+		// Region close only ever fires at annotated reconvergence points;
+		// everywhere else CloseRegions is a no-op by construction, so the
+		// call is gated on the decoded flag.
+		if m.flags&mReconv != 0 {
+			c.BT.CloseRegions(d.PC)
+		}
 
 		d.Src1, d.Src2, d.Dst, d.OldDst = -1, -1, -1, -1
 		if m.flags&mSrc1 != 0 {
@@ -892,10 +1037,12 @@ func (c *Core) rename() {
 
 		// Policy sees the pre-allocation table state (its own slot is not a
 		// dependency of itself).
-		c.policy.OnRename(d)
+		if !c.nop {
+			c.policy.OnRename(d)
+		}
 
 		if needsSlot {
-			slot, ok := c.BT.Alloc(d.Seq, d.PC)
+			slot, ok := c.BT.AllocHinted(d.Seq, d.PC, m.hint)
 			if !ok {
 				// Should not happen: capacity checked above. Treat as stall:
 				// the buffer slot still holds d, so back the head up.
@@ -911,14 +1058,38 @@ func (c *Core) rename() {
 
 		d.State = StateRenamed
 		c.rob = append(c.rob, d)
-		c.iq = append(c.iq, d)
+		robOcc++
+		// Dispatch into the issue scheduler: claim an issue-queue entry and
+		// either park on the still-pending source registers or go straight to
+		// the ready queue (dispatch order is age order, so append keeps it
+		// sorted). Readiness is monotone for live instructions — a physical
+		// register never becomes unready while a reader is in flight — so a
+		// count of outstanding writebacks is exact.
+		d.inIQ = true
+		c.iqCount++
+		pend := int8(0)
+		if d.Src1 >= 0 && !c.regReady[d.Src1] {
+			c.waiters[d.Src1] = append(c.waiters[d.Src1], waiter{d, d.gen})
+			pend++
+		}
+		if d.Src2 >= 0 && !c.regReady[d.Src2] {
+			c.waiters[d.Src2] = append(c.waiters[d.Src2], waiter{d, d.gen})
+			pend++
+		}
+		d.pending = pend
+		if pend == 0 {
+			c.readyQ = append(c.readyQ, d)
+		}
 		if m.flags&mLoad != 0 {
 			c.lq = append(c.lq, d)
+			lqOcc++
 		}
 		if m.flags&mStore != 0 {
 			c.sq = append(c.sq, d)
+			sqOcc++
 		}
 		c.stats.Renamed++
+		c.active = true
 	}
 }
 
@@ -934,8 +1105,11 @@ func (c *Core) fetch() {
 		c.fetchBuf = c.fetchBuf[:0]
 		c.fbHead = 0
 	}
-	lineBytes := uint64(c.cfg.Hier.L1I.LineBytes)
 	for n := 0; n < c.cfg.FetchWidth && len(c.fetchBuf)-c.fbHead < c.cfg.FetchBufSize; n++ {
+		// Every path below changes state (an instruction is delivered, the
+		// front end halts, or an I-miss stall begins), so reaching the loop
+		// body at all makes the cycle active.
+		c.active = true
 		m := c.metaAt(c.fetchPC)
 		if m == nil {
 			// Wrong-path fetch ran outside the text segment; stall until a
@@ -943,7 +1117,7 @@ func (c *Core) fetch() {
 			c.fetchHalted = true
 			return
 		}
-		if line := c.fetchPC / lineBytes; line != c.lastFetchLine {
+		if line := c.fetchPC >> c.lineShift; line != c.lastFetchLine {
 			lat := c.Hier.FetchLatency(c.fetchPC)
 			c.lastFetchLine = line
 			if lat > c.cfg.Hier.L1I.Latency {

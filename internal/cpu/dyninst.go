@@ -69,6 +69,13 @@ type DynInst struct {
 	// (gen explicitly, m by reassignment).
 	m   *instMeta
 	gen uint32
+
+	// Event-driven issue state (see issue() in core.go): pending counts the
+	// source operands still awaiting writeback; inIQ marks the instruction's
+	// issue-queue occupancy for the rename-stage capacity check. Both zero on
+	// recycle.
+	pending int8
+	inIQ    bool
 }
 
 // Checkpoint captures rename and predictor state at a control instruction,
@@ -78,17 +85,51 @@ type Checkpoint struct {
 	Pred PredCheckpoint
 }
 
+// The predicate accessors answer from the decoded metadata when the core set
+// it (the hot path — one flag test, no op-table lookups); DynInsts fabricated
+// outside a core fall back to the op predicates.
+
 // IsLoad reports whether the instruction reads data memory.
-func (d *DynInst) IsLoad() bool { return d.Inst.Op.IsLoad() }
+func (d *DynInst) IsLoad() bool {
+	if d.m != nil {
+		return d.m.flags&mLoad != 0
+	}
+	return d.Inst.Op.IsLoad()
+}
 
 // IsStore reports whether the instruction writes data memory.
-func (d *DynInst) IsStore() bool { return d.Inst.Op.IsStore() }
+func (d *DynInst) IsStore() bool {
+	if d.m != nil {
+		return d.m.flags&mStore != 0
+	}
+	return d.Inst.Op.IsStore()
+}
 
 // IsCondBranch reports whether this is a conditional branch.
-func (d *DynInst) IsCondBranch() bool { return d.Inst.Op.IsBranch() }
+func (d *DynInst) IsCondBranch() bool {
+	if d.m != nil {
+		return d.m.flags&mCondBranch != 0
+	}
+	return d.Inst.Op.IsBranch()
+}
 
 // IsControl reports whether the instruction can redirect fetch.
-func (d *DynInst) IsControl() bool { return d.Inst.Op.IsControl() }
+func (d *DynInst) IsControl() bool {
+	if d.m != nil {
+		return d.m.flags&mControl != 0
+	}
+	return d.Inst.Op.IsControl()
+}
+
+// IsTransmitter reports whether the instruction is a transmitter op (load,
+// divide, cache flush) — the class every policy gates. Policies call this on
+// every Decide, so it answers from the decoded flag.
+func (d *DynInst) IsTransmitter() bool {
+	if d.m != nil {
+		return d.m.flags&mTransmitter != 0
+	}
+	return d.Inst.Op.IsTransmitter()
+}
 
 // Decision is a policy's verdict on a ready-to-issue instruction.
 type Decision uint8

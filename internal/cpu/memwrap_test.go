@@ -1,0 +1,169 @@
+package cpu
+
+import (
+	"testing"
+
+	"levioso/internal/asm"
+	"levioso/internal/isa"
+)
+
+// Regression tests for the uint64 address-wrap bugs in the wrong-path memory
+// model: the store bounds check and loadMayIssue's overlap test both computed
+// addr+size, which wraps for wild speculative addresses near 2^64 — exactly
+// the addresses wrong-path pointer chases manufacture.
+
+// wildCore builds a core over a tiny store+load program so tests can craft
+// in-flight memory instructions directly against the disambiguation logic.
+func wildCore(t *testing.T) *Core {
+	t.Helper()
+	prog := asm.MustAssemble("t.s", `
+main:
+	sd t0, 0(t1)
+	ld t2, 0(t1)
+	halt zero
+`)
+	c, err := New(prog, DefaultConfig(), NopPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// wildInst fabricates an in-flight memory instruction at text index idx with a
+// resolved effective address.
+func wildInst(c *Core, seq uint64, idx int, addr uint64) *DynInst {
+	pc := isa.TextBase + uint64(idx)*isa.InstBytes
+	d := c.newDynInst(seq, pc, c.metaAt(pc))
+	d.Dst, d.Src1, d.Src2 = -1, -1, -1
+	d.Addr, d.AddrReady = addr, true
+	return d
+}
+
+// The store bounds check must flag an 8-byte store at 0xFFFFFFFFFFFFFFF8:
+// addr+size wraps to 0, which the old comparison read as in-bounds.
+func TestStoreBoundsWildAddressWrap(t *testing.T) {
+	c := wildCore(t)
+	cases := []struct {
+		addr    uint64
+		wantErr bool
+	}{
+		{0xFFFFFFFFFFFFFFF8, true}, // aligned, wraps past 2^64
+		{isa.MemLimit, true},       // first invalid address
+		{isa.MemLimit - 4, true},   // straddles the limit
+		{isa.MemLimit - 8, false},  // last valid doubleword
+		{isa.DataBase + 16, false}, // ordinary in-bounds store
+	}
+	for i, tc := range cases {
+		d := wildInst(c, uint64(10+i), 0, tc.addr)
+		c.execute(d, Proceed, nil)
+		if d.MemErr != tc.wantErr {
+			t.Errorf("store addr %#x: MemErr = %v, want %v", tc.addr, d.MemErr, tc.wantErr)
+		}
+	}
+}
+
+// loadMayIssue must see a store at 0xFFFFFFFFFFFFFFF8 (bytes F8..FF) and a
+// load at 0xFFFFFFFFFFFFFFFC as overlapping even though the load's interval
+// end wraps past 2^64. The old comparison missed the overlap and let the load
+// issue past the conflicting older store.
+func TestLoadMayIssuePartialOverlapStraddles2e64(t *testing.T) {
+	c := wildCore(t)
+	st := wildInst(c, 1, 0, 0xFFFFFFFFFFFFFFF8)
+	st.State = StateExecuting
+	c.sq = append(c.sq, st)
+
+	ld := wildInst(c, 2, 1, 0xFFFFFFFFFFFFFFFC)
+	ok, fwd := c.loadMayIssue(ld)
+	if ok || fwd != nil {
+		t.Errorf("load %#x vs older store %#x: issued (ok=%v fwd=%v), want stall on partial overlap",
+			ld.Addr, st.Addr, ok, fwd != nil)
+	}
+}
+
+// An exact-match store→load pair at a wild address must still forward once
+// the store's data is captured; the wrapping interval test hid the match.
+func TestLoadMayIssueExactForwardAtWildAddress(t *testing.T) {
+	c := wildCore(t)
+	st := wildInst(c, 1, 0, 0xFFFFFFFFFFFFFFF8)
+	st.State = StateDone
+	st.Result = 0xDEAD
+	c.sq = append(c.sq, st)
+
+	ld := wildInst(c, 2, 1, 0xFFFFFFFFFFFFFFF8)
+	ok, fwd := c.loadMayIssue(ld)
+	if !ok || fwd != st {
+		t.Errorf("exact-match wild load: ok=%v fwd=%v, want forwarding from the older store", ok, fwd == st)
+	}
+}
+
+// Disjoint wild intervals must not stall, and a wild load must not collide
+// with an unrelated low store (no phantom overlaps from the rewrite).
+func TestLoadMayIssueDisjointWildAddresses(t *testing.T) {
+	cases := []struct {
+		name           string
+		stAddr, ldAddr uint64
+	}{
+		{"adjacent below", 0xFFFFFFFFFFFFFFF8, 0xFFFFFFFFFFFFFFF0},
+		{"wild load vs low store", 0x100000, 0xFFFFFFFFFFFFFFF8},
+		{"low load vs wild store", 0xFFFFFFFFFFFFFFF8, 0x100000},
+	}
+	for _, tc := range cases {
+		c := wildCore(t)
+		st := wildInst(c, 1, 0, tc.stAddr)
+		st.State = StateExecuting
+		c.sq = append(c.sq, st)
+		ld := wildInst(c, 2, 1, tc.ldAddr)
+		ok, fwd := c.loadMayIssue(ld)
+		if !ok || fwd != nil {
+			t.Errorf("%s: store %#x load %#x: ok=%v fwd=%v, want issue with no forward",
+				tc.name, tc.stAddr, tc.ldAddr, ok, fwd != nil)
+		}
+	}
+}
+
+// End-to-end: a trained pointer chase whose mispredicted final iteration
+// dereferences a wild pointer at 0xFFFFFFFFFFFFFFF8. The wrong path performs
+// a store and two loads (one exact match, one partial overlap) whose
+// intervals straddle 2^64; the run must stay architecturally identical to
+// the reference and recover cleanly.
+func TestWrongPathPointerChaseStraddles2e64(t *testing.T) {
+	runBoth(t, `
+main:
+	la s0, ptrs
+	la s5, slots
+	li t0, -8          # 0xFFFFFFFFFFFFFFF8: wild pointer for the 11th slot
+	sd t0, 80(s0)
+	li s1, 0           # i
+	li s2, 0
+	li t1, 10
+fillp:                     # ptrs[i] = &slots[i] for i < 10
+	slli t2, s1, 3
+	add t3, t2, s0
+	add t4, t2, s5
+	sd t4, 0(t3)
+	addi s1, s1, 1
+	blt s1, t1, fillp
+	li s1, 0
+	li s4, 0
+	li s7, 7000000
+	li s8, 700000
+chase:
+	div t5, s7, s8     # slow bound (10): delays branch resolution so the
+	beq s1, t5, done   # wrong path below runs with the wild pointer
+	slli t2, s1, 3
+	add t3, t2, s0
+	ld t6, 0(t3)       # p = ptrs[i]; wrong path reads ptrs[10] = 0xFF..F8
+	sd s1, 0(t6)       # wild wrong-path store: bytes F8..FF
+	ld t4, 0(t6)       # exact-match reload: must forward, not read memory
+	lw t2, 4(t6)       # partial overlap straddling 2^64: must stall
+	add s4, s4, t4
+	add s4, s4, t2
+	addi s1, s1, 1
+	j chase
+done:
+	halt s4            # sum 0..9 = 45
+	.data
+ptrs:	.space 96
+slots:	.space 96
+`, NopPolicy{})
+}

@@ -1,6 +1,10 @@
 package cpu
 
-import "levioso/internal/isa"
+import (
+	"math/bits"
+
+	"levioso/internal/isa"
+)
 
 // The decoded-instruction metadata cache. The model fetches the same static
 // instructions millions of times; re-deriving operand presence, op class,
@@ -11,6 +15,16 @@ import "levioso/internal/isa"
 // index. The cache is immutable after construction and derived entirely from
 // the program text, so it cannot change model behaviour — only how fast the
 // model evaluates it.
+//
+// Beyond flags and operands, each entry carries the instruction's *compiled*
+// execute handler (threaded-code style): buildMeta selects a closure per
+// static instruction with the op function, immediate, branch targets, memory
+// size and bounds already resolved, so the execute stage is one indirect
+// call instead of a class switch feeding op switches. Entries also pre-
+// resolve everything PC-static the rename path used to look up per dynamic
+// instance: the branch's Levioso annotation (hint), whether any annotated
+// region reconverges at this PC (mReconv), and the functional-unit class the
+// issue stage arbitrates (fu).
 
 // fetchKind dispatches the fetch stage's control-flow handling.
 type fetchKind uint8
@@ -21,6 +35,18 @@ const (
 	fkJAL                     // direct jump: known target
 	fkJALR                    // indirect jump: RAS or BTB
 	fkHALT                    // stop fetching
+)
+
+// fuKind is the functional-unit class the issue stage arbitrates. It folds
+// the per-class structural-hazard switches (availability check and unit
+// consumption) into one precomputed tag.
+type fuKind uint8
+
+const (
+	fuALU fuKind = iota // ALU op, branch, jump, non-memory system: an ALU slot
+	fuMul               // pipelined multiplier
+	fuDiv               // the single unpipelined divider (occupancy-checked)
+	fuMem               // load/store/CFLUSH: a memory port
 )
 
 // metaFlag packs the per-op predicates the rename/issue/execute/commit
@@ -42,17 +68,29 @@ const (
 	mPushRAS                          // JAL/JALR with rd == ra: push return address
 	mRet                              // JALR x0, ra: predict via the RAS
 	mMemPort                          // needs a memory port at issue (load/store/cflush)
+	mReconv                           // some annotated control region reconverges here
 )
+
+// execFn is a compiled execute handler: it computes the instruction's result
+// and side effects and returns the execution latency in cycles. decision and
+// fwd are only meaningful for loads (the policy verdict and the forwarding
+// store selected at issue).
+type execFn func(c *Core, d *DynInst, decision Decision, fwd *DynInst) int
 
 // instMeta is the per-static-instruction cache entry.
 type instMeta struct {
 	inst     isa.Inst
 	class    isa.Class
 	kind     fetchKind
+	fu       fuKind
 	flags    metaFlag
 	memBytes uint8
 	target   uint64 // branch/JAL: taken-path target
 	seqNext  uint64 // pc + InstBytes
+	// hint is the branch's Levioso annotation, prefetched from prog.Hints so
+	// the rename path never touches the map (zero value = conservative).
+	hint isa.BranchHint
+	exec execFn
 }
 
 // buildMeta precomputes the metadata table for prog's text segment.
@@ -97,6 +135,7 @@ func buildMeta(prog *isa.Program) []instMeta {
 		}
 		if op.IsBranch() || op == isa.JALR {
 			m.flags |= mNeedsSlot
+			m.hint = prog.Hints[pc]
 		}
 		if op.HasRd() && in.Rd != isa.RegZero {
 			m.flags |= mHasDst
@@ -127,8 +166,254 @@ func buildMeta(prog *isa.Program) []instMeta {
 				m.flags |= mPushRAS
 			}
 		}
+
+		switch m.class {
+		case isa.ClassMul:
+			m.fu = fuMul
+		case isa.ClassDiv:
+			m.fu = fuDiv
+		case isa.ClassLoad, isa.ClassStore:
+			m.fu = fuMem
+		case isa.ClassSystem:
+			if m.flags&mMemPort != 0 {
+				m.fu = fuMem // CFLUSH
+			} else {
+				m.fu = fuALU
+			}
+		default:
+			m.fu = fuALU
+		}
+
+		m.exec = buildExec(m)
+	}
+	// Mark reconvergence points: rename calls the Branch Dependency Table's
+	// CloseRegions only at PCs where some annotated region can actually
+	// close, which is a no-op everywhere else by construction (region close
+	// compares the slot's reconvPC against the renamed PC).
+	for _, h := range prog.Hints {
+		if h.ReconvPC == 0 {
+			continue
+		}
+		off := h.ReconvPC - isa.TextBase
+		if off%isa.InstBytes == 0 && off/isa.InstBytes < uint64(len(meta)) {
+			meta[off/isa.InstBytes].flags |= mReconv
+		}
 	}
 	return meta
+}
+
+// buildExec compiles one static instruction into its execute handler. Each
+// handler is behaviour-identical to the retired execute-stage class switch:
+// same operand selection, same results, same latencies, same side effects —
+// just resolved once at program load instead of per dynamic instance.
+func buildExec(m *instMeta) execFn {
+	op := m.inst.Op
+	imm := uint64(m.inst.Imm)
+	switch m.class {
+	case isa.ClassALU:
+		fn := aluFn(op)
+		if m.flags&mImmV2 != 0 {
+			return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+				d.Result = fn(c.srcVal(d.Src1), imm)
+				return 1
+			}
+		}
+		return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+			d.Result = fn(c.srcVal(d.Src1), c.srcVal(d.Src2))
+			return 1
+		}
+	case isa.ClassMul:
+		fn := aluFn(op)
+		if m.flags&mImmV2 != 0 {
+			return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+				d.Result = fn(c.srcVal(d.Src1), imm)
+				return c.cfg.MulLatency
+			}
+		}
+		return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+			d.Result = fn(c.srcVal(d.Src1), c.srcVal(d.Src2))
+			return c.cfg.MulLatency
+		}
+	case isa.ClassDiv:
+		fn := aluFn(op)
+		useImm := m.flags&mImmV2 != 0
+		return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+			v1 := c.srcVal(d.Src1)
+			v2 := c.srcVal(d.Src2)
+			if useImm {
+				v2 = imm
+			}
+			d.Result = fn(v1, v2)
+			// Operand-dependent latency: what makes the divider a transmitter.
+			lat := c.cfg.DivLatencyBase
+			if c.cfg.DivLatencyRange > 0 {
+				lat += bits.Len64(v1) * c.cfg.DivLatencyRange / 64
+			}
+			c.divBusyUntil = c.cycle + uint64(lat)
+			c.divBusySeq = d.Seq
+			return lat
+		}
+	case isa.ClassLoad:
+		size := int(m.memBytes)
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		return func(c *Core, d *DynInst, decision Decision, fwd *DynInst) int {
+			if fwd != nil {
+				d.Result = isa.ExtendLoad(op, fwd.Result&mask)
+				d.FwdFrom = fwd
+				if !c.nop {
+					c.policy.OnForward(d, fwd)
+				}
+				return 1
+			}
+			raw, err := c.Phys.Read(d.Addr, size)
+			if err != nil {
+				// Wrong-path access outside simulated memory: produce a
+				// harmless value with hit latency and no cache perturbation.
+				// If this load is actually architectural the commit stage
+				// reports the fault.
+				d.MemErr = true
+				d.Result = 0
+				return c.cfg.Hier.L1D.Latency
+			}
+			d.Result = isa.ExtendLoad(op, raw)
+			if decision == ProceedInvisible {
+				d.Invisible = true
+				return c.Hier.InvisibleLoadLatency(d.Addr)
+			}
+			return c.Hier.LoadLatency(d.Addr)
+		}
+	case isa.ClassStore:
+		// Overflow-safe bounds check baked in at build time: memBytes <= 8 <=
+		// MemLimit, so the subtraction cannot underflow, while addr+size
+		// wraps for wild wrong-path addresses near 2^64. Access sizes are
+		// powers of two, so alignment is a mask test (zero mask for bytes).
+		limit := isa.MemLimit - uint64(m.memBytes)
+		alignMask := uint64(m.memBytes) - 1
+		return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+			d.Result = c.srcVal(d.Src2)
+			if d.Addr > limit || d.Addr&alignMask != 0 {
+				d.MemErr = true
+			}
+			return 1
+		}
+	case isa.ClassBranch:
+		fn := branchFn(op)
+		target, seqNext := m.target, m.seqNext
+		return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+			d.ActualTaken = fn(c.srcVal(d.Src1), c.srcVal(d.Src2))
+			if d.ActualTaken {
+				d.ActualNext = target
+			} else {
+				d.ActualNext = seqNext
+			}
+			d.Mispredict = d.ActualNext != d.PredNext
+			return 1 + c.cfg.BranchResolveLatency
+		}
+	case isa.ClassJump:
+		seqNext := m.seqNext
+		if m.kind == fkJAL {
+			target := m.target
+			return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+				d.Result = seqNext
+				d.ActualNext = target
+				return 1
+			}
+		}
+		return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+			d.Result = seqNext
+			d.ActualNext = (c.srcVal(d.Src1) + imm) &^ 1
+			d.Mispredict = d.ActualNext != d.PredNext
+			return 1 + c.cfg.BranchResolveLatency
+		}
+	case isa.ClassSystem:
+		switch op {
+		case isa.RDCYCLE:
+			return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+				d.Result = c.cycle
+				return 1
+			}
+		case isa.PUTC, isa.PUTI, isa.HALT:
+			return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+				d.Result = c.srcVal(d.Src1)
+				return 1
+			}
+		case isa.CFLUSH:
+			return func(c *Core, d *DynInst, _ Decision, _ *DynInst) int {
+				// Microarchitectural effect at execute time — this is the
+				// speculative attack primitive the policies must gate.
+				c.Hier.Flush(d.Addr)
+				return 1
+			}
+		}
+	}
+	// FENCE (serialization handled at issue) and any future effect-free op.
+	return func(*Core, *DynInst, Decision, *DynInst) int { return 1 }
+}
+
+// aluFn returns the value function for an ALU/MUL/DIV op. The closures
+// mirror isa.EvalALU case for case (the differential oracles cross-check
+// them against the reference interpreter, which still calls EvalALU).
+func aluFn(op isa.Op) func(a, b uint64) uint64 {
+	switch op {
+	case isa.ADD, isa.ADDI:
+		return func(a, b uint64) uint64 { return a + b }
+	case isa.SUB:
+		return func(a, b uint64) uint64 { return a - b }
+	case isa.AND, isa.ANDI:
+		return func(a, b uint64) uint64 { return a & b }
+	case isa.OR, isa.ORI:
+		return func(a, b uint64) uint64 { return a | b }
+	case isa.XOR, isa.XORI:
+		return func(a, b uint64) uint64 { return a ^ b }
+	case isa.SLL, isa.SLLI:
+		return func(a, b uint64) uint64 { return a << (b & 63) }
+	case isa.SRL, isa.SRLI:
+		return func(a, b uint64) uint64 { return a >> (b & 63) }
+	case isa.SRA, isa.SRAI:
+		return func(a, b uint64) uint64 { return uint64(int64(a) >> (b & 63)) }
+	case isa.SLT, isa.SLTI:
+		return func(a, b uint64) uint64 {
+			if int64(a) < int64(b) {
+				return 1
+			}
+			return 0
+		}
+	case isa.SLTU, isa.SLTIU:
+		return func(a, b uint64) uint64 {
+			if a < b {
+				return 1
+			}
+			return 0
+		}
+	default:
+		// MUL/MULH/DIV/DIVU/REM/REMU, LUI, and anything added later fall
+		// back to the shared evaluator (single op per closure, so the inner
+		// switch predicts perfectly).
+		return func(a, b uint64) uint64 { return isa.EvalALU(op, a, b) }
+	}
+}
+
+// branchFn returns the taken predicate for a conditional branch op.
+func branchFn(op isa.Op) func(a, b uint64) bool {
+	switch op {
+	case isa.BEQ:
+		return func(a, b uint64) bool { return a == b }
+	case isa.BNE:
+		return func(a, b uint64) bool { return a != b }
+	case isa.BLT:
+		return func(a, b uint64) bool { return int64(a) < int64(b) }
+	case isa.BGE:
+		return func(a, b uint64) bool { return int64(a) >= int64(b) }
+	case isa.BLTU:
+		return func(a, b uint64) bool { return a < b }
+	case isa.BGEU:
+		return func(a, b uint64) bool { return a >= b }
+	default:
+		return func(a, b uint64) bool { return isa.EvalBranch(op, a, b) }
+	}
 }
 
 // metaAt resolves pc to its cache entry; nil if pc is outside the text

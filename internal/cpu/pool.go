@@ -191,10 +191,22 @@ func (c *Core) CheckInvariants() error {
 			return fmt.Errorf("cpu: invariant: live seq %d is in the free pool", d.Seq)
 		}
 	}
-	for _, d := range c.iq {
+	for _, d := range c.readyQ {
 		if pooled[d] {
-			return fmt.Errorf("cpu: invariant: pooled DynInst in issue queue")
+			return fmt.Errorf("cpu: invariant: pooled DynInst in ready queue")
 		}
+	}
+	// Issue-queue occupancy is counter-tracked; it must agree with the
+	// per-instruction flags of the live window.
+	inIQ := 0
+	for _, d := range live {
+		if d.inIQ {
+			inIQ++
+		}
+	}
+	if inIQ != c.iqCount {
+		return fmt.Errorf("cpu: invariant: issue-queue occupancy %d but %d live instructions hold entries",
+			c.iqCount, inIQ)
 	}
 	for _, d := range c.fetchBuf[c.fbHead:] {
 		if pooled[d] {

@@ -1,5 +1,7 @@
 package cpu
 
+import "math/bits"
+
 // The completion wheel makes the writeback/recovery stage event-driven.
 // Instead of scanning the whole ROB every cycle for instructions whose
 // DoneCycle is now (O(window) per cycle, the classic gem5-class cost), the
@@ -29,6 +31,7 @@ type wheelEntry struct {
 func (c *Core) schedule(d *DynInst) {
 	b := d.DoneCycle & wheelMask
 	c.wheel[b] = append(c.wheel[b], wheelEntry{d: d, gen: d.gen})
+	c.bucketBits[b>>6] |= 1 << (b & 63)
 }
 
 // dueNow drains the current cycle's bucket into c.dueBuf, in program
@@ -51,6 +54,10 @@ func (c *Core) dueNow() []*DynInst {
 		due = append(due, e.d)
 	}
 	c.wheel[c.cycle&wheelMask] = keep
+	if len(keep) == 0 {
+		b := c.cycle & wheelMask
+		c.bucketBits[b>>6] &^= 1 << (b & 63)
+	}
 	c.dueBuf = due
 
 	// Insertion sort by Seq: bucket order is issue order, and the oldest
@@ -66,4 +73,32 @@ func (c *Core) dueNow() []*DynInst {
 		due[j+1] = d
 	}
 	return due
+}
+
+// wheelNext returns the cycle of the nearest bucket (in ring order, strictly
+// after the current cycle's position) that holds any entry, and whether one
+// exists. That cycle upper-bounds when the next completion can happen: no
+// bucket position crossed before it holds anything, so every skipped-over
+// cycle's complete stage would have found an empty bucket. The target bucket
+// itself may hold only later-lap or stale entries — landing there and finding
+// nothing due is harmless (the cycle is idle again and the skip repeats),
+// and draining the bucket at that cycle is exactly what per-cycle stepping
+// would have done.
+func (c *Core) wheelNext() (uint64, bool) {
+	best := uint64(0)
+	found := false
+	for wi, w := range c.bucketBits {
+		for w != 0 {
+			q := uint64(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+			delta := (q - c.cycle) & wheelMask
+			if delta == 0 {
+				delta = wheelSize // current position: due again next lap
+			}
+			if t := c.cycle + delta; !found || t < best {
+				best, found = t, true
+			}
+		}
+	}
+	return best, found
 }

@@ -48,6 +48,15 @@ const (
 	// including divides under unresolved branches (wrong-path divides must
 	// release the unit on squash).
 	ProfileDivPressure Profile = "div-pressure"
+	// ProfileWildAddr manufactures wrong-path memory accesses at wild
+	// addresses — just below 2^64 (where addr+size wraps), exactly at and
+	// just past isa.MemLimit, and straddling the limit — behind
+	// late-resolving, architecturally always-taken guards. The shadows run
+	// only transiently, so the reference run stays clean while the core's
+	// wrong-path memory model (bounds checks, store-load disambiguation,
+	// invisible-load bookkeeping) is exercised at the exact addresses the
+	// historical uint64-wrap bugs corrupted.
+	ProfileWildAddr Profile = "wild-addr"
 	// ProfileGadget generates randomized Spectre-V1-shaped attack programs
 	// (train/flush/transient-access/probe) with a planted secret; the
 	// security oracle checks that covering policies keep the probe blind.
@@ -56,7 +65,7 @@ const (
 
 // Profiles lists every generation profile.
 func Profiles() []Profile {
-	return []Profile{ProfileBranchStorm, ProfilePointerChase, ProfileStoreLoad, ProfileDivPressure, ProfileGadget}
+	return []Profile{ProfileBranchStorm, ProfilePointerChase, ProfileStoreLoad, ProfileDivPressure, ProfileWildAddr, ProfileGadget}
 }
 
 // ParseProfiles parses a comma-separated profile list ("" or "all" selects
@@ -124,7 +133,7 @@ func Generate(profile Profile, seed uint64, index int) (*Case, error) {
 	case ProfileGadget:
 		c.TimingDep = true
 		c.Prog, c.Secret, err = genGadget(rng)
-	case ProfileBranchStorm, ProfilePointerChase, ProfileStoreLoad, ProfileDivPressure:
+	case ProfileBranchStorm, ProfilePointerChase, ProfileStoreLoad, ProfileDivPressure, ProfileWildAddr:
 		c.Prog, err = genRandom(profile, rng)
 	default:
 		return nil, fmt.Errorf("fuzz: unknown profile %q", profile)
@@ -173,6 +182,7 @@ const (
 	bFence
 	bPut   // console output (differential signal)
 	bChase // pointer-chase step(s)
+	bWild  // transient window of wild-address loads/stores
 	numBlockKinds
 )
 
@@ -181,6 +191,7 @@ var profileWeights = map[Profile][numBlockKinds]int{
 	ProfilePointerChase: {bALU: 2, bALUImm: 2, bLoad: 3, bStore: 1, bStoreLoad: 1, bBranch: 2, bLoop: 2, bDiv: 1, bJal: 1, bCflush: 2, bFence: 1, bPut: 2, bChase: 9},
 	ProfileStoreLoad:    {bALU: 2, bALUImm: 2, bLoad: 3, bStore: 3, bStoreLoad: 9, bBranch: 2, bLoop: 2, bDiv: 1, bJal: 1, bCflush: 1, bFence: 1, bPut: 2},
 	ProfileDivPressure:  {bALU: 2, bALUImm: 2, bLoad: 1, bStore: 1, bStoreLoad: 1, bBranch: 5, bLoop: 2, bDiv: 9, bJal: 1, bCflush: 1, bFence: 1, bPut: 2},
+	ProfileWildAddr:     {bALU: 2, bALUImm: 2, bLoad: 2, bStore: 1, bStoreLoad: 2, bBranch: 3, bLoop: 2, bDiv: 1, bJal: 1, bCflush: 2, bFence: 1, bPut: 2, bWild: 9},
 }
 
 var (
@@ -308,6 +319,8 @@ func (g *progGen) emitBlock() {
 		g.emitStoreLoadBurst()
 	case bBranch:
 		g.emitForwardBranch()
+	case bWild:
+		g.emitWildWindow()
 	case bLoop:
 		g.emitLoop()
 	case bJal:
@@ -407,6 +420,59 @@ func (g *progGen) emitStoreLoadBurst() {
 	}
 	v := variants[g.rng.Intn(len(variants))]
 	g.emit(isa.Inst{Op: v.op, Rd: g.valueReg(), Rs1: isa.RegGP, Imm: base + v.off})
+}
+
+// emitWildWindow builds a transient wild-address window: an architecturally
+// always-taken branch whose condition depends on a (possibly just-evicted)
+// load, guarding a shadow of loads and stores at the addresses the
+// wrong-path memory model must contain — a few doublewords below 2^64
+// (where addr+size wraps), exactly at and just past isa.MemLimit, straddling
+// the limit boundary, or an unmasked random register. The guard is always
+// taken, so the shadow never commits and the program stays architecturally
+// clean under every policy, while mispredicted visits drive the transient
+// machinery (bounds checks, store-load disambiguation, invisible loads)
+// through exactly the address shapes of the historical uint64-wrap bugs.
+func (g *progGen) emitWildWindow() {
+	off := int64(8 * g.rng.Intn(genDataLen/8))
+	if g.rng.Intn(2) == 0 {
+		g.emit(isa.Inst{Op: isa.CFLUSH, Rs1: isa.RegGP, Imm: off &^ 63})
+	}
+	g.emit(isa.Inst{Op: isa.LD, Rd: regAddr, Rs1: isa.RegGP, Imm: off})
+	// v < v is zero for every v, but the core only learns that after the
+	// load returns — until then the guard below is unresolved.
+	g.emit(isa.Inst{Op: isa.SLTU, Rd: regAddr, Rs1: regAddr, Rs2: regAddr})
+	const memLimitShift = 28 // log2(isa.MemLimit)
+	wild := g.valueReg()
+	var shadow []isa.Inst
+	switch g.rng.Intn(4) {
+	case 0: // a few doublewords below 2^64
+		shadow = append(shadow,
+			isa.Inst{Op: isa.ADDI, Rd: wild, Rs1: isa.RegZero, Imm: int64(-8 * (1 + g.rng.Intn(250)))})
+	case 1: // exactly at / just past MemLimit
+		shadow = append(shadow,
+			isa.Inst{Op: isa.ADDI, Rd: wild, Rs1: isa.RegZero, Imm: 1},
+			isa.Inst{Op: isa.SLLI, Rd: wild, Rs1: wild, Imm: memLimitShift},
+			isa.Inst{Op: isa.ADDI, Rd: wild, Rs1: wild, Imm: int64(8 * g.rng.Intn(256))})
+	case 2: // straddling the limit: in-bounds base, out-of-bounds tail
+		shadow = append(shadow,
+			isa.Inst{Op: isa.ADDI, Rd: wild, Rs1: isa.RegZero, Imm: 1},
+			isa.Inst{Op: isa.SLLI, Rd: wild, Rs1: wild, Imm: memLimitShift},
+			isa.Inst{Op: isa.ADDI, Rd: wild, Rs1: wild, Imm: -4})
+	default:
+		// Unmasked random register: whatever wild value the program has
+		// computed so far becomes a wrong-path pointer.
+	}
+	for n := 1 + g.rng.Intn(2); n > 0; n-- {
+		if g.rng.Intn(2) == 0 {
+			shadow = append(shadow, isa.Inst{Op: isa.LD, Rd: g.valueReg(), Rs1: wild, Imm: int64(8 * g.rng.Intn(4))})
+		} else {
+			shadow = append(shadow, isa.Inst{Op: isa.SD, Rs1: wild, Rs2: g.valueReg(), Imm: int64(8 * g.rng.Intn(4))})
+		}
+	}
+	g.emit(isa.Inst{Op: isa.BEQ, Rs1: regAddr, Rs2: isa.RegZero, Imm: int64((len(shadow) + 1) * isa.InstBytes)})
+	for _, in := range shadow {
+		g.emit(in)
+	}
 }
 
 // emitForwardBranch emits a data-dependent conditional branch over a short

@@ -73,8 +73,19 @@ func Supervise(ctx context.Context, spec Spec) (*SweepResult, error) {
 
 	var journalErr error
 	var journalMu sync.Mutex
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
+	// Cells are dispatched to a fixed pool of workers draining one queue
+	// (the same shape as cpu.RunBatch, one tier up): a worker finishes a
+	// whole cell before taking the next, so at most maxParallel simulator
+	// working sets are live at once, instead of one goroutine per cell all
+	// fighting for the scheduler.
+	type cellJob struct {
+		idx   int
+		wname string
+		pol   string
+		prog  *isa.Program
+		want  ref.Result
+	}
+	var jobs []cellJob
 	for wi, w := range spec.Workloads {
 		pending := false
 		for pi := range spec.Policies {
@@ -107,17 +118,30 @@ func Supervise(ctx context.Context, spec Spec) (*SweepResult, error) {
 			if cells[idx].done {
 				continue
 			}
-			wg.Add(1)
-			go func(idx int, wname, pol string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				run, attempts, err := superviseCell(ctx, spec, prog, want, wname, pol)
+			jobs = append(jobs, cellJob{idx: idx, wname: w.Name, pol: pol, prog: prog, want: want})
+		}
+	}
+	workers := maxParallel()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	queue := make(chan cellJob, len(jobs))
+	for _, j := range jobs {
+		queue <- j
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				run, attempts, err := superviseCell(ctx, spec, j.prog, j.want, j.wname, j.pol)
 				if err != nil {
-					cells[idx] = cell{err: err, attempts: attempts}
-					return
+					cells[j.idx] = cell{err: err, attempts: attempts}
+					continue
 				}
-				cells[idx] = cell{run: run, attempts: attempts, done: true}
+				cells[j.idx] = cell{run: run, attempts: attempts, done: true}
 				if spec.Journal != nil {
 					if jerr := spec.Journal.Record(spec.Tag, run); jerr != nil {
 						journalMu.Lock()
@@ -127,8 +151,8 @@ func Supervise(ctx context.Context, spec Spec) (*SweepResult, error) {
 						journalMu.Unlock()
 					}
 				}
-			}(idx, w.Name, pol)
-		}
+			}
+		}()
 	}
 	wg.Wait()
 	// An interrupted sweep is a sweep-level abort, not a pile of per-cell

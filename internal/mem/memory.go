@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"levioso/internal/isa"
@@ -10,26 +11,62 @@ const (
 	pageShift = 12
 	pageSize  = 1 << pageShift
 	pageMask  = pageSize - 1
+	// The page table covering [0, isa.MemLimit) is a two-level radix tree:
+	// a fixed root of chunk pointers with 1 MiB leaf chunks allocated on
+	// demand. Translation is two indexed loads — no hashing on the
+	// simulator's hottest data lookup — while an empty memory costs only
+	// the root array.
+	numPages   = int(isa.MemLimit >> pageShift)
+	chunkShift = 8 // pages per chunk: 256 pages = 1 MiB of address space
+	chunkPages = 1 << chunkShift
+	chunkMask  = chunkPages - 1
+	numChunks  = numPages / chunkPages
 )
+
+type pageChunk [chunkPages]*[pageSize]byte
 
 // Memory is a sparse, page-backed, little-endian byte-addressable memory.
 // It bounds addresses to isa.MemLimit so a wild pointer in a guest program
 // fails fast instead of allocating unbounded pages.
 type Memory struct {
-	pages map[uint64]*[pageSize]byte
+	chunks    [numChunks]*pageChunk
+	allocated int
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+	return &Memory{}
+}
+
+func (m *Memory) lookup(pn uint64) *[pageSize]byte {
+	if pn >= uint64(numPages) {
+		return nil
+	}
+	ch := m.chunks[pn>>chunkShift]
+	if ch == nil {
+		return nil
+	}
+	return ch[pn&chunkMask]
 }
 
 func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
 	pn := addr >> pageShift
-	p := m.pages[pn]
+	if pn >= uint64(numPages) {
+		return nil // beyond MemLimit: never mapped
+	}
+	ch := m.chunks[pn>>chunkShift]
+	if ch == nil {
+		if !alloc {
+			return nil
+		}
+		ch = new(pageChunk)
+		m.chunks[pn>>chunkShift] = ch
+	}
+	p := ch[pn&chunkMask]
 	if p == nil && alloc {
 		p = new([pageSize]byte)
-		m.pages[pn] = p
+		ch[pn&chunkMask] = p
+		m.allocated++
 	}
 	return p
 }
@@ -49,11 +86,22 @@ func (m *Memory) Read(addr uint64, size int) (uint64, error) {
 	if err := m.check(addr, size); err != nil {
 		return 0, err
 	}
-	var v uint64
-	for i := 0; i < size; i++ {
-		v |= uint64(m.Load8(addr+uint64(i))) << (8 * i)
+	// A checked access is aligned, so it never straddles a page.
+	p := m.lookup(addr >> pageShift)
+	if p == nil {
+		return 0, nil
 	}
-	return v, nil
+	off := addr & pageMask
+	switch size {
+	case 8:
+		return binary.LittleEndian.Uint64(p[off:]), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(p[off:])), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(p[off:])), nil
+	default:
+		return uint64(p[off]), nil
+	}
 }
 
 // Write stores the low size bytes of val at addr little-endian.
@@ -61,13 +109,23 @@ func (m *Memory) Write(addr uint64, size int, val uint64) error {
 	if err := m.check(addr, size); err != nil {
 		return err
 	}
-	for i := 0; i < size; i++ {
-		m.Store8(addr+uint64(i), byte(val>>(8*i)))
+	p := m.page(addr, true)
+	off := addr & pageMask
+	switch size {
+	case 8:
+		binary.LittleEndian.PutUint64(p[off:], val)
+	case 4:
+		binary.LittleEndian.PutUint32(p[off:], uint32(val))
+	case 2:
+		binary.LittleEndian.PutUint16(p[off:], uint16(val))
+	default:
+		p[off] = byte(val)
 	}
 	return nil
 }
 
-// Load8 returns the byte at addr (zero if the page was never written).
+// Load8 returns the byte at addr (zero if the page was never written or addr
+// is outside simulated memory).
 func (m *Memory) Load8(addr uint64) byte {
 	p := m.page(addr, false)
 	if p == nil {
@@ -76,9 +134,13 @@ func (m *Memory) Load8(addr uint64) byte {
 	return p[addr&pageMask]
 }
 
-// Store8 stores one byte at addr.
+// Store8 stores one byte at addr; stores beyond isa.MemLimit are dropped
+// (checked access paths never get here — this matches Load8 reading the
+// out-of-bounds region as zero).
 func (m *Memory) Store8(addr uint64, b byte) {
-	m.page(addr, true)[addr&pageMask] = b
+	if p := m.page(addr, true); p != nil {
+		p[addr&pageMask] = b
+	}
 }
 
 // WriteBytes copies b to memory starting at addr.
@@ -101,13 +163,24 @@ func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 // reference machine from an initial state).
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
-	for pn, p := range m.pages {
-		cp := new([pageSize]byte)
-		*cp = *p
-		c.pages[pn] = cp
+	for ci, ch := range m.chunks {
+		if ch == nil {
+			continue
+		}
+		cch := new(pageChunk)
+		for pi, p := range ch {
+			if p == nil {
+				continue
+			}
+			cp := new([pageSize]byte)
+			*cp = *p
+			cch[pi] = cp
+		}
+		c.chunks[ci] = cch
 	}
+	c.allocated = m.allocated
 	return c
 }
 
 // Pages returns the number of allocated pages (test introspection).
-func (m *Memory) Pages() int { return len(m.pages) }
+func (m *Memory) Pages() int { return m.allocated }

@@ -181,7 +181,7 @@ func (p *delayPolicy) OnSlotResolved(int)    {}
 func (p *delayPolicy) OnSquash(*cpu.DynInst) {}
 
 func (p *delayPolicy) OnRename(d *cpu.DynInst) {
-	if d.Inst.Op.IsTransmitter() {
+	if d.IsTransmitter() {
 		d.WaitMask = p.c.BT.Unresolved()
 	}
 }
@@ -210,7 +210,7 @@ func (p *invisiblePolicy) OnSlotResolved(int)    {}
 func (p *invisiblePolicy) OnSquash(*cpu.DynInst) {}
 
 func (p *invisiblePolicy) OnRename(d *cpu.DynInst) {
-	if d.Inst.Op.IsTransmitter() {
+	if d.IsTransmitter() {
 		d.WaitMask = p.c.BT.Unresolved()
 	}
 }

@@ -81,7 +81,7 @@ func (p *trackingPolicy) Decide(d *cpu.DynInst) cpu.Decision {
 		}
 	}
 	decision := cpu.Proceed
-	if d.Inst.Op.IsTransmitter() && m != 0 {
+	if d.IsTransmitter() && m != 0 {
 		if p.ghostLoads && d.IsLoad() {
 			decision = cpu.ProceedInvisible
 		} else {
