@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench golden gate smoke obssmoke chaossmoke fuzzsmoke replay ci clean
+.PHONY: all build vet test race bench golden gate smoke obssmoke chaossmoke fuzzsmoke attacksmoke replay ci clean
 
 all: build
 
@@ -91,6 +91,13 @@ chaossmoke:
 fuzzsmoke:
 	$(GO) run ./cmd/levfuzz -duration 10s -seed 1 -q
 
+# attacksmoke replays the attack expectation matrix: all four transient-
+# execution gadgets against every registered policy configuration (the full
+# registry sweep — parameterized families at every level), each outcome judged
+# against its coverage contract. Exit 1 on any contract violation.
+attacksmoke:
+	$(GO) run ./cmd/levattack
+
 # replay re-judges the checked-in regression corpus (internal/fuzz/testdata)
 # through the complete oracle stack under the race detector, twice,
 # asserting bit-identical verdicts.
@@ -100,8 +107,8 @@ replay:
 # ci is the gate: vet, build, the full suite under -race, a short benchmark
 # pass (catches bench-only compile/regression breakage), the cmd/ import
 # gate, the levserve smoke test, the seeded chaos smoke (batch dispatch under
-# a transport-fault storm), the fixed-seed fuzz smoke + corpus replay, and
-# the golden timing-model diff.
+# a transport-fault storm), the fixed-seed fuzz smoke + corpus replay, the
+# attack expectation-matrix replay, and the golden timing-model diff.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -112,6 +119,7 @@ ci:
 	$(MAKE) obssmoke
 	$(MAKE) chaossmoke
 	$(MAKE) fuzzsmoke
+	$(MAKE) attacksmoke
 	$(MAKE) replay
 	$(MAKE) golden
 

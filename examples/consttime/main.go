@@ -16,12 +16,13 @@ import (
 	"log"
 
 	"levioso/internal/attack"
+	"levioso/internal/secure"
 )
 
 func main() {
 	fmt.Println("Spectre-CT (non-speculative secret) per policy:")
 	fmt.Println()
-	outcomes, err := attack.Run([]string{"unsafe", "taint", "delay", "invisible", "levioso"}, nil)
+	outcomes, err := attack.Run(secure.EvalNames(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,8 +32,11 @@ func main() {
 			status = "LEAKED"
 		}
 		note := ""
-		if o.Policy == "taint" && o.CTLeaks() && !o.V1Leaks() {
-			note = "  (blocks V1 but not CT: sandbox-only coverage)"
+		// The coverage contract, not the name, explains a leak: sandbox-only
+		// policies block V1 yet pass the non-speculative secret through, and
+		// secret-typed ones defend only declared secrets.
+		if cov, err := secure.CoverageOf(o.Policy); err == nil && o.CTLeaks() && !o.V1Leaks() {
+			note = fmt.Sprintf("  (blocks V1 but not CT: %s coverage)", cov)
 		}
 		fmt.Printf("  %-10s recovered %d/%d secret bytes  -> %s%s\n",
 			o.Policy, o.CTCorrect, o.CTTrials, status, note)

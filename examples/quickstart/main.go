@@ -1,6 +1,6 @@
 // Quickstart: compile a small LevC program with the Levioso pass, run it on
-// the out-of-order core under the unprotected baseline and under Levioso, and
-// compare cycles — the whole pipeline in ~60 lines.
+// the out-of-order core under every policy in the registry's evaluation set,
+// and compare cycles — the whole pipeline in ~60 lines.
 //
 //	go run ./examples/quickstart
 package main
@@ -50,7 +50,8 @@ func main() {
 	fmt.Printf("compiled: %d instructions, %d annotated branches\n\n",
 		len(prog.Text), len(prog.Hints))
 
-	for _, policy := range []string{"unsafe", "delay", "levioso"} {
+	// Every policy in the headline evaluation set, baseline first.
+	for _, policy := range secure.EvalNames() {
 		c, err := cpu.New(prog, cpu.DefaultConfig(), secure.MustNew(policy))
 		if err != nil {
 			log.Fatal(err)
@@ -59,7 +60,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8s cycles=%-8d ipc=%.2f output=%q restricted-transmitters=%d\n",
+		fmt.Printf("%-10s cycles=%-8d ipc=%.2f output=%q restricted-transmitters=%d\n",
 			policy, res.Stats.Cycles, res.Stats.IPC(), res.Output,
 			res.Stats.RestrictedTransmitters)
 	}

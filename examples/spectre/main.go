@@ -12,13 +12,14 @@ import (
 	"log"
 
 	"levioso/internal/attack"
+	"levioso/internal/secure"
 )
 
 func main() {
 	secrets := []byte{'L', 'E', 'V'}
 	fmt.Println("Spectre-v1 bounds-check bypass, per policy:")
 	fmt.Println()
-	outcomes, err := attack.Run([]string{"unsafe", "fence", "delay", "invisible", "levioso"}, secrets)
+	outcomes, err := attack.Run(secure.EvalNames(), secrets)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -91,6 +91,14 @@ type dataPatch struct {
 	line int
 }
 
+// secretPatch is a .secret directive whose addr/len expressions may reference
+// labels; it resolves to an isa.SecretRange in pass 2.
+type secretPatch struct {
+	addr expr
+	len  expr
+	line int
+}
+
 type assembler struct {
 	file    string
 	line    int
@@ -99,6 +107,7 @@ type assembler struct {
 	insts   []pending
 	data    []byte
 	patches []dataPatch
+	secrets []secretPatch
 	inData  bool
 }
 
@@ -207,6 +216,22 @@ func (a *assembler) pass2() error {
 		}
 	}
 	p.Data = a.data
+	for _, sp := range a.secrets {
+		a.line = sp.line
+		addr, err := sp.addr.eval(a)
+		if err != nil {
+			return err
+		}
+		n, err := sp.len.eval(a)
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return a.errf(".secret wants a positive length, got %d", n)
+		}
+		p.Secrets = append(p.Secrets, isa.SecretRange{Base: uint64(addr), Len: uint64(n)})
+	}
+	sort.Slice(p.Secrets, func(i, j int) bool { return p.Secrets[i].Base < p.Secrets[j].Base })
 	for name, sv := range a.symbols {
 		p.Symbols[name] = uint64(sv.val)
 	}

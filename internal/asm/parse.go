@@ -79,6 +79,23 @@ func (a *assembler) directive(line string) error {
 			return a.errf("%s wants a non-negative constant", name)
 		}
 		a.data = append(a.data, make([]byte, n)...)
+	case ".secret":
+		// .secret addr, len — marks [addr, addr+len) as secret-typed data.
+		// Pure metadata: layout, symbols and timing are unaffected. Operands
+		// may reference labels, so resolution is deferred to pass 2.
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return a.errf(".secret wants addr, len")
+		}
+		addr, err := a.parseExpr(parts[0])
+		if err != nil {
+			return err
+		}
+		length, err := a.parseExpr(parts[1])
+		if err != nil {
+			return err
+		}
+		a.secrets = append(a.secrets, secretPatch{addr: addr, len: length, line: a.line})
 	case ".ascii", ".asciz":
 		if !a.inData {
 			return a.errf("%s outside .data", name)

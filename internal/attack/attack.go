@@ -16,7 +16,13 @@
 // comprehensive defenses from sandbox-only taint tracking (STT class), which
 // does not taint non-speculatively loaded data.
 //
-// Both attacks use only primitives the guest ISA provides (RDCYCLE timing,
+// Every gadget's secret byte is declared secret-typed (`.secret`), so the
+// matrix also judges secret-aware (ProSpeCT-class) defenses. A fourth trial —
+// Spectre-V1 with the secret deliberately NOT declared — probes the other half
+// of the secret-typed contract: unmarked data is allowed to leak, and a
+// secret-typed policy that blocks it is over-restricting.
+//
+// All attacks use only primitives the guest ISA provides (RDCYCLE timing,
 // CFLUSH eviction), exactly as a real attacker would.
 package attack
 
@@ -31,7 +37,7 @@ import (
 	"levioso/internal/secure"
 )
 
-// Outcome reports one policy's results over the three attacks.
+// Outcome reports one policy's results over the four attacks.
 type Outcome struct {
 	Policy     string
 	V1Correct  int // secrets recovered by Spectre-V1 (control-dependent gadget)
@@ -40,6 +46,8 @@ type Outcome struct {
 	CTDTrials  int
 	CTCorrect  int // secrets recovered by Spectre-CT (non-speculative secret)
 	CTTrials   int
+	PubCorrect int // secrets recovered by Spectre-V1 with an UNDECLARED secret
+	PubTrials  int
 }
 
 // V1Leaks reports whether Spectre-V1 recovered a majority of secrets.
@@ -51,11 +59,16 @@ func (o Outcome) CTDLeaks() bool { return o.CTDCorrect*2 > o.CTDTrials }
 // CTLeaks reports whether Spectre-CT recovered a majority of secrets.
 func (o Outcome) CTLeaks() bool { return o.CTCorrect*2 > o.CTTrials }
 
+// PubLeaks reports whether the undeclared-secret V1 variant recovered a
+// majority — expected true for any policy whose contract only protects
+// declared secrets.
+func (o Outcome) PubLeaks() bool { return o.PubCorrect*2 > o.PubTrials }
+
 // DefaultSecrets are the byte values recovered per trial (non-zero: a fully
 // blocked probe degenerates to guessing line 0).
 var DefaultSecrets = []byte{0x5a, 0x91, 0x2c, 0xe7}
 
-// Expect is one row of the attack expectation matrix: which of the three
+// Expect is one row of the attack expectation matrix: which of the four
 // attacks are expected to recover the secret under a policy. Derived from
 // the policy's documented coverage contract (secure.CoverageOf), it turns
 // the per-policy leak behaviour the test suite asserts by hand into data the
@@ -66,9 +79,11 @@ type Expect struct {
 	V1     bool // Spectre-V1: control-dependent gadget, speculative secret
 	CTData bool // ct-data variant: data-dependent gadget, non-speculative secret
 	CT     bool // Spectre-CT: control-dependent gadget, non-speculative secret
+	Pub    bool // Spectre-V1 with the secret NOT declared secret-typed
 }
 
-// ExpectedLeaks returns the expectation-matrix row for a policy.
+// ExpectedLeaks returns the expectation-matrix row for a policy (spec strings
+// accepted, e.g. "tunable:level=ctrl").
 func ExpectedLeaks(policy string) (Expect, error) {
 	cov, err := secure.CoverageOf(policy)
 	if err != nil {
@@ -76,15 +91,19 @@ func ExpectedLeaks(policy string) (Expect, error) {
 	}
 	switch cov {
 	case secure.CoverageNone:
-		return Expect{V1: true, CTData: true, CT: true}, nil
+		return Expect{V1: true, CTData: true, CT: true, Pub: true}, nil
 	case secure.CoverageCtrl:
-		// Control dependencies only: blocks both control-dependent gadgets,
-		// leaks the data-dependent one.
+		// Control dependencies only: blocks the control-dependent gadgets
+		// (marked or not), leaks the data-dependent one.
 		return Expect{CTData: true}, nil
 	case secure.CoverageSandbox:
 		// Taint tracking never taints non-speculatively loaded data, so both
 		// non-speculative-secret attacks get through.
 		return Expect{CTData: true, CT: true}, nil
+	case secure.CoverageSecret:
+		// Declared secrets never reach a transmitter (all three marked gadgets
+		// blocked); undeclared data leaks by design.
+		return Expect{Pub: true}, nil
 	default:
 		return Expect{}, nil
 	}
@@ -92,10 +111,11 @@ func ExpectedLeaks(policy string) (Expect, error) {
 
 // Leaks collapses an Outcome into the Expect shape for matrix comparison.
 func (o Outcome) Leaks() Expect {
-	return Expect{V1: o.V1Leaks(), CTData: o.CTDLeaks(), CT: o.CTLeaks()}
+	return Expect{V1: o.V1Leaks(), CTData: o.CTDLeaks(), CT: o.CTLeaks(), Pub: o.PubLeaks()}
 }
 
-// Run executes both attacks under each named policy.
+// Run executes all four attacks under each named policy (spec strings
+// accepted).
 func Run(policies []string, secrets []byte) ([]Outcome, error) {
 	if len(secrets) == 0 {
 		secrets = DefaultSecrets
@@ -127,6 +147,14 @@ func Run(policies []string, secrets []byte) ([]Outcome, error) {
 			o.CTTrials++
 			if guess == s {
 				o.CTCorrect++
+			}
+			guess, err = runOne(spectreV1PublicSrc, pol, s)
+			if err != nil {
+				return nil, fmt.Errorf("attack: v1-public under %s: %w", pol, err)
+			}
+			o.PubTrials++
+			if guess == s {
+				o.PubCorrect++
 			}
 		}
 		out = append(out, o)

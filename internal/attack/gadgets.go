@@ -65,8 +65,17 @@ pb_have:
 	ret
 `
 
-// spectreV1Src is the bounds-check-bypass attack (sandbox threat model).
-const spectreV1Src = `
+// secretMark declares the gadgets' secret byte as secret-typed data, so
+// secret-aware (ProSpeCT-class) policies protect it. Appended to every
+// standard gadget; the public V1 variant omits it to test the other half of
+// the secret-typed contract (unmarked data leaks by design).
+const secretMark = "\t.secret secret, 1\n"
+
+// spectreV1PublicSrc is the bounds-check-bypass attack with its secret NOT
+// declared secret-typed: identical machine code to spectreV1Src, but a
+// secret-typed-coverage policy is contractually allowed (expected) to leak
+// it. Against every other coverage class it behaves exactly like V1.
+const spectreV1PublicSrc = `
 main:
 	# Victim touches its own secret once, non-transmittingly (warms the
 	# line so the transient gadget's first load is fast).
@@ -125,6 +134,10 @@ secret:	.byte %SECRET%
 probebuf:
 	.space 16384
 `
+
+// spectreV1Src is the bounds-check-bypass attack (sandbox threat model),
+// with the secret byte declared secret-typed.
+const spectreV1Src = spectreV1PublicSrc + secretMark
 
 // spectreCTSrc is the constant-time-bypass attack (non-speculative secret).
 //
@@ -187,7 +200,7 @@ secret:	.byte %SECRET%
 	.align 64
 probebuf:
 	.space 16384
-`
+` + secretMark
 
 // spectreCTDataSrc is the data-dependence variant in the constant-time
 // threat model: the secret sits in a register (loaded non-speculatively,
@@ -259,7 +272,7 @@ secret:	.byte %SECRET%
 	.align 64
 probebuf:
 	.space 16384
-`
+` + secretMark
 
 // spectreV1NoProbeSrc is Spectre-V1 with the receiver removed: it halts right
 // after the transient window so tests can inspect the cache model directly.
@@ -324,4 +337,4 @@ secret:	.byte %SECRET%
 	.align 64
 probebuf:
 	.space 16384
-`
+` + secretMark

@@ -91,7 +91,7 @@ type SimFlags struct {
 // RegisterSim adds the simulation flag group to fs.
 func RegisterSim(fs *flag.FlagSet) *SimFlags {
 	return &SimFlags{
-		Policy:    fs.String("policy", "unsafe", fmt.Sprintf("secure-speculation policy %v", engine.Policies())),
+		Policy:    fs.String("policy", engine.BaselinePolicy(), engine.PolicyUsage()),
 		ROB:       fs.Int("rob", 0, "override ROB size"),
 		MaxCycles: fs.Uint64("max-cycles", 1_000_000_000, "cycle limit"),
 		Stats:     fs.Bool("stats", false, "print detailed statistics"),

@@ -104,6 +104,10 @@ type Core struct {
 	// default applied once, not per renamed branch).
 	bdtCap int
 
+	// sec is the secret-taint state, allocated only when the policy
+	// implements SecretTainter (see secret.go); nil otherwise.
+	sec *secretState
+
 	fenceSeqs []uint64 // in-flight FENCE/HALT sequence numbers, program order
 
 	divBusyUntil uint64
@@ -208,6 +212,9 @@ func New(prog *isa.Program, cfg Config, pol Policy) (*Core, error) {
 		c.bdtCap = core.NumSlots
 	}
 	_, c.nop = pol.(NopPolicy)
+	if _, ok := pol.(SecretTainter); ok {
+		c.sec = newSecretState(c)
+	}
 	pol.Attach(c)
 	pol.Reset()
 	return c, nil
@@ -438,6 +445,9 @@ func (c *Core) commit() error {
 				return c.memFault(d, "store failed", err)
 			}
 			c.Hier.FillVisible(d.Addr)
+			if c.sec != nil {
+				c.sec.commitStore(d, int(m.memBytes))
+			}
 			c.sqHead++
 			c.stats.Stores++
 		case m.flags&mLoad != 0:
@@ -968,6 +978,9 @@ func (c *Core) loadMayIssue(d *DynInst) (bool, *DynInst) {
 // completion on the wheel.
 func (c *Core) execute(d *DynInst, decision Decision, fwd *DynInst) {
 	lat := d.m.exec(c, d, decision, fwd)
+	if c.sec != nil {
+		c.sec.afterExec(c, d, fwd)
+	}
 	d.State = StateExecuting
 	d.DoneCycle = c.cycle + uint64(lat)
 	c.schedule(d)

@@ -41,6 +41,9 @@ type DynInst struct {
 	AddrReady bool
 	MemErr    bool     // wrong-path access outside simulated memory
 	FwdFrom   *DynInst // store that forwarded its data, if any
+	// Secret marks the result (for stores: the data) secret-tainted. Only
+	// maintained when the active policy implements SecretTainter.
+	Secret bool
 
 	// Control state.
 	ActualNext  uint64 // resolved next PC

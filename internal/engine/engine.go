@@ -26,9 +26,7 @@ package engine
 
 import (
 	"context"
-	"fmt"
 	"io"
-	"slices"
 	"time"
 
 	"levioso/internal/core"
@@ -53,9 +51,15 @@ const MaxROBOverride = 1 << 14
 // place and a request rejected on the command line is rejected identically
 // over HTTP.
 type Overrides struct {
-	// Policy is the secure-speculation policy name (see Policies).
-	// Empty means "unsafe"; Normalize applies the default.
+	// Policy is the secure-speculation policy spec (see Policies and
+	// secure.Resolve): a name, optionally with parameters —
+	// "tunable:level=ctrl". Empty means the registry baseline; Normalize
+	// canonicalizes.
 	Policy string
+	// Params are out-of-band policy parameters merged over any inline in
+	// Policy (explicit map wins). Normalize folds them into the canonical
+	// Policy spec and clears the map.
+	Params map[string]string
 	// ROBSize, when positive, overrides the ROB size (the physical register
 	// file is widened to match if needed). Bounded by MaxROBOverride.
 	ROBSize int
@@ -68,17 +72,23 @@ type Overrides struct {
 
 // Normalize applies defaults and validates bounds, returning a typed
 // KindBuild error on anything out of range: negative or oversized ROB
-// overrides, negative deadlines, unknown policy names. Run normalizes its
+// overrides, negative deadlines, unknown policy specs. The policy spec and
+// any out-of-band Params are resolved against the registry (the single
+// unknown-policy check in the system — secure.Resolve formats the error) and
+// replaced by the canonical spec string, so caches, logs, and stats keys
+// downstream all see one spelling per configuration. Run normalizes its
 // request itself, so direct callers may skip this; cli and serve call it
 // eagerly to reject bad requests before any work happens.
 func (o *Overrides) Normalize() error {
 	if o.Policy == "" {
-		o.Policy = "unsafe"
+		o.Policy = secure.BaselineName()
 	}
-	if !slices.Contains(secure.Names(), o.Policy) {
-		return &simerr.RunError{Kind: simerr.KindBuild, Detail: "policy",
-			Err: fmt.Errorf("engine: unknown policy %q (have %v)", o.Policy, secure.Names())}
+	spec, err := secure.Resolve(o.Policy, o.Params)
+	if err != nil {
+		return &simerr.RunError{Kind: simerr.KindBuild, Detail: "policy", Err: err}
 	}
+	o.Policy = spec.String()
+	o.Params = nil
 	if o.ROBSize < 0 || o.ROBSize > MaxROBOverride {
 		return simerr.New(simerr.KindBuild, "engine: ROB override %d out of range [0, %d]", o.ROBSize, MaxROBOverride)
 	}
@@ -272,9 +282,21 @@ func outcomeOf(err error) string {
 	return simerr.KindOf(err).String()
 }
 
-// Policies lists every secure-speculation policy name, baseline first.
+// Policies lists every secure-speculation policy family name, baseline first.
 func Policies() []string { return secure.Names() }
 
 // EvalPolicies lists the policies in the headline evaluation, in
 // presentation order.
 func EvalPolicies() []string { return secure.EvalNames() }
+
+// SweepPolicies lists one canonical spec per distinct policy configuration:
+// every family, parameterized families at every parameter value.
+func SweepPolicies() []string { return secure.SweepSpecs() }
+
+// PolicyUsage is the one-line flag/help text for the policy option,
+// generated from the registry.
+func PolicyUsage() string { return secure.FlagUsage() }
+
+// BaselinePolicy is the registry's designated baseline (the unprotected
+// core), used as the flag default and the overhead denominator.
+func BaselinePolicy() string { return secure.BaselineName() }

@@ -607,6 +607,7 @@ array1:	.byte 1, 2, 3, 4, 5, 6, 7, 0
 bound:	.quad 8
 	.align 64
 secret:	.byte %SECRET%
+	.secret secret, 1
 	.align 64
 probebuf:
 	.space 16384

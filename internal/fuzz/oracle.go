@@ -77,7 +77,8 @@ func (f Finding) sameClass(g Finding) bool {
 
 // Options tunes the oracle stack.
 type Options struct {
-	// Policies to run every case under (default: all registered policies).
+	// Policies to run every case under (default: the full registry sweep —
+	// every family, parameterized families at every level).
 	Policies []string
 	// MaxCycles bounds each core run (default 4M; gadget cases get at
 	// least 20M — the probe loop is long).
@@ -104,7 +105,7 @@ type Options struct {
 
 func (o Options) withDefaults() Options {
 	if len(o.Policies) == 0 {
-		o.Policies = engine.Policies()
+		o.Policies = engine.SweepPolicies()
 	}
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 4_000_000
@@ -255,10 +256,18 @@ func checkGadgetLeak(v *Verdict, c *Case, pol string, output string) {
 	if err != nil {
 		return // policy outside the documented matrix: no contract to hold
 	}
+	// The V1 column assumes the gadget's secret is declared secret-typed;
+	// cases without a secrets section (older corpus entries) are judged by
+	// the undeclared-secret column instead, so secret-typed policies are
+	// only held to the contract the program actually invokes.
+	expLeak := exp.V1
+	if len(c.Prog.Secrets) == 0 {
+		expLeak = exp.Pub
+	}
 	if guess != int(c.Secret) {
 		return
 	}
-	if exp.V1 {
+	if expLeak {
 		// The unprotected baseline leaking is the gadget working as built.
 		v.GadgetLeakUnsafe = true
 		return
@@ -390,7 +399,7 @@ func engineRun(ctx context.Context, c *Case, pol string, maxCycles uint64, opt O
 	return engine.Run(ctx, req)
 }
 
-// SecurityMatrix replays the three internal/attack gadgets under each policy
+// SecurityMatrix replays the four internal/attack gadgets under each policy
 // and checks every outcome against the documented expectation matrix
 // (attack.ExpectedLeaks). It catches drift in both directions: a covering
 // policy that starts leaking, and an attack that stops working (unsafe MUST

@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"context"
+	"slices"
 	"testing"
 
 	"levioso/internal/engine"
@@ -144,14 +145,42 @@ func TestStormKeepsArchitecture(t *testing.T) {
 }
 
 // SecurityMatrix replays the attack gadgets against the documented leak
-// expectations for every registered policy — drift in either direction
-// (protection regressing, or the attack dying) is a finding.
+// expectations for the full registry sweep (every family, parameterized
+// families at every level) — drift in either direction (protection
+// regressing, or the attack dying) is a finding.
 func TestSecurityMatrixClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("attack replay is slow")
 	}
-	for _, f := range SecurityMatrix(engine.Policies()) {
+	for _, f := range SecurityMatrix(engine.SweepPolicies()) {
 		t.Errorf("matrix drift: %s", f)
+	}
+}
+
+// The generated gadgets declare their planted secret secret-typed, so the
+// default oracle sweep (which includes prospect and every tunable level)
+// holds secret-aware policies to their contract: prospect must keep the
+// probe blind on a gadget case.
+func TestGadgetSecretTypedJudgesProspect(t *testing.T) {
+	sweep := Options{}.withDefaults().Policies
+	for _, want := range []string{"prospect", "tunable:level=none", "tunable:level=comprehensive"} {
+		if !slices.Contains(sweep, want) {
+			t.Errorf("default oracle sweep omits %q: %v", want, sweep)
+		}
+	}
+	c, err := Generate(ProfileGadget, CaseSeed(11, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Prog.Secrets) == 0 {
+		t.Fatal("gadget profile plants no declared secret")
+	}
+	v := RunOracles(context.Background(), c, Options{Policies: []string{"prospect"}, NoStorm: true})
+	for _, f := range v.Findings {
+		t.Errorf("prospect on gadget: %s", f)
+	}
+	if v.GadgetLeakUnsafe {
+		t.Error("prospect leaked a declared secret (recorded as expected leak)")
 	}
 }
 

@@ -185,7 +185,7 @@ func cacheLine(c mem.CacheConfig) string {
 func ExpCharacterization(ctx context.Context, opt *RunOpts) (string, error) {
 	spec := DefaultSpec()
 	spec.Size = opt.Size
-	spec.Policies = []string{"unsafe"}
+	spec.Policies = []string{secure.BaselineName()}
 	runs, err := opt.sweep(ctx, spec, ExpCharactID)
 	if err != nil {
 		return "", err
@@ -266,7 +266,7 @@ func renderOverhead(title string, ix *Index, policies []string) string {
 func ExpRestricted(ctx context.Context, opt *RunOpts) (string, error) {
 	spec := DefaultSpec()
 	spec.Size = opt.Size
-	spec.Policies = []string{"unsafe", "delay", "levioso"}
+	spec.Policies = []string{secure.BaselineName(), "delay", "levioso"}
 	runs, err := opt.sweep(ctx, spec, ExpRestrictedID)
 	if err != nil {
 		return "", err
@@ -277,7 +277,7 @@ func ExpRestricted(ctx context.Context, opt *RunOpts) (string, error) {
 		"workload", "speculative@issue(unsafe)", "delay-restricted", "levioso-restricted", "bdt-stalls")
 	var spec_, del, lev []float64
 	for _, w := range ix.Workloads {
-		u, ok1 := ix.Stats(w, "unsafe")
+		u, ok1 := ix.Stats(w, secure.BaselineName())
 		d, ok2 := ix.Stats(w, "delay")
 		l, ok3 := ix.Stats(w, "levioso")
 		if !ok1 || !ok2 || !ok3 {
@@ -337,7 +337,7 @@ func ExpROBSweep(ctx context.Context, opt *RunOpts, robs []int) (string, error) 
 		ix := NewIndex(runs)
 		row := []string{fmt.Sprint(rob)}
 		for _, p := range policies[1:] {
-			row = append(row, stats.Pct(ix.GeoMeanOverhead(p, "unsafe")))
+			row = append(row, stats.Pct(ix.GeoMeanOverhead(p, policies[0])))
 		}
 		t.Add(row...)
 	}
@@ -365,42 +365,42 @@ func ExpMispredict(ctx context.Context, opt *RunOpts, rates []float64) (string, 
 		ix := NewIndex(runs)
 		row := []string{fmt.Sprintf("%.0f%%", 100*rate)}
 		for _, p := range policies[1:] {
-			row = append(row, stats.Pct(ix.GeoMeanOverhead(p, "unsafe")))
+			row = append(row, stats.Pct(ix.GeoMeanOverhead(p, policies[0])))
 		}
 		t.Add(row...)
 	}
 	return t.String(), nil
 }
 
-// ExpSecurity renders T2: the attack matrix over three attacks — Spectre-V1
-// (control-dependent gadget), its data-dependence variant (transmitter after
-// reconvergence consuming a region-produced value), and Spectre-CT
-// (non-speculatively loaded secret).
+// ExpSecurity renders T2: the attack matrix over four attacks — Spectre-V1
+// (control-dependent gadget, declared secret), its data-dependence variant
+// (transmitter after reconvergence consuming a region-produced value),
+// Spectre-CT (non-speculatively loaded secret), and the undeclared-secret V1
+// variant that probes the secret-typed contract's public half. The policy set
+// is the registry sweep (every family, parameterized families at every
+// level), and each row's verdict compares the observed leaks against the
+// coverage contract's expectation matrix.
 func ExpSecurity() (string, error) {
-	policies := append([]string{}, secure.EvalNames()...)
-	policies = append(policies, "taint", "levioso-ctrl")
-	outcomes, err := attack.Run(policies, nil)
+	outcomes, err := attack.Run(secure.SweepSpecs(), nil)
 	if err != nil {
 		return "", err
 	}
 	t := stats.NewTable("T2: secrets recovered (of trials) per attack",
-		"policy", "v1 (ctrl gadget)", "ct-data (post-reconv)", "ct (non-spec secret)", "verdict")
+		"policy", "v1 (ctrl gadget)", "ct-data (post-reconv)", "ct (non-spec secret)", "v1-public (undeclared)", "verdict")
 	for _, o := range outcomes {
-		verdict := "SECURE"
-		switch {
-		case o.V1Leaks() && o.CTDLeaks() && o.CTLeaks():
-			verdict = "LEAKS ALL"
-		case o.CTLeaks():
-			verdict = "LEAKS CT (not comprehensive)"
-		case o.CTDLeaks():
-			verdict = "LEAKS CT-DATA (no data tracking)"
-		case o.V1Leaks():
-			verdict = "LEAKS V1"
+		exp, err := attack.ExpectedLeaks(o.Policy)
+		if err != nil {
+			return "", err
+		}
+		verdict := "as contracted"
+		if got := o.Leaks(); got != exp {
+			verdict = fmt.Sprintf("CONTRACT VIOLATED: got %+v, want %+v", got, exp)
 		}
 		t.Add(o.Policy,
 			fmt.Sprintf("%d/%d", o.V1Correct, o.V1Trials),
 			fmt.Sprintf("%d/%d", o.CTDCorrect, o.CTDTrials),
 			fmt.Sprintf("%d/%d", o.CTCorrect, o.CTTrials),
+			fmt.Sprintf("%d/%d", o.PubCorrect, o.PubTrials),
 			verdict)
 	}
 	return t.String(), nil
@@ -412,7 +412,7 @@ func ExpSecurity() (string, error) {
 func ExpAblation(ctx context.Context, opt *RunOpts) (string, error) {
 	spec := DefaultSpec()
 	spec.Size = opt.Size
-	spec.Policies = []string{"unsafe", "taint", "levioso-ctrl", "levioso", "levioso-ghost"}
+	spec.Policies = secure.AblationNames()
 	runs, err := opt.sweep(ctx, spec, ExpAblationID)
 	if err != nil {
 		return "", err
@@ -433,7 +433,7 @@ func ExpBDTSweep(ctx context.Context, opt *RunOpts, sizes []int) (string, error)
 		cfg.BDTEntries = n
 		spec := Spec{
 			Workloads: SensitivityWorkloads(),
-			Policies:  []string{"unsafe", "levioso"},
+			Policies:  []string{secure.BaselineName(), "levioso"},
 			Size:      opt.Size, Config: cfg, Verify: false,
 		}
 		runs, err := opt.sweep(ctx, spec, fmt.Sprintf("bdt=%d", n))
@@ -448,7 +448,7 @@ func ExpBDTSweep(ctx context.Context, opt *RunOpts, sizes []int) (string, error)
 			}
 		}
 		t.Add(fmt.Sprint(n),
-			stats.Pct(ix.GeoMeanOverhead("levioso", "unsafe")),
+			stats.Pct(ix.GeoMeanOverhead("levioso", spec.Policies[0])),
 			fmt.Sprint(stalls))
 	}
 	return t.String(), nil

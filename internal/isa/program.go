@@ -30,6 +30,23 @@ type BranchHint struct {
 	WriteSet RegMask // registers possibly written before reconvergence
 }
 
+// SecretRange marks [Base, Base+Len) as holding secret-typed data. Programs
+// declare these with the `.secret` assembler directive (or a `secret var` in
+// the language); ProSpeCT-style policies protect exactly these bytes and
+// nothing else.
+type SecretRange struct {
+	Base uint64
+	Len  uint64
+}
+
+// Contains reports whether any byte of [addr, addr+size) falls in the range.
+func (s SecretRange) Contains(addr, size uint64) bool {
+	if size == 0 {
+		return false
+	}
+	return addr < s.Base+s.Len && s.Base < addr+size
+}
+
 // Program is a loadable LEV64 binary image: text, initialized data, entry
 // point, symbols for diagnostics, and the Levioso annotation table.
 type Program struct {
@@ -38,6 +55,9 @@ type Program struct {
 	Entry   uint64            // initial PC
 	Symbols map[string]uint64 // label -> address (text and data)
 	Hints   map[uint64]BranchHint
+	// Secrets lists the secret-typed memory regions, if any (sorted by
+	// base address). Only secret-aware policies consult them.
+	Secrets []SecretRange
 	// SrcLines optionally maps instruction index to a source description
 	// (assembler line or compiler statement) for listings and debugging.
 	SrcLines map[int]string
@@ -149,6 +169,14 @@ func (p *Program) Validate() error {
 			}
 		}
 	}
+	for _, s := range p.Secrets {
+		if s.Len == 0 {
+			return fmt.Errorf("program: secret range at %#x has zero length", s.Base)
+		}
+		if s.Base+s.Len < s.Base || s.Base+s.Len > MemLimit {
+			return fmt.Errorf("program: secret range [%#x,+%d) outside memory", s.Base, s.Len)
+		}
+	}
 	return nil
 }
 
@@ -159,19 +187,29 @@ func (p *Program) Validate() error {
 //	data: len u32, bytes
 //	syms: count u32, then (nameLen u16, name, addr u64)*
 //	hints: count u32, then (pc u64, reconv u64, writeset u32)*
+//	secrets (version 2 only): count u32, then (base u64, len u64)*
+//
+// A program without secret ranges marshals as version 1, byte-identical to
+// images written before secrets existed, so binary hashes and cache keys of
+// all pre-existing programs are unchanged. UnmarshalBinary accepts both.
 //
 // This is what cmd/levas writes and cmd/levsim reads.
 
 const (
-	magic   = "LEV64\x00"
-	version = 1
+	magic          = "LEV64\x00"
+	version        = 1
+	versionSecrets = 2
 )
 
 // MarshalBinary serializes the program image (source lines are not kept).
 func (p *Program) MarshalBinary() ([]byte, error) {
+	v := uint16(version)
+	if len(p.Secrets) > 0 {
+		v = versionSecrets
+	}
 	var out []byte
 	out = append(out, magic...)
-	out = binary.LittleEndian.AppendUint16(out, version)
+	out = binary.LittleEndian.AppendUint16(out, v)
 	out = binary.LittleEndian.AppendUint64(out, p.Entry)
 
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Text)))
@@ -213,6 +251,16 @@ func (p *Program) MarshalBinary() ([]byte, error) {
 		out = binary.LittleEndian.AppendUint64(out, h.ReconvPC)
 		out = binary.LittleEndian.AppendUint32(out, uint32(h.WriteSet))
 	}
+
+	if v >= versionSecrets {
+		secrets := append([]SecretRange(nil), p.Secrets...)
+		sort.Slice(secrets, func(i, j int) bool { return secrets[i].Base < secrets[j].Base })
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(secrets)))
+		for _, s := range secrets {
+			out = binary.LittleEndian.AppendUint64(out, s.Base)
+			out = binary.LittleEndian.AppendUint64(out, s.Len)
+		}
+	}
 	return out, nil
 }
 
@@ -222,7 +270,8 @@ func (p *Program) UnmarshalBinary(b []byte) error {
 	if string(r.bytes(len(magic))) != magic {
 		return fmt.Errorf("program: bad magic")
 	}
-	if v := r.u16(); v != version {
+	v := r.u16()
+	if v != version && v != versionSecrets {
 		return fmt.Errorf("program: unsupported version %d", v)
 	}
 	p.Entry = r.u64()
@@ -253,6 +302,14 @@ func (p *Program) UnmarshalBinary(b []byte) error {
 	for i := 0; i < hn; i++ {
 		pc := r.u64()
 		p.Hints[pc] = BranchHint{ReconvPC: r.u64(), WriteSet: RegMask(r.u32())}
+	}
+
+	p.Secrets = nil
+	if v >= versionSecrets {
+		cn := int(r.u32())
+		for i := 0; i < cn; i++ {
+			p.Secrets = append(p.Secrets, SecretRange{Base: r.u64(), Len: r.u64()})
+		}
 	}
 	if p.SrcLines == nil {
 		p.SrcLines = make(map[int]string)

@@ -13,9 +13,10 @@ type Global struct {
 	Name string
 	// Size < 0: scalar. Size >= 0: array of Size elements (if initialized
 	// with a list and no explicit size, Size == len(Init)).
-	Size int64
-	Init []int64 // constant initializers (scalar: at most one)
-	Line int
+	Size   int64
+	Init   []int64 // constant initializers (scalar: at most one)
+	Secret bool    // declared `secret var`: emitted with a .secret range
+	Line   int
 }
 
 // IsArray reports whether the global is an array.

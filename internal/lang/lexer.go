@@ -57,7 +57,7 @@ func (t token) String() string {
 }
 
 var keywords = map[string]bool{
-	"var": true, "func": true, "if": true, "else": true,
+	"var": true, "secret": true, "func": true, "if": true, "else": true,
 	"while": true, "for": true, "return": true,
 	"break": true, "continue": true,
 }

@@ -26,6 +26,17 @@ func Parse(file, src string) (*Program, error) {
 				return nil, err
 			}
 			prog.Globals = append(prog.Globals, g)
+		case p.at(tokKeyword, "secret"):
+			p.advance()
+			if !p.at(tokKeyword, "var") {
+				return nil, p.errf("expected 'var' after 'secret'")
+			}
+			g, err := p.global()
+			if err != nil {
+				return nil, err
+			}
+			g.Secret = true
+			prog.Globals = append(prog.Globals, g)
 		case p.at(tokKeyword, "func"):
 			f, err := p.function()
 			if err != nil {
@@ -33,7 +44,7 @@ func Parse(file, src string) (*Program, error) {
 			}
 			prog.Funcs = append(prog.Funcs, f)
 		default:
-			return nil, p.errf("expected 'var' or 'func', got %s", p.cur())
+			return nil, p.errf("expected 'var', 'secret var' or 'func', got %s", p.cur())
 		}
 	}
 	return prog, nil

@@ -1,0 +1,53 @@
+package mem
+
+import "levioso/internal/isa"
+
+// SecretSet answers "does this access touch secret-typed data?" for
+// ProSpeCT-style policies. It combines the program's static secret ranges
+// with a dynamic per-byte overlay fed by committed stores: storing a
+// secret-tainted value classifies the destination bytes, storing a public
+// value declassifies them (overwrite-to-declassify), exactly the
+// memory-typing discipline of Daniel et al.'s ProSpeCT. Bytes never stored
+// to fall back to the static ranges.
+type SecretSet struct {
+	ranges  []isa.SecretRange
+	overlay map[uint64]bool // committed-store byte marks; overrides ranges
+}
+
+// NewSecretSet builds a set over the program's declared ranges. The slice is
+// not copied; callers treat Program.Secrets as immutable after load.
+func NewSecretSet(ranges []isa.SecretRange) *SecretSet {
+	return &SecretSet{ranges: ranges, overlay: make(map[uint64]bool)}
+}
+
+// Secret reports whether any byte of [addr, addr+size) is secret-typed.
+func (s *SecretSet) Secret(addr uint64, size int) bool {
+	for i := 0; i < size; i++ {
+		b := addr + uint64(i)
+		if sec, ok := s.overlay[b]; ok {
+			if sec {
+				return true
+			}
+			continue
+		}
+		for _, r := range s.ranges {
+			if r.Contains(b, 1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MarkStored records a committed store of size bytes at addr carrying
+// secret-tainted (or public) data, updating the dynamic overlay.
+func (s *SecretSet) MarkStored(addr uint64, size int, secret bool) {
+	for i := 0; i < size; i++ {
+		s.overlay[addr+uint64(i)] = secret
+	}
+}
+
+// Reset drops the dynamic overlay, returning to the static typing.
+func (s *SecretSet) Reset() {
+	clear(s.overlay)
+}

@@ -39,12 +39,16 @@ func main() {
 	// same architectural result: true
 }
 
-// New rejects unknown policy names and lists the valid ones.
+// New rejects unknown policy names; known families are selected by name
+// (never by position in Names(), which grows as policies are registered).
 func ExampleNew() {
 	_, err := secure.New("spectre-proof")
 	fmt.Println(err != nil)
-	fmt.Println(secure.Names()[0], secure.Names()[5])
+	for _, name := range []string{"unsafe", "levioso"} {
+		fmt.Println(secure.MustNew(name).Name())
+	}
 	// Output:
 	// true
-	// unsafe levioso
+	// unsafe
+	// levioso
 }

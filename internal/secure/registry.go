@@ -1,0 +1,505 @@
+package secure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"levioso/internal/cpu"
+)
+
+// Param describes one tunable parameter of a policy family: its name, what
+// it does, the default applied when a spec omits it, and the closed set of
+// accepted values. Everything here is metadata the registry consumers
+// (CLI help, /v1/policies, docs) render without knowing the policy.
+type Param struct {
+	Name    string   `json:"name"`
+	Doc     string   `json:"doc"`
+	Default string   `json:"default"`
+	Enum    []string `json:"enum"`
+}
+
+// Descriptor is the self-describing registration record for one policy
+// family. The registry below is the single source of truth: construction,
+// name listings, coverage contracts, attack expectations, CLI help, the
+// serve API's /v1/policies and the fuzz oracle's sweep all derive from it,
+// so adding a policy means adding exactly one entry here.
+type Descriptor struct {
+	Name        string  // family name (the spec's part before ':')
+	Summary     string  // one-line mechanism description
+	ThreatModel string  // the contract, in threat-model terms
+	Eval        bool    // in the headline overhead evaluation (F1/F3/F4)
+	Ablation    bool    // in the Levioso ablation set (F5)
+	Params      []Param // tunable parameters; empty for fixed policies
+
+	// cov is the fixed coverage contract; covFn overrides it for families
+	// whose contract depends on their parameters (coverage-as-a-function-
+	// of-params). covFn receives a full parameter map (defaults applied).
+	cov   Coverage
+	covFn func(params map[string]string) Coverage
+
+	// build constructs the policy for a resolved spec (defaults applied,
+	// values validated). The policy's Name() must equal spec.String().
+	build func(spec Spec) (cpu.Policy, error)
+}
+
+// CoverageFor returns the coverage contract under the given full parameter
+// map (defaults applied).
+func (d *Descriptor) CoverageFor(params map[string]string) Coverage {
+	if d.covFn != nil {
+		return d.covFn(params)
+	}
+	return d.cov
+}
+
+// registry lists every policy family, baseline first. Order is presentation
+// order everywhere (flag help, README table, experiment columns); new
+// families are appended so existing column layouts never shift.
+var registry = []Descriptor{
+	{
+		Name:        "unsafe",
+		Summary:     "full speculation, no restrictions",
+		ThreatModel: "none — the insecure calibration baseline; leaks every attack",
+		Eval:        true, Ablation: true,
+		cov:   CoverageNone,
+		build: func(Spec) (cpu.Policy, error) { return cpu.NopPolicy{}, nil },
+	},
+	{
+		Name:        "fence",
+		Summary:     "every instruction waits for all older branches (lfence-after-every-branch)",
+		ThreatModel: "comprehensive: no instruction executes transiently at all",
+		Eval:        true,
+		cov:         CoverageComprehensive,
+		build:       func(Spec) (cpu.Policy, error) { return &fencePolicy{}, nil },
+	},
+	{
+		Name:        "delay",
+		Summary:     "transmitters wait for all older unresolved branches",
+		ThreatModel: "comprehensive: every transient transmission is delayed (the paper's ~51% baseline class)",
+		Eval:        true,
+		cov:         CoverageComprehensive,
+		build:       func(s Spec) (cpu.Policy, error) { return &delayPolicy{name: s.String()}, nil },
+	},
+	{
+		Name:        "invisible",
+		Summary:     "speculative loads run invisibly, exposed when safe; div/cflush wait",
+		ThreatModel: "comprehensive: transient execution leaves no visible cache state (InvisiSpec/GhostMinion class, ~43% baseline)",
+		Eval:        true,
+		cov:         CoverageComprehensive,
+		build:       func(Spec) (cpu.Policy, error) { return &invisiblePolicy{}, nil },
+	},
+	{
+		Name:        "taint",
+		Summary:     "dataflow tracking from speculative loads; tainted transmitters wait (STT class)",
+		ThreatModel: "sandbox: speculatively-accessed data cannot be transmitted; non-speculatively loaded secrets leak by contract",
+		Eval:        true, Ablation: true,
+		cov: CoverageSandbox,
+		build: func(s Spec) (cpu.Policy, error) {
+			return newTracking(s.String(), trackingOpts{data: true, loadsTaint: true}), nil
+		},
+	},
+	{
+		Name:        "levioso",
+		Summary:     "transmitters wait only for true control+data dependencies (compiler-annotated regions)",
+		ThreatModel: "comprehensive: every truly-dependent transient transmission is delayed — the paper's design",
+		Eval:        true, Ablation: true,
+		cov: CoverageComprehensive,
+		build: func(s Spec) (cpu.Policy, error) {
+			return newTracking(s.String(), trackingOpts{ctrl: true, data: true}), nil
+		},
+	},
+	{
+		Name:        "levioso-ctrl",
+		Summary:     "ablation: Levioso's control half only, no dataflow propagation",
+		ThreatModel: "control-only — UNSOUND against data-dependent leaks; exists for cost attribution",
+		Ablation:    true,
+		cov:         CoverageCtrl,
+		build: func(s Spec) (cpu.Policy, error) {
+			return newTracking(s.String(), trackingOpts{ctrl: true}), nil
+		},
+	},
+	{
+		Name:        "levioso-ghost",
+		Summary:     "extension: truly-dependent loads execute invisibly instead of stalling",
+		ThreatModel: "comprehensive: Levioso precision with invisible execution for the load class",
+		Ablation:    true,
+		cov:         CoverageComprehensive,
+		build: func(s Spec) (cpu.Policy, error) {
+			return newTracking(s.String(), trackingOpts{ctrl: true, data: true, ghostLoads: true}), nil
+		},
+	},
+	{
+		Name:        "prospect",
+		Summary:     "secret-typed data is tracked through dataflow; only secret-tainted transient transmitters wait (ProSpeCT class)",
+		ThreatModel: "constant-time: declared secrets never reach a transient transmitter operand; unmarked (public) data leaks by contract",
+		Eval:        true,
+		cov:         CoverageSecret,
+		build:       func(Spec) (cpu.Policy, error) { return &prospectPolicy{}, nil },
+	},
+	{
+		Name:        "tunable",
+		Summary:     "runtime-selectable protection level (HW/SW co-design class)",
+		ThreatModel: "the contract of the configured level: none, control-only, sandbox, or comprehensive",
+		Params: []Param{{
+			Name:    "level",
+			Doc:     "protection level applied at request time",
+			Default: "comprehensive",
+			Enum:    []string{"none", "ctrl", "sandbox", "comprehensive"},
+		}},
+		covFn: func(params map[string]string) Coverage {
+			switch params["level"] {
+			case "none":
+				return CoverageNone
+			case "ctrl":
+				return CoverageCtrl
+			case "sandbox":
+				return CoverageSandbox
+			default:
+				return CoverageComprehensive
+			}
+		},
+		build: func(s Spec) (cpu.Policy, error) {
+			name := s.String()
+			switch s.Params["level"] {
+			case "none":
+				return nopNamed{name: name}, nil
+			case "ctrl":
+				return newTracking(name, trackingOpts{ctrl: true}), nil
+			case "sandbox":
+				return newTracking(name, trackingOpts{data: true, loadsTaint: true}), nil
+			default:
+				return &delayPolicy{name: name}, nil
+			}
+		},
+	},
+}
+
+// Descriptors returns the registration table in presentation order.
+// Callers must not mutate the entries.
+func Descriptors() []*Descriptor {
+	out := make([]*Descriptor, len(registry))
+	for i := range registry {
+		out[i] = &registry[i]
+	}
+	return out
+}
+
+// Lookup returns the descriptor for a family name. The error here is the
+// single unknown-policy message every layer reports.
+func Lookup(name string) (*Descriptor, error) {
+	for i := range registry {
+		if registry[i].Name == name {
+			return &registry[i], nil
+		}
+	}
+	return nil, fmt.Errorf("secure: unknown policy %q (have %v)", name, Names())
+}
+
+// Spec is a resolved policy selection: a family name plus the full
+// parameter map (defaults applied). Its String form is the canonical spec —
+// what Policy.Name() returns and what cache keys, reports and the serve API
+// carry.
+type Spec struct {
+	Name   string
+	Params map[string]string
+}
+
+// String renders the canonical spec: the bare name for parameter-free
+// families, otherwise name:k=v[,k=v...] with keys sorted.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for i, k := range keys {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Params[k])
+	}
+	return b.String()
+}
+
+// ParseSpec splits a spec string (name[:k=v[,k=v...]]) into its parts
+// without consulting the registry.
+func ParseSpec(spec string) (name string, params map[string]string, err error) {
+	name, rest, has := strings.Cut(spec, ":")
+	if name == "" {
+		return "", nil, fmt.Errorf("secure: empty policy spec")
+	}
+	if !has {
+		return name, nil, nil
+	}
+	params = make(map[string]string)
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" || v == "" {
+			return "", nil, fmt.Errorf("secure: bad policy parameter %q in %q (want key=value)", kv, spec)
+		}
+		if _, dup := params[k]; dup {
+			return "", nil, fmt.Errorf("secure: duplicate policy parameter %q in %q", k, spec)
+		}
+		params[k] = v
+	}
+	return name, params, nil
+}
+
+// Resolve parses a spec string, merges extra parameters over it (extra
+// wins), validates every parameter against the family's declaration, applies
+// defaults, and returns the full Spec. This is the one funnel every layer's
+// policy validation goes through.
+func Resolve(spec string, extra map[string]string) (Spec, error) {
+	name, params, err := ParseSpec(spec)
+	if err != nil {
+		return Spec{}, err
+	}
+	d, err := Lookup(name)
+	if err != nil {
+		return Spec{}, err
+	}
+	merged := make(map[string]string, len(params)+len(extra))
+	for k, v := range params {
+		merged[k] = v
+	}
+	for k, v := range extra {
+		merged[k] = v
+	}
+	full := make(map[string]string, len(d.Params))
+	for i := range d.Params {
+		p := &d.Params[i]
+		v, ok := merged[p.Name]
+		if !ok {
+			full[p.Name] = p.Default
+			continue
+		}
+		delete(merged, p.Name)
+		valid := false
+		for _, e := range p.Enum {
+			if v == e {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return Spec{}, fmt.Errorf("secure: policy %s: parameter %s=%q invalid (want one of %v)",
+				d.Name, p.Name, v, p.Enum)
+		}
+		full[p.Name] = v
+	}
+	for k := range merged {
+		if _, ok := full[k]; !ok {
+			return Spec{}, fmt.Errorf("secure: policy %s has no parameter %q", d.Name, k)
+		}
+	}
+	if len(full) == 0 {
+		full = nil
+	}
+	return Spec{Name: d.Name, Params: full}, nil
+}
+
+// Canonical returns the canonical form of a spec string (defaults applied,
+// parameters sorted). Two specs selecting the same configuration always
+// canonicalize identically, so cache keys and reports never alias.
+func Canonical(spec string) (string, error) {
+	s, err := Resolve(spec, nil)
+	if err != nil {
+		return "", err
+	}
+	return s.String(), nil
+}
+
+// New constructs the policy a spec selects. Valid family names are listed
+// by Names; parameterized families accept name:key=value[,key=value...].
+func New(spec string) (cpu.Policy, error) {
+	s, err := Resolve(spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	d, _ := Lookup(s.Name)
+	return d.build(s)
+}
+
+// MustNew is New for known-valid specs; it panics on error.
+func MustNew(spec string) cpu.Policy {
+	p, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names lists all policy family names, baseline first.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i := range registry {
+		out[i] = registry[i].Name
+	}
+	return out
+}
+
+// BaselineName is the registry's designated baseline: the unprotected core
+// every overhead number is measured against. It is always the first entry.
+func BaselineName() string {
+	return registry[0].Name
+}
+
+// EvalNames lists the policies in the headline evaluation (experiment F1),
+// in presentation order, baseline first.
+func EvalNames() []string {
+	var out []string
+	for i := range registry {
+		if registry[i].Eval {
+			out = append(out, registry[i].Name)
+		}
+	}
+	return out
+}
+
+// AblationNames lists the Levioso ablation set (experiment F5), baseline
+// first.
+func AblationNames() []string {
+	var out []string
+	for i := range registry {
+		if registry[i].Ablation {
+			out = append(out, registry[i].Name)
+		}
+	}
+	return out
+}
+
+// SweepSpecs lists one canonical spec per distinct policy configuration:
+// every parameter-free family once, and every combination of enum values
+// for parameterized families. This is the exhaustive sweep the fuzz
+// security oracle and the attack smoke matrix run.
+func SweepSpecs() []string {
+	var out []string
+	for i := range registry {
+		d := &registry[i]
+		for _, params := range paramCombos(d.Params) {
+			out = append(out, Spec{Name: d.Name, Params: params}.String())
+		}
+	}
+	return out
+}
+
+// paramCombos enumerates every combination of enum values; a family with no
+// parameters yields one nil combination.
+func paramCombos(ps []Param) []map[string]string {
+	if len(ps) == 0 {
+		return []map[string]string{nil}
+	}
+	rest := paramCombos(ps[1:])
+	var out []map[string]string
+	for _, v := range ps[0].Enum {
+		for _, r := range rest {
+			m := map[string]string{ps[0].Name: v}
+			for k, rv := range r {
+				m[k] = rv
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// CoverageOf returns the security contract a spec promises — for
+// parameterized families, the contract of the configured values.
+func CoverageOf(spec string) (Coverage, error) {
+	s, err := Resolve(spec, nil)
+	if err != nil {
+		return CoverageNone, err
+	}
+	d, _ := Lookup(s.Name)
+	return d.CoverageFor(s.Params), nil
+}
+
+// FlagUsage renders the one-line CLI help for policy flags, derived from
+// the registry so flag help can never drift from the policy set.
+func FlagUsage() string {
+	var parts []string
+	for i := range registry {
+		d := &registry[i]
+		p := d.Name
+		for j := range d.Params {
+			pr := &d.Params[j]
+			p += fmt.Sprintf("[:%s=%s]", pr.Name, strings.Join(pr.Enum, "|"))
+		}
+		parts = append(parts, p)
+	}
+	return "secure-speculation policy: " + strings.Join(parts, ", ")
+}
+
+// PolicyTable renders the registry as a markdown table (README's policy
+// section embeds this output; a test keeps them in sync).
+func PolicyTable() string {
+	var b strings.Builder
+	b.WriteString("| policy | coverage | threat model | tunables |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for i := range registry {
+		d := &registry[i]
+		cov := d.CoverageFor(defaultParams(d)).String()
+		if d.covFn != nil {
+			var covs []string
+			for _, params := range paramCombos(d.Params) {
+				covs = append(covs, d.CoverageFor(params).String())
+			}
+			cov = "per level: " + strings.Join(dedupe(covs), ", ")
+		}
+		tun := "—"
+		if len(d.Params) > 0 {
+			var ts []string
+			for j := range d.Params {
+				p := &d.Params[j]
+				ts = append(ts, fmt.Sprintf("`%s` ∈ {%s}, default `%s`",
+					p.Name, strings.Join(p.Enum, ", "), p.Default))
+			}
+			tun = strings.Join(ts, "; ")
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s |\n", d.Name, cov, d.ThreatModel, tun)
+	}
+	return b.String()
+}
+
+func defaultParams(d *Descriptor) map[string]string {
+	if len(d.Params) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(d.Params))
+	for i := range d.Params {
+		m[d.Params[i].Name] = d.Params[i].Default
+	}
+	return m
+}
+
+func dedupe(in []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// nopNamed is the NopPolicy baseline under another name, used by
+// tunable:level=none. It intentionally does NOT satisfy the core's exact
+// NopPolicy fast-path type check, but the hook set is identical no-ops, so
+// its timing matches unsafe cycle for cycle.
+type nopNamed struct {
+	cpu.NopPolicy
+	name string
+}
+
+func (p nopNamed) Name() string { return p.name }

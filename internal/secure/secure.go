@@ -1,95 +1,32 @@
 // Package secure implements the secure-speculation policies evaluated in the
-// paper: the unprotected baseline, three hardware-only defense families
-// (fence, delay, invisible — plus the sandbox-only taint tracker for
-// reference), and Levioso itself.
+// paper: the unprotected baseline, the hardware-only defense families
+// (fence, delay, invisible, the sandbox-only taint tracker), Levioso itself
+// and its ablation/extension variants, a ProSpeCT-style secret-typed
+// constant-time policy, and a runtime-tunable co-design family.
 //
-// All policies share the core's Branch Dependency Table (internal/core): at
-// rename each instruction receives a wait mask over in-flight branch slots,
-// the core clears bits as branches resolve, and the policy's Decide hook
-// blocks ready transmitters whose mask has not drained. The policies differ
-// only in *which* branches end up in the mask:
+// Every policy is registered in one self-describing table (see registry.go):
+// name, constructor, coverage contract, threat-model documentation and
+// tunable parameters live in a single Descriptor, and every consumer — the
+// engine's override validation, the CLI flag help, the serve API's
+// /v1/policies, the attack expectation matrix, the fuzz security oracle —
+// derives from it. Adding a policy means adding one registry entry.
 //
-//	unsafe     — none: full speculation (insecure baseline).
-//	fence      — every instruction waits for all older branches
-//	             (lfence-after-every-branch semantics).
-//	delay      — transmitters wait for all older branches (comprehensive
-//	             delay-on-speculation; the paper's ~51% baseline class).
-//	invisible  — speculative loads execute without changing cache state and
-//	             become visible when safe (InvisiSpec/GhostMinion class; the
-//	             paper's ~43% baseline class); speculative div/cflush wait.
-//	taint      — dataflow tracking from speculative loads only (STT class;
-//	             sound for the sandbox model, NOT comprehensive — included
-//	             for reference, as in the paper's related-work comparison).
-//	levioso    — transmitters wait only for their *true* dependencies: the
-//	             branches whose annotated control region they sit in, plus
-//	             branches reached through register/memory dataflow.
+// Policies are selected by spec string: a family name, optionally followed
+// by parameters (`tunable:level=ctrl`). Canonical specs (defaults applied,
+// keys sorted) are what Policy.Name() returns and what cache keys carry.
 //
-// Two additional variants bracket levioso for the ablation study (F5):
-// levioso-ctrl drops the data half (UNSOUND — leaks the ct-data attack;
-// cost-attribution only) and levioso-ghost, an extension beyond the paper,
-// executes truly-dependent loads invisibly instead of stalling them.
+// All delay-class policies share the core's Branch Dependency Table
+// (internal/core): at rename each instruction receives a wait mask over
+// in-flight branch slots, the core clears bits as branches resolve, and the
+// policy's Decide hook blocks ready transmitters whose mask has not drained.
+// The policies differ in *which* branches end up in the mask — and, for
+// prospect, in whether the operands are secret-tainted at all.
 package secure
 
-import (
-	"fmt"
-
-	"levioso/internal/cpu"
-)
-
-// New returns the policy with the given name. Valid names are listed by
-// Names.
-func New(name string) (cpu.Policy, error) {
-	switch name {
-	case "unsafe":
-		return cpu.NopPolicy{}, nil
-	case "fence":
-		return &fencePolicy{}, nil
-	case "delay":
-		return &delayPolicy{}, nil
-	case "invisible":
-		return &invisiblePolicy{}, nil
-	case "taint":
-		return newTracking("taint", false, true), nil
-	case "levioso":
-		return newTracking("levioso", true, true), nil
-	case "levioso-ctrl":
-		// Ablation (experiment F5): control dependencies only, no dataflow
-		// propagation. NOT sound against data-dependent leaks; measures what
-		// the data half of the annotation costs.
-		return newTracking("levioso-ctrl", true, false), nil
-	case "levioso-ghost":
-		// Extension beyond the paper: truly-dependent loads execute
-		// invisibly (InvisiSpec-style) instead of stalling, keeping both
-		// comprehensive coverage and Levioso's precision. Divider and flush
-		// transmitters still wait for their true dependencies.
-		return newTracking("levioso-ghost", true, true), nil
-	default:
-		return nil, fmt.Errorf("secure: unknown policy %q (have %v)", name, Names())
-	}
-}
-
-// MustNew is New for known-valid names; it panics on error.
-func MustNew(name string) cpu.Policy {
-	p, err := New(name)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
-// Names lists all policy names, baseline first.
-func Names() []string {
-	return []string{"unsafe", "fence", "delay", "invisible", "taint", "levioso", "levioso-ctrl", "levioso-ghost"}
-}
-
-// EvalNames lists the policies in the headline evaluation (experiment F1),
-// in presentation order.
-func EvalNames() []string {
-	return []string{"unsafe", "fence", "delay", "invisible", "levioso"}
-}
+import "levioso/internal/cpu"
 
 // Coverage classifies the security contract a policy promises. It is the
-// machine-readable form of the coverage column in the package comment: the
+// machine-readable form of the threat-model column in the registry: the
 // fuzzing security oracle uses it to decide which policies MUST block a
 // generated attack gadget, and the attack expectation matrix derives the
 // per-attack leak expectations from it.
@@ -106,6 +43,10 @@ const (
 	// only (the STT/taint class): sound for the sandbox threat model, leaks
 	// non-speculatively loaded secrets.
 	CoverageSandbox
+	// CoverageSecret restricts transient transmissions of secret-typed data
+	// only (the ProSpeCT class): declared secrets are protected under every
+	// attack, unmarked (public) data leaks by contract.
+	CoverageSecret
 	// CoverageComprehensive restricts every transient transmission.
 	CoverageComprehensive
 )
@@ -118,26 +59,12 @@ func (c Coverage) String() string {
 		return "control-only"
 	case CoverageSandbox:
 		return "sandbox"
+	case CoverageSecret:
+		return "secret-typed"
 	case CoverageComprehensive:
 		return "comprehensive"
 	default:
 		return "invalid"
-	}
-}
-
-// CoverageOf returns the documented security contract of a policy.
-func CoverageOf(name string) (Coverage, error) {
-	switch name {
-	case "unsafe":
-		return CoverageNone, nil
-	case "levioso-ctrl":
-		return CoverageCtrl, nil
-	case "taint":
-		return CoverageSandbox, nil
-	case "fence", "delay", "invisible", "levioso", "levioso-ghost":
-		return CoverageComprehensive, nil
-	default:
-		return CoverageNone, fmt.Errorf("secure: unknown policy %q (have %v)", name, Names())
 	}
 }
 
@@ -169,12 +96,15 @@ func (p *fencePolicy) OnForward(_, _ *cpu.DynInst) {}
 
 // ------------------------------------------------------------------ delay --
 
-// delayPolicy: transmitters wait for all older unresolved branches.
+// delayPolicy: transmitters wait for all older unresolved branches. The
+// name is parameterized because tunable:level=comprehensive reuses the
+// mechanism under its own canonical spec.
 type delayPolicy struct {
-	c *cpu.Core
+	name string
+	c    *cpu.Core
 }
 
-func (p *delayPolicy) Name() string          { return "delay" }
+func (p *delayPolicy) Name() string          { return p.name }
 func (p *delayPolicy) Attach(c *cpu.Core)    { p.c = c }
 func (p *delayPolicy) Reset()                {}
 func (p *delayPolicy) OnSlotResolved(int)    {}

@@ -233,16 +233,32 @@ a:	.quad 11, 22
 
 func TestNamesStable(t *testing.T) {
 	names := Names()
-	if names[0] != "unsafe" || names[len(names)-1] != "levioso-ghost" {
-		t.Errorf("names = %v", names)
+	if names[0] != "unsafe" {
+		t.Errorf("baseline must be first: names = %v", names)
 	}
+	// Every policy's Name() is the canonical form of its spec (for
+	// parameter-free families that is the bare name; for parameterized ones
+	// the defaults-applied spec string).
 	for _, n := range names {
-		if MustNew(n).Name() != n {
-			t.Errorf("policy %q reports name %q", n, MustNew(n).Name())
+		canon, err := Canonical(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := MustNew(n).Name(); got != canon {
+			t.Errorf("policy %q reports name %q, want canonical %q", n, got, canon)
 		}
 	}
 	for _, n := range EvalNames() {
 		MustNew(n)
+	}
+	for _, n := range AblationNames() {
+		MustNew(n)
+	}
+	// Sweep specs are already canonical and construct to matching names.
+	for _, s := range SweepSpecs() {
+		if got := MustNew(s).Name(); got != s {
+			t.Errorf("sweep spec %q constructs policy named %q", s, got)
+		}
 	}
 }
 

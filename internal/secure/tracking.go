@@ -21,28 +21,30 @@ import (
 // once operands are ready). On Proceed the instruction's destination mask is
 // published for its consumers.
 type trackingPolicy struct {
-	name       string
-	useCtrl    bool
-	useData    bool
-	loadsTaint bool // taint: load results depend on all branches they ran under
-	// ghostLoads: instead of stalling a truly-dependent load, execute it
-	// invisibly (no cache state change, exposure+validation when safe) —
-	// the levioso-ghost extension combining the paper's precision with
-	// invisible execution. Divider/flush transmitters still wait.
-	ghostLoads bool
+	name string
+	trackingOpts
 
 	c   *cpu.Core
 	dep *core.DepState
 }
 
-func newTracking(name string, ctrl, data bool) *trackingPolicy {
-	return &trackingPolicy{
-		name:       name,
-		useCtrl:    ctrl,
-		useData:    data,
-		loadsTaint: name == "taint",
-		ghostLoads: name == "levioso-ghost",
-	}
+// trackingOpts selects the tracking mechanism explicitly (the registry
+// builds several named configurations over the same implementation):
+// ctrl gates on open annotated control regions, data propagates masks
+// through register dataflow, loadsTaint makes every speculative load's
+// result depend on all branches it ran under (the STT model), and
+// ghostLoads executes a truly-dependent load invisibly (no cache state
+// change, exposure+validation when safe) instead of stalling it — the
+// levioso-ghost extension. Divider/flush transmitters always wait.
+type trackingOpts struct {
+	ctrl       bool
+	data       bool
+	loadsTaint bool
+	ghostLoads bool
+}
+
+func newTracking(name string, opts trackingOpts) *trackingPolicy {
+	return &trackingPolicy{name: name, trackingOpts: opts}
 }
 
 func (p *trackingPolicy) Name() string { return p.name }
@@ -59,7 +61,7 @@ func (p *trackingPolicy) Reset() {
 }
 
 func (p *trackingPolicy) OnRename(d *cpu.DynInst) {
-	if p.useCtrl {
+	if p.ctrl {
 		d.WaitMask = p.c.BT.OpenMask()
 	}
 	if p.loadsTaint && d.IsLoad() {
@@ -72,7 +74,7 @@ func (p *trackingPolicy) OnRename(d *cpu.DynInst) {
 
 func (p *trackingPolicy) Decide(d *cpu.DynInst) cpu.Decision {
 	m := d.WaitMask
-	if p.useData {
+	if p.data {
 		if d.Src1 >= 0 {
 			m |= p.dep.Get(d.Src1)
 		}
@@ -88,7 +90,7 @@ func (p *trackingPolicy) Decide(d *cpu.DynInst) cpu.Decision {
 			return cpu.Wait
 		}
 	}
-	if p.useData {
+	if p.data {
 		out := m
 		if p.loadsTaint && d.IsLoad() {
 			out |= d.DataMask
@@ -105,7 +107,7 @@ func (p *trackingPolicy) Decide(d *cpu.DynInst) cpu.Decision {
 // load's result: consumers of the load issue strictly after the load
 // completes, so publishing here is early enough.
 func (p *trackingPolicy) OnForward(load, store *cpu.DynInst) {
-	if !p.useData {
+	if !p.data {
 		return
 	}
 	m := load.DataMask | store.DataMask

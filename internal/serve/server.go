@@ -62,6 +62,7 @@ import (
 	"levioso/internal/dispatch"
 	"levioso/internal/engine"
 	"levioso/internal/obs"
+	"levioso/internal/secure"
 	"levioso/internal/simerr"
 	"levioso/internal/workloads"
 )
@@ -69,7 +70,11 @@ import (
 // SchemaVersion is the wire-protocol generation. It bumps when a JSON
 // response shape changes incompatibly; additive optional fields do not bump
 // it. Carried in every successful response as "schema_version".
-const SchemaVersion = 1
+//
+// v2: GET /v1/policies returns full self-describing descriptors (objects)
+// under "policies" instead of a bare name list; POST /v1/simulate accepts
+// "params" for parameterized policies.
+const SchemaVersion = 2
 
 // Config tunes a Server. The zero value picks sane defaults.
 type Config struct {
@@ -226,18 +231,19 @@ type SimRequest struct {
 	Workload string `json:"workload,omitempty"` // embedded suite name
 	Size     string `json:"size,omitempty"`     // workload scale: test|ref (default test)
 
-	NoAnnotate bool   `json:"no_annotate,omitempty"`
-	Policy     string `json:"policy,omitempty"` // default "unsafe"
-	ROB        int    `json:"rob,omitempty"`
-	MaxCycles  uint64 `json:"max_cycles,omitempty"`
-	Ref        bool   `json:"ref,omitempty"`
-	Verify     bool   `json:"verify,omitempty"`
-	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	NoAnnotate bool              `json:"no_annotate,omitempty"`
+	Policy     string            `json:"policy,omitempty"` // spec string, default "unsafe"
+	Params     map[string]string `json:"params,omitempty"` // policy parameters (merged over Policy's inline ones)
+	ROB        int               `json:"rob,omitempty"`
+	MaxCycles  uint64            `json:"max_cycles,omitempty"`
+	Ref        bool              `json:"ref,omitempty"`
+	Verify     bool              `json:"verify,omitempty"`
+	DeadlineMS int64             `json:"deadline_ms,omitempty"`
 }
 
 // simRequestFields lists the accepted SimRequest keys, for the unknown-field
 // rejection message. Keep in sync with the struct tags above.
-const simRequestFields = "name, source, asm, binary, workload, size, no_annotate, policy, rob, max_cycles, ref, verify, deadline_ms"
+const simRequestFields = "name, source, asm, binary, workload, size, no_annotate, policy, params, rob, max_cycles, ref, verify, deadline_ms"
 
 // SimResponse is the JSON reply of POST /v1/simulate.
 type SimResponse struct {
@@ -392,6 +398,7 @@ func (sr *SimRequest) engineRequest() (engine.Request, error) {
 		Verify:     sr.Verify,
 		Overrides: engine.Overrides{
 			Policy:    sr.Policy,
+			Params:    sr.Params,
 			ROBSize:   sr.ROB,
 			MaxCycles: sr.MaxCycles,
 		},
@@ -560,11 +567,37 @@ func (s *Server) writeResult(w http.ResponseWriter, res engine.Result, cached bo
 	})
 }
 
+// PolicyInfo is one self-describing registry entry in GET /v1/policies:
+// everything a client needs to enumerate, select, and parameterize a policy
+// without hardcoding names.
+type PolicyInfo struct {
+	Name        string         `json:"name"`
+	Summary     string         `json:"summary"`
+	ThreatModel string         `json:"threat_model"`
+	Coverage    string         `json:"coverage"` // under default parameters
+	Eval        bool           `json:"eval"`
+	Ablation    bool           `json:"ablation"`
+	Params      []secure.Param `json:"params,omitempty"`
+}
+
 func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	var infos []PolicyInfo
+	for _, d := range secure.Descriptors() {
+		infos = append(infos, PolicyInfo{
+			Name:        d.Name,
+			Summary:     d.Summary,
+			ThreatModel: d.ThreatModel,
+			Coverage:    d.CoverageFor(nil).String(),
+			Eval:        d.Eval,
+			Ablation:    d.Ablation,
+			Params:      d.Params,
+		})
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"schema_version": SchemaVersion,
-		"policies":       engine.Policies(),
+		"policies":       infos,
 		"eval":           engine.EvalPolicies(),
+		"sweep":          engine.SweepPolicies(),
 	})
 }
 

@@ -8,12 +8,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"levioso/internal/engine"
+	"levioso/internal/secure"
 )
 
 const histSrc = `
@@ -233,6 +235,82 @@ func TestServeBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed body: status %d", resp.StatusCode)
+	}
+}
+
+// TestServePoliciesDescriptors checks GET /v1/policies against the registry:
+// every family appears as a full descriptor (summary, threat model, coverage),
+// parameterized families carry their parameter schema, and the sweep list
+// matches the registry's.
+func TestServePoliciesDescriptors(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		SchemaVersion int          `json:"schema_version"`
+		Policies      []PolicyInfo `json:"policies"`
+		Eval          []string     `json:"eval"`
+		Sweep         []string     `json:"sweep"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.SchemaVersion != SchemaVersion {
+		t.Errorf("schema_version %d, want %d", body.SchemaVersion, SchemaVersion)
+	}
+	byName := make(map[string]PolicyInfo)
+	for _, p := range body.Policies {
+		byName[p.Name] = p
+	}
+	for i, name := range secure.Names() {
+		p, ok := byName[name]
+		if !ok {
+			t.Errorf("policy %q missing from /v1/policies", name)
+			continue
+		}
+		if body.Policies[i].Name != name {
+			t.Errorf("descriptor %d is %q, want %q (registry order)", i, body.Policies[i].Name, name)
+		}
+		if p.Summary == "" || p.ThreatModel == "" || p.Coverage == "" {
+			t.Errorf("policy %q descriptor incomplete: %+v", name, p)
+		}
+	}
+	if len(byName["tunable"].Params) == 0 {
+		t.Error("tunable descriptor carries no parameter schema")
+	}
+	if want := secure.SweepSpecs(); !slices.Equal(body.Sweep, want) {
+		t.Errorf("sweep = %v, want %v", body.Sweep, want)
+	}
+	if want := secure.EvalNames(); !slices.Equal(body.Eval, want) {
+		t.Errorf("eval = %v, want %v", body.Eval, want)
+	}
+}
+
+// TestServePolicyParams exercises the params field: an out-of-band level
+// selects the same configuration as the inline spec (identical stats), and an
+// invalid value is a 400.
+func TestServePolicyParams(t *testing.T) {
+	_, ts := startServer(t, Config{CacheEntries: -1})
+	inline, resp := postSimulate(t, ts.URL, SimRequest{Source: histSrc, Policy: "tunable:level=ctrl"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline spec: status %d", resp.StatusCode)
+	}
+	viaParams, resp := postSimulate(t, ts.URL,
+		SimRequest{Source: histSrc, Policy: "tunable", Params: map[string]string{"level": "ctrl"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("params: status %d", resp.StatusCode)
+	}
+	if inline.Stats != viaParams.Stats {
+		t.Errorf("params selected a different configuration:\n inline=%+v\n params=%+v",
+			inline.Stats, viaParams.Stats)
+	}
+	_, resp = postSimulate(t, ts.URL,
+		SimRequest{Source: histSrc, Policy: "tunable", Params: map[string]string{"level": "extreme"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid level: status %d, want 400", resp.StatusCode)
 	}
 }
 
