@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench golden gate smoke obssmoke chaossmoke fuzzsmoke attacksmoke replay ci clean
+.PHONY: all build vet test race bench golden gate smoke obssmoke chaossmoke netchaossmoke fuzzsmoke attacksmoke replay ci clean
 
 all: build
 
@@ -83,6 +83,18 @@ chaossmoke:
 	$(GO) test -race -count=1 -run TestChaosBatchGracefulDegradation ./internal/faultinject
 	$(GO) test -race -count=1 -run 'TestBatchStreamsCorrectResults|TestBatchShedsWithRetryAfter|TestBatchClientDisconnectKeepsPartialResults' ./internal/serve
 
+# netchaossmoke is the partition-tolerance gate: a 100-cell batch dispatched
+# to two worker daemons over real loopback TCP under a seeded storm of
+# connection kills, silent partitions, corrupted frames, and link latency,
+# with -race. Every cell must come back bit-identical, no call may hang, no
+# goroutine may leak, and the remote-fleet counters (dials, reconnects,
+# partitions, heartbeats, dedup hits) must scrape as valid Prometheus text.
+# The remote-worker lifecycle and single-flight unit tests ride along.
+netchaossmoke:
+	$(GO) test -race -count=1 -run TestNetChaosBatchBitIdentical ./internal/faultinject
+	$(GO) test -race -count=1 -run 'TestRemote|TestSingleFlight' ./internal/dispatch
+	$(GO) test -race -count=1 -run TestServeRemoteBatch ./internal/serve
+
 # fuzzsmoke runs the differential fuzzer for a fixed-seed ten-second
 # session: seeded random programs (all six generation profiles) judged by
 # the full oracle stack — architectural differential vs the reference model,
@@ -107,8 +119,10 @@ replay:
 # ci is the gate: vet, build, the full suite under -race, a short benchmark
 # pass (catches bench-only compile/regression breakage), the cmd/ import
 # gate, the levserve smoke test, the seeded chaos smoke (batch dispatch under
-# a transport-fault storm), the fixed-seed fuzz smoke + corpus replay, the
-# attack expectation-matrix replay, and the golden timing-model diff.
+# a transport-fault storm), the seeded network chaos smoke (remote TCP
+# workers under a connection-fault storm), the fixed-seed fuzz smoke +
+# corpus replay, the attack expectation-matrix replay, and the golden
+# timing-model diff.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -118,6 +132,7 @@ ci:
 	$(MAKE) smoke
 	$(MAKE) obssmoke
 	$(MAKE) chaossmoke
+	$(MAKE) netchaossmoke
 	$(MAKE) fuzzsmoke
 	$(MAKE) attacksmoke
 	$(MAKE) replay

@@ -24,6 +24,15 @@
 // instead of the daemon. -worker runs that worker loop directly and is not
 // meant for interactive use.
 //
+// Multi-host: `levserve -worker-listen :7070` runs a worker daemon serving
+// the same wire protocol over TCP (heartbeats, daemon-wide shared result
+// cache, graceful drain on SIGTERM); a coordinator started with
+// `-remote host1:7070,host2:7070` dispatches its batch tier to those
+// daemons with automatic reconnection, per-peer backoff, and heartbeat
+// partition detection. -net-inject arms a seeded network fault plan on the
+// coordinator's connections (see internal/faultinject.ParseNetSpec) for
+// chaos drills.
+//
 // -access-log writes one structured JSON line per request to stderr;
 // -pprof mounts net/http/pprof under /debug/pprof/. GET /metrics serves the
 // server's metric registry in the Prometheus text format.
@@ -36,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +54,7 @@ import (
 
 	"levioso/internal/cli"
 	"levioso/internal/dispatch"
+	"levioso/internal/faultinject"
 	"levioso/internal/serve"
 )
 
@@ -64,9 +75,13 @@ func run() int {
 	workerMode := flag.Bool("worker", false, "run as a dispatch worker on stdin/stdout (spawned by the coordinator, not for interactive use)")
 	workerProcs := flag.Bool("worker-procs", false, "run batch cells in subprocess workers (this binary re-executed with -worker)")
 	batchWorkers := flag.Int("batch-workers", 0, "batch dispatch worker slots (0 = same as -workers)")
+	workerListen := flag.String("worker-listen", "", "run as a TCP worker daemon on this address (e.g. :7070)")
+	remote := flag.String("remote", "", "comma-separated worker-daemon addresses for the batch tier (host:port,...)")
+	netInject := flag.String("net-inject", "", "seeded network fault plan for -remote connections (kind[:key=val...][;...]; kinds conn-kill, latency, partial-write, corrupt-frame, partition)")
+	netInjectSeed := flag.Int64("net-inject-seed", 1, "seed for the -net-inject fault plan")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		return cli.Usage("levserve [-addr :8347] [-workers N] [-cache 256] [-deadline 60s] [-access-log] [-pprof] [-worker-procs] [-batch-workers N] | levserve -worker")
+		return cli.Usage("levserve [-addr :8347] [-workers N] [-cache 256] [-deadline 60s] [-access-log] [-pprof] [-worker-procs] [-batch-workers N] [-remote host:port,...] | levserve -worker | levserve -worker-listen :7070")
 	}
 
 	if *workerMode {
@@ -76,6 +91,24 @@ func run() int {
 		if err := dispatch.ServeWorker(context.Background(), os.Stdin, os.Stdout); err != nil {
 			return cli.Fail("levserve -worker", err)
 		}
+		return 0
+	}
+
+	if *workerListen != "" {
+		// TCP worker daemon: many sequential calls per connection, shared
+		// result cache across connections, heartbeats for coordinator-side
+		// partition detection. SIGINT/SIGTERM drain gracefully.
+		ln, err := net.Listen("tcp", *workerListen)
+		if err != nil {
+			return cli.Fail("levserve -worker-listen", err)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Fprintf(os.Stderr, "levserve: worker daemon listening on %s\n", ln.Addr())
+		if err := dispatch.ListenWorkers(ctx, ln, dispatch.ListenOptions{CacheEntries: *cacheN}); err != nil {
+			return cli.Fail("levserve -worker-listen", err)
+		}
+		fmt.Fprintln(os.Stderr, "levserve: worker daemon drained cleanly")
 		return 0
 	}
 
@@ -93,6 +126,21 @@ func run() int {
 			return cli.Fail("levserve", fmt.Errorf("resolving own executable for -worker-procs: %w", err))
 		}
 		cfg.Dispatch.Spawn = dispatch.Proc(exe, "-worker")
+	}
+	if *remote != "" {
+		cfg.Remote = cli.SplitList(*remote)
+	}
+	if *netInject != "" {
+		if len(cfg.Remote) == 0 {
+			return cli.Usage("levserve: -net-inject requires -remote")
+		}
+		plan, err := faultinject.ParseNetSpec(*netInject, *netInjectSeed)
+		if err != nil {
+			return cli.Fail("levserve", err)
+		}
+		if plan != nil {
+			cfg.RemoteConfig.WrapConn = faultinject.NewNet(*plan).Wrap
+		}
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stderr

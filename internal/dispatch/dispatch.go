@@ -154,12 +154,23 @@ type slot struct {
 	dead     bool
 }
 
+// flight is one in-flight execution of a cache key: the leader runs the
+// cell, duplicates wait on done and share the outcome.
+type flight struct {
+	done chan struct{}
+	res  *engine.Result
+	err  error
+}
+
 // Coordinator shards cells across the worker pool. Safe for concurrent use.
 type Coordinator struct {
 	cfg   Config
 	slots []*slot
 	ready chan *slot
 	cache *lru.Cache[string, engine.Result]
+
+	fmu     sync.Mutex
+	flights map[string]*flight
 
 	pending  atomic.Int64
 	alive    atomic.Int64
@@ -182,6 +193,7 @@ type Coordinator struct {
 	mBreakerState *obs.GaugeVec // worker: slot id; 0 closed, 1 open, 2 half-open
 	mCacheHits    *obs.Counter
 	mCacheMisses  *obs.Counter
+	mDedupHits    *obs.Counter
 	mQueueDepth   *obs.Gauge
 	mAlive        *obs.Gauge
 }
@@ -195,6 +207,7 @@ func New(ctx context.Context, cfg Config) (*Coordinator, error) {
 		cfg:     c,
 		ready:   make(chan *slot, c.Workers),
 		cache:   lru.New[string, engine.Result](c.CacheEntries),
+		flights: make(map[string]*flight),
 		allDead: make(chan struct{}),
 		closeCh: make(chan struct{}),
 		jit:     rand.New(rand.NewSource(1)),
@@ -209,6 +222,7 @@ func New(ctx context.Context, cfg Config) (*Coordinator, error) {
 	co.mBreakerState = r.GaugeVec("dispatch_breaker_state", "Breaker state per worker slot (0 closed, 1 open, 2 half-open).", "worker")
 	co.mCacheHits = r.Counter("dispatch_cache_hits_total", "Shared result cache hits.")
 	co.mCacheMisses = r.Counter("dispatch_cache_misses_total", "Shared result cache misses.")
+	co.mDedupHits = r.Counter("dispatch_dedup_hits_total", "Duplicate in-flight cells coalesced by single-flight.")
 	co.mQueueDepth = r.Gauge("dispatch_queue_depth", "Admitted cells currently pending.")
 	co.mAlive = r.Gauge("dispatch_workers_alive", "Worker slots not yet declared dead.")
 
@@ -344,20 +358,74 @@ func (co *Coordinator) ExecuteAdmitted(ctx context.Context, cell *Cell) (*engine
 	return res, err
 }
 
+// run is the cache + single-flight front of the retry loop. Identical cells
+// — same content-addressed key — in flight at the same moment execute once:
+// the first caller becomes the leader and runs the cell, duplicates wait on
+// its flight and share the outcome. Dedup sits *before* the shared result
+// cache, so a batch of repeats costs one simulation, not one per repeat that
+// raced past a still-empty cache entry.
 func (co *Coordinator) run(ctx context.Context, cell *Cell) (*engine.Result, error) {
 	if err := cell.Overrides.Normalize(); err != nil {
 		return nil, err // permanent: bad cell, no attempt consumed
 	}
 	key, cacheable := co.cellKey(cell)
-	if cacheable {
+	if !cacheable {
+		return co.runAttempts(ctx, cell)
+	}
+	for {
+		co.fmu.Lock()
 		if cached, ok := co.cache.Get(key); ok {
+			co.fmu.Unlock()
 			co.mCacheHits.Inc()
 			cached.Cached = true
 			return &cached, nil
 		}
+		if f, ok := co.flights[key]; ok {
+			co.fmu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, simerr.New(simerr.KindDeadline, "dispatch: %v", ctx.Err())
+			case <-co.closeCh:
+				return nil, errClosed
+			}
+			if f.err == nil {
+				co.mDedupHits.Inc()
+				cp := *f.res
+				cp.Cached = true
+				return &cp, nil
+			}
+			if !simerr.Transient(f.err) {
+				// Deterministic failure: every duplicate shares it.
+				co.mDedupHits.Inc()
+				return nil, f.err
+			}
+			// The leader failed transiently — its deadline, its worker's
+			// luck. A waiter must not inherit that fate: loop back and
+			// take its own turn (or find the next leader already flying).
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		co.flights[key] = f
 		co.mCacheMisses.Inc()
-	}
+		co.fmu.Unlock()
 
+		res, err := co.runAttempts(ctx, cell)
+		if err == nil {
+			co.cache.Put(key, *res)
+		}
+		f.res, f.err = res, err
+		co.fmu.Lock()
+		delete(co.flights, key)
+		co.fmu.Unlock()
+		close(f.done)
+		return res, err
+	}
+}
+
+// runAttempts is the per-cell retry loop: transient failures retry with
+// exponential backoff up to MaxAttempts, permanent failures return at once.
+func (co *Coordinator) runAttempts(ctx context.Context, cell *Cell) (*engine.Result, error) {
 	var lastErr error
 	for attempt := 1; attempt <= co.cfg.MaxAttempts; attempt++ {
 		if attempt > 1 {
@@ -368,9 +436,6 @@ func (co *Coordinator) run(ctx context.Context, cell *Cell) (*engine.Result, err
 		}
 		res, err := co.attempt(ctx, cell)
 		if err == nil {
-			if cacheable {
-				co.cache.Put(key, *res)
-			}
 			return res, nil
 		}
 		lastErr = err
@@ -381,9 +446,12 @@ func (co *Coordinator) run(ctx context.Context, cell *Cell) (*engine.Result, err
 	return nil, lastErr
 }
 
-// cellKey computes the content-addressed cache key for a normalized cell.
+// cellKey computes the content-addressed key for a normalized cell — the
+// identity both the result cache and single-flight dedup coalesce on. A nil
+// cache (caching disabled) still yields a key: dedup works either way, the
+// lru no-op cache just never hits.
 func (co *Coordinator) cellKey(cell *Cell) (string, bool) {
-	if co.cache == nil || cell.Program == nil {
+	if cell.Program == nil {
 		return "", false
 	}
 	req := engine.Request{Name: cell.Name, Program: cell.Program, Overrides: cell.Overrides}
@@ -671,21 +739,40 @@ func (co *Coordinator) probeLoop() {
 
 // ---- introspection ----
 
-// Stats is a point-in-time snapshot of the coordinator.
-type Stats struct {
-	WorkersAlive int64     `json:"workers_alive"`
-	Pending      int64     `json:"pending"`
-	Retries      uint64    `json:"retries"`
-	Hedges       uint64    `json:"hedges"`
-	Shed         uint64    `json:"shed"`
-	Restarts     uint64    `json:"worker_restarts"`
-	BreakerTrips uint64    `json:"breaker_trips"`
-	Cache        lru.Stats `json:"cache"`
+// Addressable is implemented by workers bound to a remote peer address
+// (remoteWorker); Snapshot uses it to label slots with the host they are
+// currently connected to.
+type Addressable interface {
+	Addr() string
 }
 
-// Snapshot reports the coordinator's counters.
+// SlotStats is one worker slot's current disposition.
+type SlotStats struct {
+	ID      string `json:"id"`
+	Breaker string `json:"breaker"` // closed | open | half-open
+	// Peer is the remote address the slot's worker is connected to (empty
+	// for local workers or a slot between workers).
+	Peer string `json:"peer,omitempty"`
+	Dead bool   `json:"dead,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the coordinator.
+type Stats struct {
+	WorkersAlive int64       `json:"workers_alive"`
+	Pending      int64       `json:"pending"`
+	Retries      uint64      `json:"retries"`
+	Hedges       uint64      `json:"hedges"`
+	Shed         uint64      `json:"shed"`
+	Restarts     uint64      `json:"worker_restarts"`
+	BreakerTrips uint64      `json:"breaker_trips"`
+	DedupHits    uint64      `json:"dedup_hits"`
+	Cache        lru.Stats   `json:"cache"`
+	Slots        []SlotStats `json:"slots,omitempty"`
+}
+
+// Snapshot reports the coordinator's counters and per-slot state.
 func (co *Coordinator) Snapshot() Stats {
-	return Stats{
+	st := Stats{
 		WorkersAlive: co.alive.Load(),
 		Pending:      co.pending.Load(),
 		Retries:      co.mRetries.Value(),
@@ -693,6 +780,19 @@ func (co *Coordinator) Snapshot() Stats {
 		Shed:         co.mShed.Value(),
 		Restarts:     co.mRestarts.Value(),
 		BreakerTrips: co.mBreakerTrips.Value(),
+		DedupHits:    co.mDedupHits.Value(),
 		Cache:        co.cache.Stats(),
 	}
+	for _, s := range co.slots {
+		s.mu.Lock()
+		w := s.w
+		dead := s.dead
+		s.mu.Unlock()
+		ss := SlotStats{ID: s.id, Breaker: s.br.current().String(), Dead: dead}
+		if a, ok := w.(Addressable); ok {
+			ss.Peer = a.Addr()
+		}
+		st.Slots = append(st.Slots, ss)
+	}
+	return st
 }

@@ -7,17 +7,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"levioso/internal/cpu"
 	"levioso/internal/engine"
+	"levioso/internal/lru"
 	"levioso/internal/simerr"
 )
 
 // WireSchemaVersion is the coordinator↔worker protocol generation. It is the
 // same additive-fields-don't-bump discipline as the levserve HTTP schema: a
 // worker and coordinator disagreeing on it refuse to pair at handshake time
-// instead of misinterpreting frames mid-batch.
+// instead of misinterpreting frames mid-batch. The heartbeat (hb/hb_ms) and
+// worker-cache (cached) fields are additive: an older peer ignores them.
 const WireSchemaVersion = 1
 
 // maxFrameBytes bounds one NDJSON frame on both sides of the pipe. Program
@@ -34,6 +37,10 @@ type wireHello struct {
 type wireHelloBody struct {
 	SchemaVersion int `json:"schema_version"`
 	PID           int `json:"pid"`
+	// HBMillis advertises the worker's heartbeat interval in milliseconds
+	// (TCP workers only; 0 = no heartbeats). The coordinator derives its
+	// partition-detection timeout from it.
+	HBMillis int64 `json:"hb_ms,omitempty"`
 }
 
 // wireRequest is one coordinator→worker frame: a health probe (Ping) or one
@@ -63,13 +70,18 @@ type wireError struct {
 }
 
 // wireResponse is one worker→coordinator frame, answering the request with
-// the matching ID.
+// the matching ID. HB frames (TCP transport) carry no ID and interleave with
+// responses; Cached marks a result served from the worker daemon's shared
+// result cache, advertised back so the coordinator can count cross-daemon
+// repeats.
 type wireResponse struct {
 	ID     uint64     `json:"id"`
 	Pong   bool       `json:"pong,omitempty"`
+	HB     bool       `json:"hb,omitempty"`
 	Exit   uint64     `json:"exit,omitempty"`
 	Output string     `json:"output,omitempty"`
 	Stats  *cpu.Stats `json:"stats,omitempty"`
+	Cached bool       `json:"cached,omitempty"`
 	Error  *wireError `json:"error,omitempty"`
 }
 
@@ -78,6 +90,18 @@ type wireResponse struct {
 // retryable on another worker).
 func transportErr(format string, args ...any) *simerr.RunError {
 	return simerr.New(simerr.KindTransport, format, args...)
+}
+
+// serveOptions tunes one worker serve loop beyond the plain stdio defaults.
+type serveOptions struct {
+	// hbInterval, when positive, advertises and emits heartbeat frames —
+	// the TCP transport's liveness signal, flowing even while a long
+	// simulation is in progress.
+	hbInterval time.Duration
+	// cache, when non-nil, is the daemon-wide shared result cache: any
+	// connection served by this daemon answers repeats from it and marks
+	// the reply Cached.
+	cache *lru.Cache[string, engine.Result]
 }
 
 // ServeWorker runs the worker side of the dispatch protocol over r/w —
@@ -93,34 +117,95 @@ func transportErr(format string, args ...any) *simerr.RunError {
 // transport failure for the in-flight call and restarts the worker on its
 // own schedule.
 func ServeWorker(ctx context.Context, r io.Reader, w io.Writer) error {
+	return serveFrames(ctx, r, w, serveOptions{})
+}
+
+// serveFrames is the shared worker loop behind ServeWorker (stdio) and the
+// TCP listener: hello, then strictly-sequential request frames. Cancellation
+// is a graceful drain — an in-flight call is cancelled through ctx (the
+// engine surfaces that as a typed transient error) and its response frame is
+// still written before the loop exits, so a SIGTERM'd worker daemon never
+// leaves the coordinator waiting on a call it silently abandoned.
+func serveFrames(ctx context.Context, r io.Reader, w io.Writer, opts serveOptions) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	send := func(resp wireResponse) error {
+	// Responses and heartbeats share the stream; the mutex keeps frames
+	// whole when the heartbeat ticker fires mid-response.
+	var wmu sync.Mutex
+	send := func(resp any) error {
+		wmu.Lock()
+		defer wmu.Unlock()
 		if err := enc.Encode(resp); err != nil {
 			return fmt.Errorf("dispatch: worker encode: %w", err)
 		}
 		return bw.Flush()
 	}
-	if err := enc.Encode(wireHello{Hello: &wireHelloBody{
-		SchemaVersion: WireSchemaVersion, PID: os.Getpid(),
-	}}); err != nil {
-		return fmt.Errorf("dispatch: worker hello: %w", err)
+
+	hello := wireHelloBody{SchemaVersion: WireSchemaVersion, PID: os.Getpid()}
+	if opts.hbInterval > 0 {
+		hello.HBMillis = opts.hbInterval.Milliseconds()
 	}
-	if err := bw.Flush(); err != nil {
+	if err := send(wireHello{Hello: &hello}); err != nil {
 		return fmt.Errorf("dispatch: worker hello: %w", err)
 	}
 
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), maxFrameBytes)
-	for sc.Scan() {
-		if ctx.Err() != nil {
-			return ctx.Err()
+	done := make(chan struct{})
+	defer close(done)
+	if opts.hbInterval > 0 {
+		go func() {
+			t := time.NewTicker(opts.hbInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					if send(wireResponse{HB: true}) != nil {
+						return // stream gone; the main loop is on its way out
+					}
+				}
+			}
+		}()
+	}
+
+	// Frames arrive through a reader goroutine so an idle loop can notice
+	// cancellation immediately (the drain path) instead of blocking in Scan.
+	lines := make(chan []byte)
+	scanErr := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64<<10), maxFrameBytes)
+		for sc.Scan() {
+			line := append([]byte(nil), sc.Bytes()...)
+			select {
+			case lines <- line:
+			case <-done:
+				return
+			}
+		}
+		scanErr <- sc.Err()
+		close(lines)
+	}()
+
+	for {
+		var line []byte
+		var ok bool
+		select {
+		case <-ctx.Done():
+			return ctx.Err() // idle: nothing in flight, drain immediately
+		case line, ok = <-lines:
+		}
+		if !ok {
+			if err := <-scanErr; err != nil {
+				return fmt.Errorf("dispatch: worker read: %w", err)
+			}
+			return nil
 		}
 		var req wireRequest
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+		if err := json.Unmarshal(line, &req); err != nil {
 			if serr := send(wireResponse{Error: &wireError{
 				Kind:      simerr.KindTransport.String(),
 				Message:   fmt.Sprintf("dispatch: worker: bad frame: %v", err),
@@ -136,24 +221,23 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer) error {
 			}
 			continue
 		}
-		if err := send(runWireRequest(ctx, req)); err != nil {
+		if err := send(runWireRequest(ctx, req, opts.cache)); err != nil {
 			return err
 		}
+		if ctx.Err() != nil {
+			return ctx.Err() // drain: the in-flight call was answered first
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("dispatch: worker read: %w", err)
-	}
-	return nil
 }
 
 // runWireRequest executes one cell frame through the shared engine pipeline
-// and renders the reply frame. Failures become typed wire errors; the engine
+// and renders the reply frame, consulting the daemon's shared result cache
+// first when one is configured. Failures become typed wire errors; the engine
 // already recovers panics into simerr.ErrPanic, so one poisoned cell cannot
 // take the worker process down.
-func runWireRequest(ctx context.Context, req wireRequest) wireResponse {
+func runWireRequest(ctx context.Context, req wireRequest, cache *lru.Cache[string, engine.Result]) wireResponse {
 	prog, err := engine.Load(req.Name, req.Binary)
 	if err == nil {
-		var res *engine.Result
 		ereq := engine.Request{
 			Name:    req.Name,
 			Program: prog,
@@ -165,9 +249,26 @@ func runWireRequest(ctx context.Context, req wireRequest) wireResponse {
 				Deadline:  time.Duration(req.DeadlineMS) * time.Millisecond,
 			},
 		}
-		if res, err = engine.Run(ctx, ereq); err == nil {
-			st := res.Stats
-			return wireResponse{ID: req.ID, Exit: res.ExitCode, Output: res.Output, Stats: &st}
+		if err = ereq.Normalize(); err == nil {
+			var key string
+			var cacheable bool
+			if cache != nil {
+				key, cacheable = engine.CacheKey(prog, ereq.Policy, ereq.BuildConfig(), false, req.Verify)
+				if cacheable {
+					if res, ok := cache.Get(key); ok {
+						st := res.Stats
+						return wireResponse{ID: req.ID, Exit: res.ExitCode, Output: res.Output, Stats: &st, Cached: true}
+					}
+				}
+			}
+			var res *engine.Result
+			if res, err = engine.Run(ctx, ereq); err == nil {
+				if cacheable {
+					cache.Put(key, *res)
+				}
+				st := res.Stats
+				return wireResponse{ID: req.ID, Exit: res.ExitCode, Output: res.Output, Stats: &st}
+			}
 		}
 	}
 	return wireResponse{ID: req.ID, Error: &wireError{

@@ -1,0 +1,156 @@
+package faultinject
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestParseNetSpec(t *testing.T) {
+	plan, err := ParseNetSpec("conn-kill:prob=0.05:first=200;latency:prob=0.2:delay=5ms:jitter=2ms;partial-write;corrupt-frame:prob=0.1;partition:prob=0.01", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 42 || len(plan.Faults) != 5 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	want := []NetFault{
+		{Kind: ConnKill, Prob: 0.05, FirstOps: 200},
+		{Kind: NetLatency, Prob: 0.2, Delay: 5 * time.Millisecond, Jitter: 2 * time.Millisecond},
+		{Kind: PartialWrite, Prob: 1},
+		{Kind: CorruptFrame, Prob: 0.1},
+		{Kind: NetPartition, Prob: 0.01},
+	}
+	for i, f := range plan.Faults {
+		if f != want[i] {
+			t.Fatalf("fault %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+}
+
+func TestParseNetSpecErrors(t *testing.T) {
+	for _, spec := range []string{"bogus", "latency:delay=xyz", "conn-kill:probability=1", "latency:delay"} {
+		if _, err := ParseNetSpec(spec, 1); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+	if plan, err := ParseNetSpec("  ", 1); err != nil || plan != nil {
+		t.Fatalf("empty spec: plan=%v err=%v", plan, err)
+	}
+}
+
+// pipeConns builds a connected TCP pair on loopback — real sockets, so the
+// decorator is tested over the transport it will actually wrap.
+func pipeConns(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, ok := <-done
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// TestCorruptFrameAlwaysDetectable: the corrupted byte is NUL, which can
+// never appear in valid NDJSON — so a corrupted frame is always a parse
+// error, never a silently wrong result.
+func TestCorruptFrameAlwaysDetectable(t *testing.T) {
+	client, server := pipeConns(t)
+	ni := NewNet(NetPlan{Seed: 7, Faults: []NetFault{{Kind: CorruptFrame, Prob: 1}}})
+	wrapped := ni.Wrap(client)
+
+	msg := []byte(`{"id":1,"output":"hello"}` + "\n")
+	if _, err := wrapped.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := server.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	var zeros int
+	for _, b := range got {
+		if b == 0x00 {
+			zeros++
+		}
+	}
+	if zeros != 1 {
+		t.Fatalf("corrupted frame has %d NUL bytes, want exactly 1: %q", zeros, got)
+	}
+	if f := ni.Fired(); f["corrupt-frame"] != 1 {
+		t.Fatalf("fired = %v", f)
+	}
+}
+
+// TestPartitionLatch: once partitioned, writes claim success, reads block
+// until Close — and Close does unblock them.
+func TestPartitionLatch(t *testing.T) {
+	client, _ := pipeConns(t)
+	ni := NewNet(NetPlan{Seed: 1, Faults: []NetFault{{Kind: NetPartition, Prob: 1}}})
+	wrapped := ni.Wrap(client)
+
+	if n, err := wrapped.Write([]byte("x")); err != nil || n != 1 {
+		t.Fatalf("partitioned write: n=%d err=%v", n, err)
+	}
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := wrapped.Read(make([]byte, 1))
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		t.Fatalf("partitioned read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	wrapped.Close()
+	select {
+	case err := <-readDone:
+		if err == nil {
+			t.Fatal("partitioned read succeeded after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not unblock the partitioned read")
+	}
+}
+
+// TestPartialWriteKillsConn: the caller sees full success, the peer gets
+// half a frame and then EOF — the frame can never silently complete later.
+func TestPartialWriteKillsConn(t *testing.T) {
+	client, server := pipeConns(t)
+	ni := NewNet(NetPlan{Seed: 1, Faults: []NetFault{{Kind: PartialWrite, Prob: 1}}})
+	wrapped := ni.Wrap(client)
+
+	msg := []byte("0123456789")
+	if n, err := wrapped.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("partial write claimed n=%d err=%v, want full success", n, err)
+	}
+	var got []byte
+	buf := make([]byte, 64)
+	for {
+		n, err := server.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break // EOF from the injected kill
+		}
+	}
+	if len(got) != len(msg)/2 {
+		t.Fatalf("peer received %d bytes %q, want %d", len(got), got, len(msg)/2)
+	}
+}

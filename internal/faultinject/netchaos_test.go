@@ -1,0 +1,241 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"levioso/internal/dispatch"
+	"levioso/internal/engine"
+	"levioso/internal/isa"
+	"levioso/internal/obs"
+)
+
+// TestNetChaosBatchBitIdentical is the multi-host analogue of
+// TestChaosBatchGracefulDegradation: a 100-cell batch dispatched to two
+// worker daemons over real loopback TCP, under a seeded storm of connection
+// kills, silent partitions, corrupted frames, and link latency, must still
+// complete bit-identical to a fault-free run — no hung calls, no leaked
+// goroutines, every counter visible in a ValidateProm-clean exposition.
+func TestNetChaosBatchBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network chaos test in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	srcs := chaosSources()
+	policies := []string{"unsafe", "fence", "delay", "levioso"}
+	type cellSpec struct {
+		prog   *isa.Program
+		policy string
+	}
+	var specs []cellSpec
+	for _, src := range srcs {
+		prog, _, err := engine.Compile("netchaos.lc", src, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range policies {
+			for rep := 0; rep < 5; rep++ { // 5×4×5 = 100 cells; repeats feed cache + dedup
+				specs = append(specs, cellSpec{prog, pol})
+			}
+		}
+	}
+	if len(specs) != 100 {
+		t.Fatalf("batch size %d, want 100", len(specs))
+	}
+
+	// Fault-free ground truth.
+	truth := make(map[*isa.Program]map[string]*engine.Result)
+	for _, sp := range specs {
+		if truth[sp.prog] == nil {
+			truth[sp.prog] = make(map[string]*engine.Result)
+		}
+		if truth[sp.prog][sp.policy] == nil {
+			want, err := engine.Run(context.Background(), engine.Request{
+				Name: "netchaos.lc", Program: sp.prog, Verify: true,
+				Overrides: engine.Overrides{Policy: sp.policy},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth[sp.prog][sp.policy] = want
+		}
+	}
+
+	// Two worker daemons on loopback, fast heartbeats so partitions are
+	// detected quickly.
+	dctx, dcancel := context.WithCancel(context.Background())
+	var addrs []string
+	var daemons []chan struct{}
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, ln.Addr().String())
+		done := make(chan struct{})
+		daemons = append(daemons, done)
+		go func(ln net.Listener) {
+			defer close(done)
+			dispatch.ListenWorkers(dctx, ln, dispatch.ListenOptions{
+				HeartbeatInterval: 25 * time.Millisecond,
+			})
+		}(ln)
+	}
+	stopDaemons := func() {
+		dcancel()
+		for _, done := range daemons {
+			select {
+			case <-done:
+			case <-time.After(15 * time.Second):
+				t.Error("worker daemon did not drain")
+			}
+		}
+	}
+	defer stopDaemons()
+
+	// The storm: socket death, silent partitions, corrupted frames, and
+	// link latency, front-loaded on the first operations so the run
+	// provably drains.
+	ni := NewNet(NetPlan{
+		Seed: 42,
+		Faults: []NetFault{
+			{Kind: ConnKill, Prob: 0.05, FirstOps: 400},
+			{Kind: NetPartition, Prob: 0.02, FirstOps: 200},
+			{Kind: CorruptFrame, Prob: 0.08, FirstOps: 400},
+			{Kind: NetLatency, Prob: 0.15, FirstOps: 600, Delay: time.Millisecond, Jitter: 2 * time.Millisecond},
+		},
+	})
+	reg := obs.NewRegistry()
+	fleet, err := dispatch.NewRemote(dispatch.RemoteConfig{
+		DialTimeout:      2 * time.Second,
+		RedialBackoff:    2 * time.Millisecond,
+		RedialMax:        50 * time.Millisecond,
+		HeartbeatTimeout: 250 * time.Millisecond,
+		Seed:             42,
+		WrapConn:         ni.Wrap,
+		Registry:         reg,
+	}, addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := dispatch.New(context.Background(), dispatch.Config{
+		Workers:          4,
+		Spawn:            fleet.Spawner(),
+		MaxAttempts:      10,
+		Backoff:          2 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  10 * time.Millisecond,
+		CrashLoopBudget:  200,
+		QueueDepth:       -1,
+		Registry:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	// Bounded completion: partitions cost one heartbeat timeout each and
+	// the storm windows are finite, so the batch must drain well inside
+	// the budget — a hung call fails this loudly.
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	start := time.Now()
+	results := make([]*engine.Result, len(specs))
+	errs := make([]error, len(specs))
+	done := make(chan int)
+	for i, sp := range specs {
+		go func(i int, sp cellSpec) {
+			results[i], errs[i] = co.Execute(ctx, &dispatch.Cell{
+				Name: "netchaos.lc", Program: sp.prog, Verify: true,
+				Overrides: engine.Overrides{Policy: sp.policy},
+			})
+			done <- i
+		}(i, sp)
+	}
+	for range specs {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	// Zero wrong results: every cell completed, bit-identical to truth —
+	// in particular no corrupted frame ever produced a plausible answer.
+	for i, sp := range specs {
+		if errs[i] != nil {
+			t.Fatalf("cell %d failed under network chaos: %v", i, errs[i])
+		}
+		want := truth[sp.prog][sp.policy]
+		got := results[i]
+		if got.ExitCode != want.ExitCode || got.Output != want.Output || got.Stats != want.Stats {
+			t.Fatalf("cell %d (%s) diverged from fault-free run:\n got=%+v\nwant=%+v",
+				i, sp.policy, got, want)
+		}
+	}
+
+	// The storm actually happened and the lifecycle machinery shows it.
+	fired := ni.Fired()
+	var total uint64
+	for _, n := range fired {
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("no network faults fired — chaos test proved nothing: %v", fired)
+	}
+	st := co.Snapshot()
+	if st.Retries == 0 && st.Restarts == 0 {
+		t.Fatalf("faults fired (%v) but no retries or restarts recorded: %+v", fired, st)
+	}
+	var dials, partitions uint64
+	for _, p := range fleet.Peers() {
+		dials += p.Dials
+		partitions += p.Partitions
+	}
+	if dials < 2 {
+		t.Fatalf("fewer than 2 dials recorded across peers: %+v", fleet.Peers())
+	}
+	if fired["partition"] > 0 && partitions == 0 {
+		t.Errorf("partitions were injected (%d) but none detected by the watchdog", fired["partition"])
+	}
+	t.Logf("netchaos: %v faults, %d retries, %d restarts, %d breaker trips, %d dials, %d partitions, %v elapsed",
+		fired, st.Retries, st.Restarts, st.BreakerTrips, dials, partitions, elapsed)
+
+	// The whole story is on /metrics, well-formed.
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	families, err := obs.ValidateProm(&buf)
+	if err != nil {
+		t.Fatalf("metrics exposition invalid: %v", err)
+	}
+	for _, name := range []string{
+		"dispatch_remote_dials_total", "dispatch_remote_connected",
+		"dispatch_remote_heartbeats_total", "dispatch_dedup_hits_total",
+		"dispatch_cells_total", "dispatch_retries_total",
+	} {
+		if _, ok := families[name]; !ok {
+			t.Errorf("metric family %s missing from exposition", name)
+		}
+	}
+
+	// No leaked goroutines: tear everything down and expect the count to
+	// return near baseline (lenient — runtime pollers come and go).
+	co.Close()
+	stopDaemons()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

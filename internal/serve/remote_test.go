@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"levioso/internal/dispatch"
+	"levioso/internal/engine"
+)
+
+// startWorkerDaemons runs n TCP worker daemons on loopback and returns
+// their addresses. Cleanup drains them.
+func startWorkerDaemons(t *testing.T, n int) []string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var addrs []string
+	var dones []chan struct{}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, ln.Addr().String())
+		done := make(chan struct{})
+		dones = append(dones, done)
+		go func(ln net.Listener) {
+			defer close(done)
+			dispatch.ListenWorkers(ctx, ln, dispatch.ListenOptions{
+				HeartbeatInterval: 25 * time.Millisecond,
+			})
+		}(ln)
+	}
+	t.Cleanup(func() {
+		cancel()
+		for _, done := range dones {
+			select {
+			case <-done:
+			case <-time.After(15 * time.Second):
+				t.Error("worker daemon did not drain")
+			}
+		}
+	})
+	return addrs
+}
+
+// TestServeRemoteBatch is the multi-host quick-start as a test: one
+// coordinator daemon fronting two TCP worker daemons, a /v1/batch request
+// whose cells all round-trip through real sockets, and /v1/stats reporting
+// the per-peer fleet state.
+func TestServeRemoteBatch(t *testing.T) {
+	addrs := startWorkerDaemons(t, 2)
+	s, ts := startServer(t, Config{
+		Remote: addrs,
+		RemoteConfig: dispatch.RemoteConfig{
+			DialTimeout:   2 * time.Second,
+			RedialBackoff: 2 * time.Millisecond,
+		},
+		Dispatch: &dispatch.Config{Workers: 4, CacheEntries: -1},
+	})
+
+	// Ground truth for the one batch cell shape we send.
+	want, err := engine.Run(context.Background(), engine.Request{
+		Name: "hist.lc", Source: histSrc, Verify: true,
+		Overrides: engine.Overrides{Policy: "levioso"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cells := make([]SimRequest, 8)
+	for i := range cells {
+		cells[i] = SimRequest{Name: "hist.lc", Source: histSrc, Policy: "levioso", Verify: true}
+	}
+	body, err := json.Marshal(BatchRequest{Cells: cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	var got int
+	var trailer BatchTrailer
+	for sc.Scan() {
+		var probe struct {
+			Done *bool `json:"done"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if probe.Done != nil {
+			if err := json.Unmarshal(sc.Bytes(), &trailer); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var line BatchCellResult
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Error != nil {
+			t.Fatalf("cell %d failed: %+v", line.Index, line.Error)
+		}
+		if line.Exit != want.ExitCode || line.Output != want.Output || line.Stats == nil || *line.Stats != want.Stats {
+			t.Fatalf("cell %d differs from engine run:\n got=%+v\nwant=%+v", line.Index, line, want)
+		}
+		got++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != len(cells) || !trailer.Done || trailer.Completed != len(cells) || trailer.Failed != 0 {
+		t.Fatalf("stream: %d cells, trailer %+v", got, trailer)
+	}
+
+	// /v1/stats names both peers with live connection state.
+	st := s.Stats()
+	if len(st.RemotePeers) != 2 {
+		t.Fatalf("stats report %d remote peers, want 2: %+v", len(st.RemotePeers), st.RemotePeers)
+	}
+	seen := map[string]bool{}
+	var dials uint64
+	for _, p := range st.RemotePeers {
+		seen[p.Addr] = true
+		dials += p.Dials
+	}
+	for _, a := range addrs {
+		if !seen[a] {
+			t.Fatalf("peer %s missing from stats: %+v", a, st.RemotePeers)
+		}
+	}
+	if dials < 2 {
+		t.Fatalf("stats show %d dials across peers, want ≥2: %+v", dials, st.RemotePeers)
+	}
+	var httpStats ServerStats
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&httpStats); err != nil {
+		t.Fatal(err)
+	}
+	if len(httpStats.RemotePeers) != 2 {
+		t.Fatalf("GET /v1/stats remote_peers = %+v, want both peers", httpStats.RemotePeers)
+	}
+}

@@ -102,6 +102,16 @@ type Config struct {
 	Dispatch *dispatch.Config
 	// MaxBatchCells caps cells per /v1/batch request (default 1024).
 	MaxBatchCells int
+
+	// Remote, when non-empty, dispatches batch cells to worker daemons at
+	// these TCP addresses (levserve -worker-listen) instead of local
+	// workers; Dispatch.Spawn, if also set, is overridden. Worker count
+	// defaults to len(Remote) so each peer gets one connection.
+	Remote []string
+	// RemoteConfig tunes the TCP transport lifecycle (dial timeout, redial
+	// backoff, heartbeat timeout, fault-injection conn wrapper). Its
+	// Registry is replaced by this server's.
+	RemoteConfig dispatch.RemoteConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +142,7 @@ type Server struct {
 	mux      *http.ServeMux
 	reg      *obs.Registry
 	dispatch *dispatch.Coordinator
+	fleet    *dispatch.RemoteFleet // non-nil when cfg.Remote is set
 
 	accessLog io.Writer
 	logMu     sync.Mutex
@@ -179,6 +190,19 @@ func New(cfg Config) (*Server, error) {
 	dcfg := dispatch.Config{}
 	if cfg.Dispatch != nil {
 		dcfg = *cfg.Dispatch
+	}
+	if len(cfg.Remote) > 0 {
+		rc := cfg.RemoteConfig
+		rc.Registry = reg
+		fleet, err := dispatch.NewRemote(rc, cfg.Remote...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: remote worker fleet: %w", err)
+		}
+		s.fleet = fleet
+		dcfg.Spawn = fleet.Spawner()
+		if dcfg.Workers <= 0 {
+			dcfg.Workers = len(cfg.Remote)
+		}
 	}
 	if dcfg.Workers <= 0 {
 		dcfg.Workers = cfg.Workers
@@ -289,6 +313,10 @@ type ServerStats struct {
 	// Dispatch is the batch tier: worker fleet health, retry/breaker/shed
 	// counters, and the shared batch result cache.
 	Dispatch dispatch.Stats `json:"dispatch"`
+	// RemotePeers reports per-peer connection state (address, live
+	// connections, reconnects, partitions, heartbeat age) when the batch
+	// tier dispatches to remote TCP workers.
+	RemotePeers []dispatch.PeerStats `json:"remote_peers,omitempty"`
 }
 
 // VersionInfo is the JSON reply of GET /v1/version.
@@ -651,7 +679,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // always describe the same cache state.
 func (s *Server) Stats() ServerStats {
 	cs := s.cache.Stats()
+	var peers []dispatch.PeerStats
+	if s.fleet != nil {
+		peers = s.fleet.Peers()
+	}
 	return ServerStats{
+		RemotePeers:    peers,
 		SchemaVersion:  SchemaVersion,
 		Requests:       s.requests.Load(),
 		CacheHits:      cs.Hits,
