@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench golden gate smoke obssmoke chaossmoke netchaossmoke fuzzsmoke attacksmoke replay ci clean
+.PHONY: all build vet test race bench golden gate smoke obssmoke chaossmoke netchaossmoke fuzzsmoke campaignsmoke attacksmoke replay ci clean
 
 all: build
 
@@ -103,6 +103,17 @@ netchaossmoke:
 fuzzsmoke:
 	$(GO) run ./cmd/levfuzz -duration 10s -seed 1 -q
 
+# campaignsmoke is the coverage-guided campaign gate, under -race: a seeded
+# campaign is SIGKILLed mid-run from a subprocess and resumed — no committed
+# case may re-execute and the converged state file must be bit-identical to
+# an uninterrupted run's; the guided scheduler must beat blind generation at
+# a fixed seed and budget; and the daemon's /v1/fuzz endpoints must complete
+# a campaign end to end with valid Prometheus exposition for the
+# fuzz_campaign_* families.
+campaignsmoke:
+	$(GO) test -race -count=1 -run 'TestCampaignKillResume|TestCampaignResumeDeterminism|TestCampaignGuidedBeatsBlind' ./internal/fuzz
+	$(GO) test -race -count=1 -run 'TestServeFuzz' ./internal/serve
+
 # attacksmoke replays the attack expectation matrix: all four transient-
 # execution gadgets against every registered policy configuration (the full
 # registry sweep — parameterized families at every level), each outcome judged
@@ -121,8 +132,8 @@ replay:
 # gate, the levserve smoke test, the seeded chaos smoke (batch dispatch under
 # a transport-fault storm), the seeded network chaos smoke (remote TCP
 # workers under a connection-fault storm), the fixed-seed fuzz smoke +
-# corpus replay, the attack expectation-matrix replay, and the golden
-# timing-model diff.
+# corpus replay, the kill -9 campaign resume smoke, the attack
+# expectation-matrix replay, and the golden timing-model diff.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -134,6 +145,7 @@ ci:
 	$(MAKE) chaossmoke
 	$(MAKE) netchaossmoke
 	$(MAKE) fuzzsmoke
+	$(MAKE) campaignsmoke
 	$(MAKE) attacksmoke
 	$(MAKE) replay
 	$(MAKE) golden

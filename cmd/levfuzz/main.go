@@ -12,12 +12,21 @@
 //	levfuzz -duration 10s -seed 1             # fixed-seed timed session
 //	levfuzz -count 500 -profile gadget        # 500 gadget cases
 //	levfuzz -corpus corpus/                   # persist repros + resume journal
+//	levfuzz -campaign camp/ -count 2000       # coverage-guided campaign
 //	levfuzz -policies unsafe,fence,levioso    # restrict the policy matrix
 //	levfuzz -inject 'commit-stall:start=1000' # mutation-check a fault plan
 //
 // With -corpus, completed cases are journaled (fsync per entry): re-running
 // the identical invocation resumes where it stopped without re-executing
-// finished cases. Exit status: 0 clean, 1 findings, 2 usage.
+// finished cases.
+//
+// With -campaign, levfuzz runs the coverage-guided tier instead: a
+// sequential corpus-evolving loop whose whole state (corpus, coverage map,
+// finding buckets) is rewritten atomically after every case, so killing it
+// at any point — including kill -9 — and rerunning the identical invocation
+// resumes exactly where it stopped. -blind disables the coverage feedback
+// (every case generated fresh), the control arm for coverage-growth
+// comparisons. Exit status: 0 clean, 1 findings, 2 usage.
 package main
 
 import (
@@ -45,6 +54,8 @@ func run() int {
 	profileSpec := flag.String("profile", "", "comma-separated generation profiles (default: all; one of "+profileList()+")")
 	policySpec := flag.String("policies", "", "comma-separated policies to judge under (default: all registered)")
 	corpus := flag.String("corpus", "", "corpus directory for shrunk repros and the resume journal")
+	campaign := flag.String("campaign", "", "coverage-guided campaign directory (state file + repros); overrides -corpus")
+	blind := flag.Bool("blind", false, "with -campaign: disable coverage-guided mutation (every case fresh)")
 	workers := flag.Int("workers", 0, "parallel workers (default: GOMAXPROCS, capped at 8)")
 	maxCycles := flag.Uint64("max-cycles", 0, "cycle limit per core run (default 4M)")
 	deadline := flag.Duration("deadline", 0, "wall-clock bound per run (default 30s)")
@@ -70,13 +81,7 @@ func run() int {
 		return 2
 	}
 
-	cfg := fuzz.Config{
-		Options: fuzz.Options{
-			Policies:  cli.SplitList(*policySpec),
-			MaxCycles: *maxCycles,
-			Deadline:  *deadline,
-			Faults:    plan,
-		},
+	cfg := fuzz.Options{
 		Seed:      *seed,
 		Profiles:  profiles,
 		Count:     *count,
@@ -85,6 +90,11 @@ func run() int {
 		CorpusDir: *corpus,
 		NoShrink:  *noShrink,
 		NoMatrix:  *noMatrix,
+		Policies:  cli.SplitList(*policySpec),
+		MaxCycles: *maxCycles,
+		Deadline:  *deadline,
+		Faults:    plan,
+		Blind:     *blind,
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr
@@ -93,9 +103,23 @@ func run() int {
 	defer func() { cli.DumpMetrics("levfuzz", *metrics) }()
 
 	// ^C finishes in-flight cases and reports what was found; with a corpus
-	// journal the next identical invocation resumes from the interruption.
+	// journal or a campaign directory the next identical invocation resumes
+	// from the interruption.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	if *campaign != "" {
+		sum, err := fuzz.Campaign(ctx, *campaign, cfg)
+		if err != nil {
+			return cli.Fail("levfuzz", err)
+		}
+		fmt.Print(renderCampaign(sum))
+		if sum.FindingCount > 0 {
+			fmt.Fprintf(os.Stderr, "levfuzz: %d finding(s)\n", sum.FindingCount)
+			return 1
+		}
+		return 0
+	}
 
 	sum, err := fuzz.Run(ctx, cfg)
 	if err != nil {
@@ -107,6 +131,30 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// renderCampaign formats a campaign summary: headline counters plus one line
+// per finding class with its repro files.
+func renderCampaign(s *fuzz.CampaignSummary) string {
+	t := stats.NewTable("fuzz campaign", "metric", "value")
+	t.Add("cases executed", fmt.Sprint(s.Cases))
+	t.Add("cases resumed", fmt.Sprint(s.Resumed))
+	t.Add("cases skipped", fmt.Sprint(s.Skipped))
+	t.Add("cases mutated", fmt.Sprint(s.Mutated))
+	t.Add("executions", fmt.Sprint(s.Execs))
+	t.Add("coverage bits", fmt.Sprint(s.CoverageBits))
+	t.Add("corpus size", fmt.Sprint(s.CorpusSize))
+	t.Add("findings", fmt.Sprint(s.FindingCount))
+	t.Add("elapsed", s.Elapsed.Round(time.Millisecond).String())
+	out := t.String()
+	for _, b := range s.Buckets {
+		out += fmt.Sprintf("class %s/%s/%s: %d (first at case %06d)", b.Oracle, b.Policy, b.Kind, b.Count, b.FirstIndex)
+		if len(b.Repros) > 0 {
+			out += fmt.Sprintf(" [repros %v]", b.Repros)
+		}
+		out += "\n"
+	}
+	return out
 }
 
 // render formats the session summary: the headline counters, the per-oracle

@@ -82,6 +82,15 @@ type Config struct {
 	// (mispredicts, policy waits, invisible execution). Slow; for debugging.
 	Trace io.Writer
 
+	// Coverage, when non-nil, receives the run's microarchitectural coverage
+	// signature: one bit per observed (event class, instruction site,
+	// outcome) triple — branch outcomes, squash depths, policy restriction
+	// events, LQ/SQ alias stalls, secret-taint propagation. The fuzzer's
+	// corpus scheduler steers on it. Like the other hook fields it makes a
+	// run uncacheable (engine.CacheKey): the sink is an output channel whose
+	// effect a cached result would silently drop.
+	Coverage *CoverageSink
+
 	// WrapMem and WrapPred, when non-nil, interpose on the memory system and
 	// branch predictor at core construction (internal/faultinject uses these
 	// to inject stuck responses, delayed fills and mispredict storms). The

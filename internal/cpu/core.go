@@ -108,6 +108,10 @@ type Core struct {
 	// implements SecretTainter (see secret.go); nil otherwise.
 	sec *secretState
 
+	// cov is the attached coverage sink (Config.Coverage); nil for normal
+	// runs, so every hook site costs one predictable branch.
+	cov *CoverageSink
+
 	fenceSeqs []uint64 // in-flight FENCE/HALT sequence numbers, program order
 
 	divBusyUntil uint64
@@ -153,6 +157,7 @@ func New(prog *isa.Program, cfg Config, pol Policy) (*Core, error) {
 		Hier:   ms,
 		Phys:   phys,
 		Pred:   pred,
+		cov:    cfg.Coverage,
 	}
 	c.regVal = make([]uint64, cfg.NumPhysRegs)
 	c.regReady = make([]bool, cfg.NumPhysRegs)
@@ -481,6 +486,9 @@ func (c *Core) commit() error {
 			}
 			c.lqHead++
 			c.stats.Loads++
+			if c.cov != nil {
+				c.cov.mark(covLoad, covSite(d), covBit(d.FwdFrom != nil)|covBit(d.Invisible)<<1)
+			}
 		case op == isa.PUTC:
 			c.out = append(c.out, byte(d.Result))
 		case op == isa.PUTI:
@@ -497,6 +505,9 @@ func (c *Core) commit() error {
 			if d.Mispredict {
 				c.stats.CondMispredicts++
 			}
+			if c.cov != nil {
+				c.cov.mark(covBranch, covSite(d), covBit(d.ActualTaken)|covBit(d.Mispredict)<<1)
+			}
 		case op == isa.JALR:
 			if !d.UsedRAS {
 				c.Pred.UpdateIndirect(d.PC, d.ActualNext)
@@ -504,6 +515,11 @@ func (c *Core) commit() error {
 			c.stats.Indirects++
 			if d.Mispredict {
 				c.stats.IndMispredicts++
+			}
+			if c.cov != nil {
+				// Outcome bit 2 marks the indirect class apart from the
+				// conditional taken/mispredict encodings above.
+				c.cov.mark(covBranch, covSite(d), 1<<2|covBit(d.Mispredict))
 			}
 		}
 		if m.flags&mTransmitter != 0 {
@@ -513,6 +529,9 @@ func (c *Core) commit() error {
 			}
 			if d.specAtIssue {
 				c.stats.SpecTransmitters++
+			}
+			if c.cov != nil {
+				c.cov.mark(covTransmit, covSite(d), covBit(d.EverWaited)|covBit(d.specAtIssue)<<1)
 			}
 		}
 		if d.Dst >= 0 {
@@ -672,6 +691,9 @@ func (c *Core) recoverFrom(d *DynInst) {
 		c.rob = c.rob[:i]
 		c.stats.Squashed++
 		nsq++
+	}
+	if c.cov != nil && nsq > 0 {
+		c.cov.mark(covSquash, covSite(d), log2Bucket(nsq))
 	}
 	// A wrong-path divide occupying the divider is squashed with everything
 	// else: a real core drops the operation when its station is flushed.
@@ -890,6 +912,9 @@ func (c *Core) issue() {
 			if decision == Wait {
 				d.EverWaited = true
 				c.stats.PolicyWaitEvents++
+				if c.cov != nil {
+					c.cov.mark(covPolicyWait, covSite(d), 0)
+				}
 				keep = append(keep, d)
 				continue
 			}
@@ -967,6 +992,9 @@ func (c *Core) loadMayIssue(d *DynInst) (bool, *DynInst) {
 			if s.Addr == d.Addr && ssize == size && s.State == StateDone {
 				match = s // youngest older exact match wins
 			} else {
+				if c.cov != nil {
+					c.cov.mark(covAlias, covSite(d), 0)
+				}
 				return false, nil // partial overlap: wait for store commit
 			}
 		}

@@ -1,0 +1,105 @@
+package cpu
+
+import (
+	"math/bits"
+
+	"levioso/internal/isa"
+)
+
+// Coverage event classes. Each observed microarchitectural event is folded
+// into the sink as hash(class, site, outcome) — the site is the static
+// instruction index, so the same event at a different program point is a
+// different coverage bit, and the outcome disambiguates e.g. a taken from a
+// mispredicted branch at one site.
+const (
+	covBranch     uint64 = iota // conditional/indirect commit: taken/mispredict bits
+	covSquash                   // misprediction recovery: log2 squash depth
+	covPolicyWait               // policy Decide returned Wait at this site
+	covLoad                     // load commit: forwarded/invisible bits
+	covAlias                    // LQ/SQ partial-overlap stall at this load
+	covTaint                    // secret taint propagated into this destination
+	covTransmit                 // transmitter commit: restricted/speculative bits
+)
+
+// CoverageWords sizes the coverage signature: 128 words = 8192 bits, the
+// same order of magnitude as an AFL edge map scaled to the generator's
+// program sizes (hundreds of static instructions, a handful of event
+// classes and outcomes per site).
+const CoverageWords = 128
+
+// CoverageSink is a compact microarchitectural coverage signature: one bit
+// per observed (event class, site, outcome) triple. Attach one via
+// Config.Coverage to have the core record which speculation-relevant events
+// a run actually exercised — branch outcomes, squash depths, policy
+// restriction decisions, store-to-load alias stalls, secret-taint
+// propagation. Marking is branch-free bit arithmetic on a fixed array; the
+// hot loop pays a single predictable nil check per event site when no sink
+// is attached.
+//
+// A sink is plain data with no interior pointers, so callers may copy,
+// compare and serialize it freely. It is not safe for concurrent use by
+// multiple cores; give each core its own sink and merge with Or.
+type CoverageSink struct {
+	Bits [CoverageWords]uint64
+}
+
+// mark folds one event into the signature. The mixer is the splitmix64
+// finalizer over the packed triple — cheap, and consecutive sites spread
+// across the whole map.
+func (s *CoverageSink) mark(class, site, outcome uint64) {
+	z := class<<40 ^ site<<8 ^ outcome
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	s.Bits[(z>>6)%CoverageWords] |= 1 << (z & 63)
+}
+
+// Or merges another signature into s.
+func (s *CoverageSink) Or(t *CoverageSink) {
+	for i := range s.Bits {
+		s.Bits[i] |= t.Bits[i]
+	}
+}
+
+// Count returns the signature's population (set bits).
+func (s *CoverageSink) Count() int {
+	n := 0
+	for _, w := range s.Bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// NewBits reports whether t contains any bit not already set in s.
+func (s *CoverageSink) NewBits(t *CoverageSink) bool {
+	for i, w := range t.Bits {
+		if w&^s.Bits[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears the signature.
+func (s *CoverageSink) Reset() { s.Bits = [CoverageWords]uint64{} }
+
+// covBit packs a bool into an outcome bit.
+func covBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// covSite maps a dynamic instruction onto its static coverage site (the
+// text index of its PC).
+func covSite(d *DynInst) uint64 {
+	return (d.PC - isa.TextBase) / isa.InstBytes
+}
+
+// log2Bucket buckets a squash depth into its log2 class, so "squashed 3"
+// and "squashed 200" are different coverage outcomes without one bit per
+// possible depth.
+func log2Bucket(n int) uint64 {
+	return uint64(bits.Len(uint(n)))
+}

@@ -56,6 +56,9 @@ func (s *secretState) afterExec(c *Core, d *DynInst, fwd *DynInst) {
 	if d.Dst >= 0 {
 		s.regSec[d.Dst] = sec
 	}
+	if sec && c.cov != nil {
+		c.cov.mark(covTaint, covSite(d), 0)
+	}
 }
 
 // commitStore records a retiring store into the memory-taint overlay:

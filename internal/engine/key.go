@@ -19,10 +19,11 @@ import (
 //
 // The second return value reports cacheability. Requests whose configuration
 // carries behavioral hooks — a trace writer, fault-injection wrappers, a
-// commit-stall callback — are not cacheable: the hooks are opaque functions
-// whose effects cannot be keyed.
+// commit-stall callback, a coverage sink — are not cacheable: the hooks are
+// opaque side channels whose effects cannot be keyed (and a cached result
+// would silently skip filling the coverage sink).
 func CacheKey(prog *isa.Program, policy string, cfg cpu.Config, useRef, verify bool) (string, bool) {
-	if cfg.Trace != nil || cfg.WrapMem != nil || cfg.WrapPred != nil || cfg.CommitStall != nil {
+	if cfg.Trace != nil || cfg.WrapMem != nil || cfg.WrapPred != nil || cfg.CommitStall != nil || cfg.Coverage != nil {
 		return "", false
 	}
 	img, err := prog.MarshalBinary()

@@ -1,0 +1,420 @@
+package fuzz
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"levioso/internal/cpu"
+	"levioso/internal/journal"
+	"levioso/internal/obs"
+	"levioso/internal/simerr"
+)
+
+// A campaign is the coverage-guided tier above Run: a sequential, resumable
+// loop in which every case is either generated fresh or mutated from a
+// corpus of programs that previously reached new machine behavior. Each case
+// runs with a fresh cpu.CoverageSink; the union of the signatures of all its
+// oracle runs is compared against the campaign's global coverage map, and a
+// case that lights new bits joins the mutation corpus. After every case the
+// whole campaign state — corpus, coverage map, finding buckets, next index —
+// is rewritten atomically (journal.WriteAtomic), so a kill -9 at any point
+// loses at most the in-flight case and a rerun resumes exactly where it
+// stopped, replaying no completed case.
+//
+// The campaign is deliberately sequential: corpus evolution feeds back into
+// case construction, so a deterministic schedule requires that case i sees
+// exactly the corpus left by cases 0..i-1. That is also what makes resume
+// bit-identical to an uninterrupted run.
+
+// CampaignStateName is the state file inside a campaign directory.
+const CampaignStateName = "campaign.json"
+
+// campaignStateVersion is the on-disk state format version.
+const campaignStateVersion = 1
+
+// Progress is the running-totals snapshot handed to Options.Progress after
+// every committed case (the levserve /v1/fuzz status endpoint serves these).
+type Progress struct {
+	Index        int `json:"index"`         // cases committed so far (absolute)
+	Count        int `json:"count"`         // campaign target (0: unbounded)
+	Cases        int `json:"cases"`         // cases executed this invocation
+	Resumed      int `json:"resumed"`       // cases inherited from the state file
+	Skipped      int `json:"skipped"`       // cases the oracles could not judge
+	Execs        int `json:"execs"`         // executions this invocation (incl. shrinking)
+	Mutated      int `json:"mutated"`       // cases produced by corpus mutation
+	CoverageBits int `json:"coverage_bits"` // global coverage map population
+	Corpus       int `json:"corpus"`        // mutation corpus size
+	Findings     int `json:"findings"`      // findings recorded over the campaign's life
+}
+
+// FindingBucket aggregates campaign findings by failure class — the same
+// (oracle, policy, kind) triple the shrinker preserves while minimizing.
+type FindingBucket struct {
+	Oracle     string   `json:"oracle"`
+	Policy     string   `json:"policy,omitempty"`
+	Kind       string   `json:"kind,omitempty"`
+	Count      int      `json:"count"`
+	FirstIndex int      `json:"first_index"`       // case index of the first observation
+	Example    string   `json:"example,omitempty"` // detail string of the first observation
+	Repros     []string `json:"repros,omitempty"`  // repro file names (capped)
+}
+
+// maxBucketRepros caps the repro list per bucket: the first few minimal
+// repros of a failure class are diagnostic, the hundredth is disk usage.
+const maxBucketRepros = 8
+
+// CampaignSummary is one Campaign invocation's outcome.
+type CampaignSummary struct {
+	Cases        int // cases executed this invocation
+	Resumed      int // cases inherited from the state file
+	Skipped      int
+	Execs        int
+	Mutated      int
+	CoverageBits int // global coverage map population at exit
+	CorpusSize   int
+	FindingCount int              // findings over the campaign's whole life
+	Buckets      []*FindingBucket // sorted by class key
+	Elapsed      time.Duration
+}
+
+// campaignState is the on-disk campaign snapshot. Everything a resumed
+// invocation needs to reproduce the interrupted one's decisions is here;
+// nothing else is (per-case seeds re-derive from Seed via CaseSeed).
+type campaignState struct {
+	Version   int                       `json:"version"`
+	Seed      uint64                    `json:"seed"`
+	Digest    string                    `json:"digest"` // option digest; a resume must match
+	NextIndex int                       `json:"next_index"`
+	Skipped   int                       `json:"skipped"`
+	Execs     int                       `json:"execs"`
+	Mutated   int                       `json:"mutated"`
+	Coverage  string                    `json:"coverage"` // global map, base64
+	Corpus    []*corpusEntry            `json:"corpus,omitempty"`
+	Findings  map[string]*FindingBucket `json:"findings,omitempty"`
+}
+
+func (st *campaignState) findingCount() int {
+	n := 0
+	for _, b := range st.Findings {
+		n += b.Count
+	}
+	return n
+}
+
+// optionsDigest pins every option that shapes per-case verdicts. A campaign
+// directory resumed under a different digest would silently mix verdict
+// streams, so Campaign refuses it. Count is deliberately excluded: raising
+// it extends a finished campaign without changing any completed case.
+func optionsDigest(o Options) string {
+	return fmt.Sprintf("v%d profiles=%v policies=%v maxcycles=%d refmax=%d nostorm=%t noshrink=%t shrinkbudget=%d blind=%t faults=%v",
+		campaignStateVersion, o.Profiles, o.Policies, o.MaxCycles, o.RefMaxInsts,
+		o.NoStorm, o.NoShrink, o.ShrinkBudget, o.Blind, o.Faults)
+}
+
+// Campaign runs (or resumes) the coverage-guided campaign in dir until Count
+// cases are committed, the Duration elapses, or the context is canceled.
+// Interrupted in-flight cases are never committed, so stopping a campaign at
+// any point — including kill -9 mid-write — and rerunning the identical
+// invocation yields a state file bit-identical to an uninterrupted run's.
+func Campaign(ctx context.Context, dir string, opt Options) (*CampaignSummary, error) {
+	if err := opt.Normalize(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fuzz: campaign dir: %w", err)
+	}
+	statePath := filepath.Join(dir, CampaignStateName)
+	digest := optionsDigest(opt)
+	st, err := loadCampaignState(statePath, opt.Seed, digest)
+	if err != nil {
+		return nil, err
+	}
+	global, err := decodeCoverage(st.Coverage)
+	if err != nil {
+		return nil, err
+	}
+
+	if opt.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Duration)
+		defer cancel()
+	}
+
+	start := time.Now()
+	met := newCampaignMetrics(ctx)
+	met.covBits.Set(int64(global.Count()))
+	met.corpus.Set(int64(len(st.Corpus)))
+
+	sum := &CampaignSummary{Resumed: st.NextIndex}
+	for idx := st.NextIndex; opt.Count == 0 || idx < opt.Count; idx++ {
+		if ctx.Err() != nil {
+			break
+		}
+
+		cov := new(cpu.CoverageSink)
+		copt := opt
+		copt.Coverage = cov
+		c, parent, verdict, shrink := judgeCampaignCase(ctx, copt, idx, st.Corpus)
+
+		// A case cut short by cancellation or the wall clock is not a
+		// verdict: leave it uncommitted so the resumed campaign re-runs it in
+		// full. (This is the determinism guarantee — a partially-judged case
+		// must never contaminate the corpus or the coverage map.)
+		if ctx.Err() != nil {
+			break
+		}
+
+		if parent >= 0 {
+			mutantFindings(&verdict)
+		}
+
+		// Persist the (shrunk) repro for any finding, as Run does.
+		var reproName string
+		if len(verdict.Findings) > 0 {
+			final, findings, orig := c, verdict.Findings, 0
+			if shrink != nil {
+				final, findings, orig = shrink.Case, shrink.Findings, shrink.OrigInsts
+			}
+			if final != nil {
+				if r, rerr := NewRepro(final, opt.Policies, findings, orig); rerr == nil {
+					if _, werr := r.Write(dir); werr == nil {
+						reproName = r.FileName()
+					}
+				}
+			}
+		}
+
+		// Coverage accounting and corpus admission. Gadget cases contribute
+		// to the map but never to the mutation corpus (see corpusEntry).
+		fresh := newBitCount(global, cov)
+		if fresh > 0 && c != nil && c.Profile != ProfileGadget {
+			img, merr := c.Prog.MarshalBinary()
+			if merr == nil {
+				st.Corpus = append(st.Corpus, &corpusEntry{
+					Index: idx, Parent: parent, Profile: c.Profile,
+					Binary: img, NewBits: fresh, Insts: len(c.Prog.Text),
+				})
+			}
+		}
+		global.Or(cov)
+
+		for _, f := range verdict.Findings {
+			key := bucketKey(f)
+			b := st.Findings[key]
+			if b == nil {
+				b = &FindingBucket{Oracle: f.Oracle, Policy: f.Policy, Kind: f.Kind, FirstIndex: idx, Example: f.Detail}
+				if st.Findings == nil {
+					st.Findings = map[string]*FindingBucket{}
+				}
+				st.Findings[key] = b
+			}
+			b.Count++
+			if reproName != "" && len(b.Repros) < maxBucketRepros &&
+				(len(b.Repros) == 0 || b.Repros[len(b.Repros)-1] != reproName) {
+				b.Repros = append(b.Repros, reproName)
+			}
+			logf(opt.Log, "fuzz: campaign %06d: %s", idx, f)
+		}
+
+		execs := verdict.Execs
+		if shrink != nil {
+			execs += shrink.Evals
+		}
+		st.NextIndex = idx + 1
+		st.Execs += execs
+		if verdict.Skipped {
+			st.Skipped++
+		}
+		if parent >= 0 {
+			st.Mutated++
+		}
+		st.Coverage = encodeCoverage(global)
+		if err := saveCampaignState(statePath, st); err != nil {
+			return nil, err
+		}
+
+		sum.Cases++
+		sum.Execs += execs
+		if verdict.Skipped {
+			sum.Skipped++
+		}
+		if parent >= 0 {
+			sum.Mutated++
+		}
+
+		met.cases.Inc()
+		met.execs.Add(uint64(execs))
+		met.findings.Add(uint64(len(verdict.Findings)))
+		if parent >= 0 {
+			met.mutated.Inc()
+		}
+		met.covBits.Set(int64(global.Count()))
+		met.corpus.Set(int64(len(st.Corpus)))
+
+		if opt.Progress != nil {
+			opt.Progress(Progress{
+				Index: st.NextIndex, Count: opt.Count,
+				Cases: sum.Cases, Resumed: sum.Resumed, Skipped: sum.Skipped,
+				Execs: sum.Execs, Mutated: sum.Mutated,
+				CoverageBits: global.Count(), Corpus: len(st.Corpus),
+				Findings: st.findingCount(),
+			})
+		}
+	}
+
+	sum.CoverageBits = global.Count()
+	sum.CorpusSize = len(st.Corpus)
+	sum.FindingCount = st.findingCount()
+	keys := make([]string, 0, len(st.Findings))
+	for k := range st.Findings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sum.Buckets = append(sum.Buckets, st.Findings[k])
+	}
+	sum.Elapsed = time.Since(start)
+	return sum, nil
+}
+
+// judgeCampaignCase builds and judges one campaign case with panic
+// isolation, shrinking the first finding when configured. The shrinker runs
+// without the coverage sink: the case's signature reflects its judging runs,
+// not however many shrink candidates happened to execute.
+func judgeCampaignCase(ctx context.Context, opt Options, idx int, corpus []*corpusEntry) (c *Case, parent int, verdict Verdict, shrink *ShrinkResult) {
+	parent = -1
+	defer func() {
+		if r := recover(); r != nil {
+			verdict.add(Finding{Oracle: OraclePanic, Kind: "campaign",
+				Detail: fmt.Sprintf("%v\n%s", r, debug.Stack())})
+		}
+	}()
+
+	c, parent, err := scheduleCase(opt, idx, corpus)
+	if err != nil {
+		verdict.add(Finding{Oracle: OracleGenerator, Kind: "generate", Detail: err.Error()})
+		return nil, parent, verdict, nil
+	}
+
+	verdict = RunOracles(ctx, c, opt)
+	if len(verdict.Findings) == 0 || opt.NoShrink || ctx.Err() != nil {
+		return c, parent, verdict, nil
+	}
+	sopt := opt
+	sopt.Coverage = nil
+	res := Shrink(ctx, c, verdict.Findings[0], sopt)
+	return c, parent, verdict, &res
+}
+
+// mutantFindings drops generator-oracle findings from a mutated case's
+// verdict. The generator's architectural-cleanliness contract covers
+// generated programs; a mutant that faults on the reference model is an
+// uninteresting input to discard (as a skip), not a simulator bug to report.
+func mutantFindings(v *Verdict) {
+	kept := v.Findings[:0]
+	dropped := false
+	for _, f := range v.Findings {
+		if f.Oracle == OracleGenerator {
+			dropped = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	v.Findings = kept
+	if dropped && len(kept) == 0 {
+		v.Skipped, v.SkipReason = true, "mutant faulted on reference"
+	}
+}
+
+// LoadFindings reads the finding buckets out of a campaign directory's state
+// file without touching anything else — the levserve findings endpoint
+// serves these while the campaign is still running (the state file is
+// rewritten atomically, so a concurrent read always sees a complete
+// snapshot). A directory with no state file yet yields no buckets.
+func LoadFindings(dir string) ([]*FindingBucket, error) {
+	b, err := os.ReadFile(filepath.Join(dir, CampaignStateName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: campaign state: %w", err)
+	}
+	st := new(campaignState)
+	if err := json.Unmarshal(b, st); err != nil {
+		return nil, &simerr.RunError{Kind: simerr.KindBuild, Detail: "campaign state", Err: err}
+	}
+	keys := make([]string, 0, len(st.Findings))
+	for k := range st.Findings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*FindingBucket, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, st.Findings[k])
+	}
+	return out, nil
+}
+
+func loadCampaignState(path string, seed uint64, digest string) (*campaignState, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &campaignState{Version: campaignStateVersion, Seed: seed, Digest: digest}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: campaign state: %w", err)
+	}
+	st := new(campaignState)
+	if err := json.Unmarshal(b, st); err != nil {
+		return nil, &simerr.RunError{Kind: simerr.KindBuild, Detail: "campaign state " + path, Err: err}
+	}
+	if st.Version != campaignStateVersion {
+		return nil, simerr.New(simerr.KindBuild, "fuzz: campaign state %s: version %d, want %d", path, st.Version, campaignStateVersion)
+	}
+	if st.Seed != seed {
+		return nil, simerr.New(simerr.KindBuild, "fuzz: campaign state %s: seed %#x, resumed with %#x", path, st.Seed, seed)
+	}
+	if st.Digest != digest {
+		return nil, simerr.New(simerr.KindBuild, "fuzz: campaign state %s: options changed since the campaign started (state %q, now %q)", path, st.Digest, digest)
+	}
+	return st, nil
+}
+
+// saveCampaignState rewrites the state file atomically (temp file, fsync,
+// rename): a crash at any instant leaves either the previous complete state
+// or the new one, never a torn file.
+func saveCampaignState(path string, st *campaignState) error {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fuzz: encode campaign state: %w", err)
+	}
+	return journal.WriteAtomic(path, append(b, '\n'))
+}
+
+// campaignMetrics is the campaign's obs instrument set (registry from ctx,
+// like newSessionMetrics).
+type campaignMetrics struct {
+	cases    *obs.Counter
+	execs    *obs.Counter
+	mutated  *obs.Counter
+	findings *obs.Counter
+	covBits  *obs.Gauge
+	corpus   *obs.Gauge
+}
+
+func newCampaignMetrics(ctx context.Context) *campaignMetrics {
+	reg := obs.FromContext(ctx)
+	return &campaignMetrics{
+		cases:    reg.Counter("fuzz_campaign_cases_total", "campaign cases committed"),
+		execs:    reg.Counter("fuzz_campaign_execs_total", "campaign executions, including shrinking"),
+		mutated:  reg.Counter("fuzz_campaign_mutated_total", "campaign cases produced by corpus mutation"),
+		findings: reg.Counter("fuzz_campaign_findings_total", "campaign findings recorded"),
+		covBits:  reg.Gauge("fuzz_campaign_coverage_bits", "global coverage map population"),
+		corpus:   reg.Gauge("fuzz_campaign_corpus_size", "mutation corpus size"),
+	}
+}

@@ -1,7 +1,6 @@
 package fuzz
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -11,6 +10,7 @@ import (
 
 	"levioso/internal/engine"
 	"levioso/internal/isa"
+	"levioso/internal/journal"
 )
 
 // ReproVersion is the on-disk repro format version.
@@ -69,33 +69,17 @@ func (r *Repro) Case() (*Case, error) {
 // FileName is the repro's stable corpus file name.
 func (r *Repro) FileName() string { return r.Name + ".json" }
 
-// Write persists the repro into dir crash-safely: temp file, fsync, atomic
-// rename — a crash leaves either the old state or the complete new file,
-// never a torn repro.
+// Write persists the repro into dir crash-safely (journal.WriteAtomic: temp
+// file, fsync, atomic rename) — a crash leaves either the old state or the
+// complete new file, never a torn repro.
 func (r *Repro) Write(dir string) (string, error) {
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return "", fmt.Errorf("fuzz: encode repro: %w", err)
 	}
 	b = append(b, '\n')
-	tmp, err := os.CreateTemp(dir, ".repro-*")
-	if err != nil {
-		return "", err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return "", err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return "", err
-	}
-	if err := tmp.Close(); err != nil {
-		return "", err
-	}
 	path := filepath.Join(dir, r.FileName())
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := journal.WriteAtomic(path, b); err != nil {
 		return "", err
 	}
 	return path, nil
@@ -152,12 +136,13 @@ type Entry struct {
 	Execs    int       `json:"execs"`
 }
 
-// Journal is the fuzz session's append-only JSON-lines progress record —
-// the same crash-safe pattern as harness.Journal (single-write appends,
-// fsync per record, torn-tail healing on open), keyed by case index.
+// Journal is the fuzz session's append-only JSON-lines progress record,
+// keyed by case index. Durability mechanics (single-write appends, fsync per
+// record, torn-tail healing on open) live in internal/journal; this wrapper
+// owns the Entry schema and the index-keyed resume map.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    *journal.File
 	seen map[int]Entry
 }
 
@@ -169,33 +154,18 @@ const JournalName = "journal.jsonl"
 // (the write a crash interrupted) is skipped and healed so the next append
 // starts clean.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("fuzz: open journal: %w", err)
-	}
-	j := &Journal{f: f, seen: make(map[int]Entry)}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	for sc.Scan() {
+	j := &Journal{seen: make(map[int]Entry)}
+	f, err := journal.Open(path, func(line []byte) {
 		var e Entry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			continue // torn or foreign line: the case just re-runs
+		if err := json.Unmarshal(line, &e); err != nil {
+			return // foreign line: the case just re-runs
 		}
 		j.seen[e.Index] = e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: %w", err)
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("fuzz: read journal: %w", err)
-	}
-	if st, err := f.Stat(); err == nil && st.Size() > 0 {
-		last := make([]byte, 1)
-		if _, err := f.ReadAt(last, st.Size()-1); err == nil && last[0] != '\n' {
-			if _, err := f.Write([]byte{'\n'}); err != nil {
-				f.Close()
-				return nil, fmt.Errorf("fuzz: heal journal tail: %w", err)
-			}
-		}
-	}
+	j.f = f
 	return j, nil
 }
 
@@ -211,20 +181,12 @@ func (j *Journal) Lookup(index int) (Entry, bool) {
 // lose at most the entry being written, never completed cases. Safe for
 // concurrent use by the worker goroutines.
 func (j *Journal) Record(e Entry) error {
-	b, err := json.Marshal(e)
-	if err != nil {
+	if err := j.f.Append(e); err != nil {
 		return err
 	}
-	b = append(b, '\n')
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, err := j.f.Write(b); err != nil {
-		return err
-	}
-	if err := j.f.Sync(); err != nil {
-		return err
-	}
 	j.seen[e.Index] = e
+	j.mu.Unlock()
 	return nil
 }
 
@@ -236,8 +198,4 @@ func (j *Journal) Len() int {
 }
 
 // Close closes the underlying file.
-func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.f.Close()
-}
+func (j *Journal) Close() error { return j.f.Close() }

@@ -53,13 +53,14 @@ func TestReproRoundTrip(t *testing.T) {
 
 func TestJournalResumeSkipsCompleted(t *testing.T) {
 	dir := t.TempDir()
-	cfg := Config{
-		Options:   Options{Policies: []string{"unsafe"}, NoStorm: true},
+	cfg := Options{
 		Seed:      1,
 		Count:     3,
 		Workers:   2,
 		CorpusDir: dir,
 		NoMatrix:  true,
+		Policies:  []string{"unsafe"},
+		NoStorm:   true,
 	}
 	first, err := Run(context.Background(), cfg)
 	if err != nil {

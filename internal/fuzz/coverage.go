@@ -1,0 +1,67 @@
+package fuzz
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"math/bits"
+
+	"levioso/internal/cpu"
+	"levioso/internal/simerr"
+)
+
+// Coverage signatures are produced by the core (cpu.CoverageSink): every run
+// the oracle stack performs under a campaign records which microarchitectural
+// events it touched — branch outcomes, squash depths, policy restrictions,
+// load forwarding and aliasing, secret-taint propagation, transmitter state.
+// The campaign keeps a global union of every signature ever seen; a case
+// whose signature sets bits the union lacks has reached new machine behavior
+// and is admitted to the mutation corpus. This file holds the glue the
+// campaign needs around the raw sink: the state-file encoding and the
+// new-bits accounting.
+
+// encodeCoverage serializes a sink for the campaign state file
+// (little-endian words, base64 — 1366 bytes for the 8192-bit map).
+func encodeCoverage(s *cpu.CoverageSink) string {
+	b := make([]byte, 8*cpu.CoverageWords)
+	for i, w := range s.Bits {
+		binary.LittleEndian.PutUint64(b[8*i:], w)
+	}
+	return base64.StdEncoding.EncodeToString(b)
+}
+
+// decodeCoverage is the inverse; an empty string decodes to an empty sink so
+// a fresh state file needs no special case.
+func decodeCoverage(enc string) (*cpu.CoverageSink, error) {
+	s := new(cpu.CoverageSink)
+	if enc == "" {
+		return s, nil
+	}
+	b, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		return nil, &simerr.RunError{Kind: simerr.KindBuild, Detail: "campaign coverage map", Err: err}
+	}
+	if len(b) != 8*cpu.CoverageWords {
+		return nil, simerr.New(simerr.KindBuild, "fuzz: campaign coverage map: %d bytes, want %d", len(b), 8*cpu.CoverageWords)
+	}
+	for i := range s.Bits {
+		s.Bits[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return s, nil
+}
+
+// newBitCount returns how many bits of sig are absent from the global map —
+// the case's coverage contribution, and the corpus admission criterion.
+func newBitCount(global, sig *cpu.CoverageSink) int {
+	n := 0
+	for i, w := range sig.Bits {
+		n += bits.OnesCount64(w &^ global.Bits[i])
+	}
+	return n
+}
+
+// bucketKey is the campaign's finding-class key: findings with the same
+// (oracle, policy, kind) triple — the shrinker's equivalence class — land in
+// the same bucket regardless of detail strings.
+func bucketKey(f Finding) string {
+	return f.Oracle + "/" + f.Policy + "/" + f.Kind
+}

@@ -14,7 +14,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
+
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -23,35 +23,6 @@ import (
 
 	"levioso/internal/obs"
 )
-
-// Config tunes one fuzzing session.
-type Config struct {
-	// Options is the oracle-stack configuration shared by every case.
-	Options
-
-	// Seed is the session base seed; case i derives its own seed from it.
-	Seed uint64
-	// Profiles cycles per case index (default: all profiles).
-	Profiles []Profile
-	// Count bounds the number of cases (0 with Duration set: unbounded).
-	Count int
-	// Duration bounds the session wall clock (0: run until Count).
-	Duration time.Duration
-	// Workers is the parallel worker count (default: GOMAXPROCS, capped at 8).
-	Workers int
-	// CorpusDir, when set, receives shrunk repros and the resume journal.
-	CorpusDir string
-	// NoShrink persists findings unshrunk.
-	NoShrink bool
-	// NoMatrix skips the once-per-session attack expectation matrix check.
-	NoMatrix bool
-	// Log, when set, receives progress lines as findings appear.
-	Log io.Writer
-	// SnapshotEvery, when positive and Log is set, emits a periodic
-	// one-line throughput snapshot (cases, execs/sec, findings, shrink
-	// evals) so long unbounded sessions stay observable.
-	SnapshotEvery time.Duration
-}
 
 // Record is one reported finding with its case attribution (Index -1: the
 // session-level security matrix check).
@@ -104,19 +75,12 @@ func (s *Summary) ShrinkRatio() float64 {
 // directory, completed cases are journaled (fsync per entry); a rerun of the
 // same session resumes from the journal, trusting recorded verdicts instead
 // of re-executing.
-func Run(ctx context.Context, cfg Config) (*Summary, error) {
-	cfg.Options = cfg.Options.withDefaults()
-	if len(cfg.Profiles) == 0 {
-		cfg.Profiles = Profiles()
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-		if cfg.Workers > 8 {
-			cfg.Workers = 8
-		}
-	}
-	if cfg.Count <= 0 && cfg.Duration <= 0 {
-		cfg.Count = 64
+//
+// Run normalizes its options itself (Normalize), so a caller-side bounds
+// mistake surfaces as a typed KindBuild error before any case executes.
+func Run(ctx context.Context, cfg Options) (*Summary, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
 	}
 
 	var journal *Journal
@@ -232,7 +196,7 @@ func newSessionMetrics(ctx context.Context) *sessionMetrics {
 }
 
 // runOne generates, judges, shrinks and persists a single case index.
-func runOne(ctx context.Context, cfg Config, journal *Journal, idx int, mu *sync.Mutex, sum *Summary, met *sessionMetrics) {
+func runOne(ctx context.Context, cfg Options, journal *Journal, idx int, mu *sync.Mutex, sum *Summary, met *sessionMetrics) {
 	profile := cfg.Profiles[idx%len(cfg.Profiles)]
 
 	// Resume: a journaled verdict stands in for re-execution entirely.
@@ -341,7 +305,7 @@ func runOne(ctx context.Context, cfg Config, journal *Journal, idx int, mu *sync
 // judgeOne generates and judges one case with panic isolation, shrinking the
 // first finding when configured. Returns the (possibly shrunk-source) case,
 // its verdict, and the shrink result when one ran.
-func judgeOne(ctx context.Context, cfg Config, profile Profile, idx int) (c *Case, verdict Verdict, shrink *ShrinkResult) {
+func judgeOne(ctx context.Context, cfg Options, profile Profile, idx int) (c *Case, verdict Verdict, shrink *ShrinkResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			verdict.add(Finding{Oracle: OraclePanic, Kind: "worker",
@@ -355,12 +319,12 @@ func judgeOne(ctx context.Context, cfg Config, profile Profile, idx int) (c *Cas
 		return nil, verdict, nil
 	}
 
-	verdict = RunOracles(ctx, c, cfg.Options)
+	verdict = RunOracles(ctx, c, cfg)
 	if len(verdict.Findings) == 0 || cfg.NoShrink {
 		return c, verdict, nil
 	}
 
-	res := Shrink(ctx, c, verdict.Findings[0], cfg.Options)
+	res := Shrink(ctx, c, verdict.Findings[0], cfg)
 	return c, verdict, &res
 }
 

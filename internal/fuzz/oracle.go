@@ -6,7 +6,6 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
-	"time"
 
 	"levioso/internal/attack"
 	"levioso/internal/cpu"
@@ -73,53 +72,6 @@ func (f Finding) String() string {
 // shrinks, the class must not).
 func (f Finding) sameClass(g Finding) bool {
 	return f.Oracle == g.Oracle && f.Policy == g.Policy && f.Kind == g.Kind
-}
-
-// Options tunes the oracle stack.
-type Options struct {
-	// Policies to run every case under (default: the full registry sweep —
-	// every family, parameterized families at every level).
-	Policies []string
-	// MaxCycles bounds each core run (default 4M; gadget cases get at
-	// least 20M — the probe loop is long).
-	MaxCycles uint64
-	// RefMaxInsts bounds the reference pre-run (default 2M; generated
-	// programs retire well under 100k instructions, so hitting this means
-	// the case is degenerate and is skipped, not failed).
-	RefMaxInsts uint64
-	// Deadline bounds each run's wall-clock time (default 30s). Expiry
-	// skips the run (deadlines are machine load, not simulator bugs).
-	Deadline time.Duration
-	// Faults, when non-nil, is attached (via a fresh seeded injector per
-	// run, keeping runs deterministic) to every core-path simulation —
-	// the mutation-testing knob: an injected commit stall or squash storm
-	// must surface as oracle findings.
-	Faults *faultinject.Plan
-	// NoStorm skips the squash-storm invariants pass (the shrinker narrows
-	// to it only when the target finding came from the storm stage).
-	NoStorm bool
-	// ShrinkBudget caps oracle-stack evaluations during shrinking
-	// (default 250).
-	ShrinkBudget int
-}
-
-func (o Options) withDefaults() Options {
-	if len(o.Policies) == 0 {
-		o.Policies = engine.SweepPolicies()
-	}
-	if o.MaxCycles == 0 {
-		o.MaxCycles = 4_000_000
-	}
-	if o.RefMaxInsts == 0 {
-		o.RefMaxInsts = 2_000_000
-	}
-	if o.Deadline == 0 {
-		o.Deadline = 30 * time.Second
-	}
-	if o.ShrinkBudget == 0 {
-		o.ShrinkBudget = 250
-	}
-	return o
 }
 
 // Verdict is the oracle stack's judgement of one case.
@@ -299,6 +251,7 @@ func coreInvariants(ctx context.Context, v *Verdict, c *Case, pol string, want r
 	}
 	cfg := cpu.DefaultConfig()
 	cfg.MaxCycles = maxCycles
+	cfg.Coverage = opt.Coverage
 	if plan := combinedPlan(c, opt, storm); plan != nil {
 		faultinject.New(*plan, 1).Attach(&cfg)
 	}
@@ -383,6 +336,7 @@ func refRun(ctx context.Context, c *Case, opt Options) (ref.Result, error) {
 func engineRun(ctx context.Context, c *Case, pol string, maxCycles uint64, opt Options, verify bool, want *ref.Result) (*engine.Result, error) {
 	cfg := cpu.DefaultConfig()
 	cfg.MaxCycles = maxCycles
+	cfg.Coverage = opt.Coverage
 	if opt.Faults != nil {
 		// A fresh injector per run: the injector is stateful (PRNG, cycle
 		// clock), and sharing one would break run-to-run determinism.

@@ -1,13 +1,12 @@
 package harness
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
 
 	"levioso/internal/cpu"
+	"levioso/internal/journal"
 )
 
 // Journal is an append-only JSON-lines record of completed sweep cells. Each
@@ -19,11 +18,11 @@ import (
 //
 // The journal deliberately stores the run's statistics, not just its
 // identity, so resumed cells rebuild their reports without re-simulating.
-// A torn trailing line (the write the crash interrupted) is skipped on
-// load rather than poisoning the resume.
+// Durability mechanics (single-write appends, fsync per record, torn-tail
+// healing) live in internal/journal; this wrapper owns the cell schema.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    *journal.File
 	seen map[journalKey]Run
 }
 
@@ -40,39 +39,21 @@ type journalEntry struct {
 // OpenJournal opens (creating if absent) the run journal at path and loads
 // every completed cell recorded by earlier invocations.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("harness: open journal: %w", err)
-	}
-	j := &Journal{f: f, seen: make(map[journalKey]Run)}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
+	j := &Journal{seen: make(map[journalKey]Run)}
+	f, err := journal.Open(path, func(line []byte) {
 		var e journalEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			continue // torn or foreign line: ignore, the cell just re-runs
+		if err := json.Unmarshal(line, &e); err != nil {
+			return // foreign line: ignore, the cell just re-runs
 		}
 		j.seen[journalKey{e.Tag, e.Workload, e.Policy}] = Run{
 			Workload: e.Workload, Policy: e.Policy,
 			Stats: e.Stats, ExitCode: e.ExitCode,
 		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("harness: read journal: %w", err)
-	}
-	// Heal a torn tail: if the crash left an unterminated line, append a
-	// newline so the next Record starts on a fresh line instead of merging
-	// into the garbage (which would lose that entry on the following load).
-	if st, err := f.Stat(); err == nil && st.Size() > 0 {
-		last := make([]byte, 1)
-		if _, err := f.ReadAt(last, st.Size()-1); err == nil && last[0] != '\n' {
-			if _, err := f.Write([]byte{'\n'}); err != nil {
-				f.Close()
-				return nil, fmt.Errorf("harness: heal journal tail: %w", err)
-			}
-		}
-	}
+	j.f = f
 	return j, nil
 }
 
@@ -85,40 +66,26 @@ func (j *Journal) Lookup(tag, workload, policy string) (Run, bool) {
 }
 
 // Record appends one completed cell and remembers it for Lookup. Safe for
-// concurrent use by the sweep goroutines; each entry is a single write so
-// an interruption can tear at most the final line, and each write is fsynced
-// before Record returns, so a power loss can lose at most the entry being
-// written — never previously recorded cells.
+// concurrent use by the sweep goroutines; the append is fsynced before
+// Record returns, so a power loss can lose at most the entry being written —
+// never previously recorded cells.
 func (j *Journal) Record(tag string, r Run) error {
-	b, err := json.Marshal(journalEntry{
+	if err := j.f.Append(journalEntry{
 		Tag: tag, Workload: r.Workload, Policy: r.Policy,
 		ExitCode: r.ExitCode, Stats: r.Stats,
-	})
-	if err != nil {
+	}); err != nil {
 		return err
 	}
-	b = append(b, '\n')
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, err := j.f.Write(b); err != nil {
-		return err
-	}
-	if err := j.f.Sync(); err != nil {
-		return err
-	}
 	j.seen[journalKey{tag, r.Workload, r.Policy}] = r
+	j.mu.Unlock()
 	return nil
 }
 
 // Sync flushes the journal to stable storage. Record already fsyncs after
-// every append; Sync exists for callers that write through the file by other
-// means or want an explicit durability point (e.g. before reporting a sweep
-// as resumable).
-func (j *Journal) Sync() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.f.Sync()
-}
+// every append; Sync exists for callers that want an explicit durability
+// point (e.g. before reporting a sweep as resumable).
+func (j *Journal) Sync() error { return j.f.Sync() }
 
 // Len returns the number of recorded cells.
 func (j *Journal) Len() int {
@@ -128,8 +95,4 @@ func (j *Journal) Len() int {
 }
 
 // Close flushes and closes the underlying file.
-func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.f.Close()
-}
+func (j *Journal) Close() error { return j.f.Close() }

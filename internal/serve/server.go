@@ -74,7 +74,11 @@ import (
 // v2: GET /v1/policies returns full self-describing descriptors (objects)
 // under "policies" instead of a bare name list; POST /v1/simulate accepts
 // "params" for parameterized policies.
-const SchemaVersion = 2
+//
+// v3: coverage-guided fuzz campaigns — POST /v1/fuzz, GET /v1/fuzz/{id},
+// GET /v1/fuzz/{id}/findings — and GET /v1/version now enumerates the
+// mounted routes under "routes".
+const SchemaVersion = 3
 
 // Config tunes a Server. The zero value picks sane defaults.
 type Config struct {
@@ -94,6 +98,11 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
 	// default: profiling endpoints on a public daemon are opt-in).
 	EnablePprof bool
+
+	// FuzzDir is the base directory for /v1/fuzz campaign state
+	// (default: "levserve-fuzz" under the OS temp directory). Each campaign
+	// id gets a subdirectory holding its crash-safe state file and repros.
+	FuzzDir string
 
 	// Dispatch, when non-nil, configures the batch-execution coordinator
 	// (worker count, spawner, retry/breaker tuning — see dispatch.Config).
@@ -144,6 +153,13 @@ type Server struct {
 	dispatch *dispatch.Coordinator
 	fleet    *dispatch.RemoteFleet // non-nil when cfg.Remote is set
 
+	// fuzz campaign lifecycle: id -> run, plus the context every campaign
+	// goroutine runs under (Close cancels it).
+	fuzzMu     sync.Mutex
+	fuzzRuns   map[string]*campaignRun
+	fuzzCtx    context.Context
+	fuzzCancel context.CancelFunc
+
 	accessLog io.Writer
 	logMu     sync.Mutex
 	idBase    string
@@ -187,6 +203,8 @@ func New(cfg Config) (*Server, error) {
 		mSimInflight: reg.Gauge("levserve_sim_inflight", "simulations currently occupying a worker slot"),
 		mBodyBytes:   reg.Histogram("levserve_request_body_bytes", "declared simulate request body sizes in bytes", obs.SizeBuckets()),
 	}
+	s.fuzzRuns = make(map[string]*campaignRun)
+	s.fuzzCtx, s.fuzzCancel = context.WithCancel(context.Background())
 	dcfg := dispatch.Config{}
 	if cfg.Dispatch != nil {
 		dcfg = *cfg.Dispatch
@@ -220,6 +238,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", s.handleWorkloads))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
+	s.mux.HandleFunc("POST /v1/fuzz", s.instrument("fuzz", s.handleFuzzStart))
+	s.mux.HandleFunc("GET /v1/fuzz/{id}", s.instrument("fuzz_status", s.handleFuzzStatus))
+	s.mux.HandleFunc("GET /v1/fuzz/{id}/findings", s.instrument("fuzz_findings", s.handleFuzzFindings))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -237,9 +258,14 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the HTTP handler for the server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close shuts down the batch coordinator and its workers. In-flight batch
-// cells fail with transport errors; the plain simulate path is unaffected.
-func (s *Server) Close() error { return s.dispatch.Close() }
+// Close shuts down the batch coordinator and its workers, and cancels any
+// running fuzz campaigns (their state files keep every committed case, so a
+// later server resumes them). In-flight batch cells fail with transport
+// errors; the plain simulate path is unaffected.
+func (s *Server) Close() error {
+	s.fuzzCancel()
+	return s.dispatch.Close()
+}
 
 // Metrics returns the server's metric registry (what GET /metrics serves).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
@@ -321,12 +347,32 @@ type ServerStats struct {
 
 // VersionInfo is the JSON reply of GET /v1/version.
 type VersionInfo struct {
-	SchemaVersion int    `json:"schema_version"`
-	GoVersion     string `json:"go_version"`
-	Module        string `json:"module,omitempty"`
-	Revision      string `json:"vcs_revision,omitempty"`
-	BuildTime     string `json:"vcs_time,omitempty"`
-	Modified      bool   `json:"vcs_modified,omitempty"`
+	SchemaVersion int      `json:"schema_version"`
+	GoVersion     string   `json:"go_version"`
+	Routes        []string `json:"routes"` // mounted method+path patterns
+	Module        string   `json:"module,omitempty"`
+	Revision      string   `json:"vcs_revision,omitempty"`
+	BuildTime     string   `json:"vcs_time,omitempty"`
+	Modified      bool     `json:"vcs_modified,omitempty"`
+}
+
+// apiRoutes enumerates the wire API for /v1/version, so clients discover
+// capabilities (is /v1/fuzz mounted?) instead of probing with 404s. Keep in
+// sync with the registrations in New.
+func apiRoutes() []string {
+	return []string{
+		"POST /v1/simulate",
+		"POST /v1/batch",
+		"POST /v1/fuzz",
+		"GET /v1/fuzz/{id}",
+		"GET /v1/fuzz/{id}/findings",
+		"GET /v1/policies",
+		"GET /v1/workloads",
+		"GET /v1/stats",
+		"GET /v1/version",
+		"GET /metrics",
+		"GET /healthz",
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -650,7 +696,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
-	v := VersionInfo{SchemaVersion: SchemaVersion, GoVersion: runtime.Version()}
+	v := VersionInfo{SchemaVersion: SchemaVersion, GoVersion: runtime.Version(), Routes: apiRoutes()}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		v.Module = bi.Main.Path
 		for _, kv := range bi.Settings {
